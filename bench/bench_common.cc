@@ -1,0 +1,139 @@
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/stopwatch.h"
+
+namespace rankjoin::bench {
+namespace {
+
+RankingDataset BuildDataset(const std::string& name) {
+  if (name == "DBLP") return GenerateDataset(DblpLikeOptions());
+  if (name == "ORKU") return GenerateDataset(OrkuLikeOptions());
+  if (name == "ORKU25") return GenerateDataset(OrkuLikeK25Options());
+  if (name == "DBLPx5") {
+    return ScaleDataset(GetDataset("DBLP"), 5, DblpLikeOptions().domain_size);
+  }
+  if (name == "DBLPx10") {
+    return ScaleDataset(GetDataset("DBLP"), 10,
+                        DblpLikeOptions().domain_size);
+  }
+  if (name == "ORKUx5") {
+    return ScaleDataset(GetDataset("ORKU"), 5, OrkuLikeOptions().domain_size);
+  }
+  std::fprintf(stderr, "unknown dataset: %s\n", name.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+const RankingDataset& GetDataset(const std::string& name) {
+  // Never destroyed (static-pointer pattern): benchmark process scope.
+  static auto* cache = new std::map<std::string, RankingDataset>();
+  auto it = cache->find(name);
+  if (it == cache->end()) {
+    it = cache->emplace(name, BuildDataset(name)).first;
+  }
+  return it->second;
+}
+
+RunOutcome RunOnce(const std::string& dataset, SimilarityJoinConfig config,
+                   const RunOptions& options) {
+  const RankingDataset& data = GetDataset(dataset);
+  minispark::Context ctx({.num_workers = options.num_workers,
+                          .default_partitions = options.num_partitions});
+  if (config.num_partitions <= 0) {
+    config.num_partitions = options.num_partitions;
+  }
+
+  Stopwatch watch;
+  auto result = RunSimilarityJoin(&ctx, data, config);
+  RunOutcome outcome;
+  outcome.seconds = watch.ElapsedSeconds();
+  if (!result.ok()) {
+    std::fprintf(stderr, "benchmark run failed (%s on %s): %s\n",
+                 AlgorithmName(config.algorithm), dataset.c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  outcome.pairs = result->pairs.size();
+  outcome.stats = result->stats;
+  for (int workers : options.simulate_workers) {
+    outcome.makespan[workers] = ctx.metrics().SimulatedMakespan(workers);
+  }
+  return outcome;
+}
+
+bool BudgetTracker::ShouldRun(const std::string& key) const {
+  auto it = exhausted_.find(key);
+  return it == exhausted_.end() || !it->second;
+}
+
+void BudgetTracker::Record(const std::string& key, double seconds) {
+  if (budget_seconds_ > 0 && seconds > budget_seconds_) {
+    exhausted_[key] = true;
+  }
+}
+
+std::string FormatTime(const RunOutcome& outcome) {
+  if (outcome.dnf) return "DNF";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", outcome.seconds);
+  return buffer;
+}
+
+std::string FormatMakespan(const RunOutcome& outcome, int workers) {
+  if (outcome.dnf) return "DNF";
+  auto it = outcome.makespan.find(workers);
+  if (it == outcome.makespan.end()) return "?";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", it->second);
+  return buffer;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void Table::Print(const std::string& title) const {
+  std::printf("# %s\n", title.c_str());
+  std::vector<size_t> width(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&width](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s", static_cast<int>(width[c]) + 2, row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+void CheckAgreement(const std::string& context,
+                    const std::vector<std::optional<size_t>>& counts) {
+  std::optional<size_t> reference;
+  for (const auto& count : counts) {
+    if (!count.has_value()) continue;
+    if (!reference.has_value()) {
+      reference = count;
+    } else if (*reference != *count) {
+      std::printf("!! RESULT MISMATCH at %s: %zu vs %zu\n", context.c_str(),
+                  *reference, *count);
+      return;
+    }
+  }
+}
+
+}  // namespace rankjoin::bench

@@ -1,0 +1,116 @@
+#ifndef RANKJOIN_BENCH_BENCH_COMMON_H_
+#define RANKJOIN_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/similarity_join.h"
+#include "data/generator.h"
+#include "data/scale.h"
+#include "minispark/context.h"
+#include "ranking/ranking.h"
+
+namespace rankjoin::bench {
+
+/// Named benchmark datasets — reproduction-scale stand-ins for the
+/// paper's DBLP/ORKU workloads (see DESIGN.md). Deterministic; built on
+/// first use and cached for the lifetime of the process.
+///
+///   DBLP     4,000 top-10 rankings, strongly skewed vocabulary
+///   DBLPx5   DBLP scaled 5x with the method of [10, 24]
+///   DBLPx10  DBLP scaled 10x
+///   ORKU     6,000 top-10 rankings, larger vocabulary
+///   ORKUx5   ORKU scaled 5x
+///   ORKU25   4,500 top-25 rankings (paper Fig. 11)
+const RankingDataset& GetDataset(const std::string& name);
+
+/// One benchmark measurement.
+struct RunOutcome {
+  double seconds = 0;
+  size_t pairs = 0;
+  JoinStats stats;
+  /// Simulated cluster makespans for this run, per worker count
+  /// requested in RunOptions::simulate_workers.
+  std::map<int, double> makespan;
+  bool dnf = false;  // exceeded the budget (reported like the paper's >10h)
+};
+
+struct RunOptions {
+  int num_partitions = 64;
+  int num_workers = 4;
+  /// Worker counts for which to compute the simulated cluster makespan.
+  std::vector<int> simulate_workers;
+  /// Runs whose predecessors (same algorithm/dataset, smaller theta)
+  /// already exceeded this budget are skipped and reported DNF, like the
+  /// paper's 10-hour cut-off. <= 0 disables.
+  double budget_seconds = 0;
+};
+
+/// Runs one algorithm configuration and measures wall time plus the
+/// simulated-cluster metrics. Exits the process on configuration errors
+/// (benchmarks are developer tools).
+RunOutcome RunOnce(const std::string& dataset, SimilarityJoinConfig config,
+                   const RunOptions& options);
+
+/// Tracks budget exhaustion across a sweep: once a (key) run blows the
+/// budget, later runs with the same key report DNF immediately.
+class BudgetTracker {
+ public:
+  explicit BudgetTracker(double budget_seconds)
+      : budget_seconds_(budget_seconds) {}
+
+  /// Returns false (-> emit DNF) if `key` has already exceeded the
+  /// budget; otherwise true.
+  bool ShouldRun(const std::string& key) const;
+
+  /// Records a finished run.
+  void Record(const std::string& key, double seconds);
+
+  double budget_seconds() const { return budget_seconds_; }
+
+ private:
+  double budget_seconds_;
+  std::map<std::string, bool> exhausted_;
+};
+
+/// Formats the wall time in seconds ("12.345") or "DNF".
+std::string FormatTime(const RunOutcome& outcome);
+
+/// Formats the simulated cluster makespan for `workers` slots (the
+/// metric matching the paper's cluster execution times; see DESIGN.md),
+/// or "DNF". The worker count must have been requested in
+/// RunOptions::simulate_workers.
+std::string FormatMakespan(const RunOutcome& outcome, int workers);
+
+/// Executor-slot count mirroring the paper's Spark setup (Table 3:
+/// 24 executors).
+inline constexpr int kPaperExecutors = 24;
+
+/// Prints an aligned table: header row then data rows. Every cell is a
+/// preformatted string; column widths adapt to content.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// Writes the table to stdout, prefixed by `title` as a '#' comment.
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Asserts that every optional count in `counts` that is set agrees;
+/// prints a warning line when they diverge (the benches double as
+/// integration checks).
+void CheckAgreement(const std::string& context,
+                    const std::vector<std::optional<size_t>>& counts);
+
+}  // namespace rankjoin::bench
+
+#endif  // RANKJOIN_BENCH_BENCH_COMMON_H_

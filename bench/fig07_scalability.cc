@@ -1,0 +1,51 @@
+// Figure 7: scalability of CL-P with the cluster size — the paper runs
+// 4-node vs 8-node YARN clusters; we schedule the same task set onto 4
+// vs 8 simulated workers (plus the full 24-slot setup for reference) and
+// report the makespans. Expected shape: consistent savings from 4 -> 8
+// workers (paper: 22%-46%), largest at theta = 0.4.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace rankjoin::bench {
+namespace {
+
+void RunFigure(const std::string& dataset, const char* panel) {
+  Table table({"theta", "4 workers", "8 workers", "24 workers", "saving"});
+  for (double theta : {0.1, 0.2, 0.3, 0.4}) {
+    SimilarityJoinConfig config;
+    config.algorithm = Algorithm::kCLP;
+    config.theta = theta;
+    config.theta_c = 0.03;
+    config.delta = 600;
+    RunOptions options;
+    options.simulate_workers = {4, 8, 24};
+    RunOutcome outcome = RunOnce(dataset, config, options);
+    const double m4 = outcome.makespan[4];
+    const double m8 = outcome.makespan[8];
+    char saving[32];
+    std::snprintf(saving, sizeof(saving), "%.0f%%",
+                  m4 > 0 ? 100.0 * (m4 - m8) / m4 : 0.0);
+    char t[16];
+    std::snprintf(t, sizeof(t), "%.2f", theta);
+    char c4[32], c8[32], c24[32];
+    std::snprintf(c4, sizeof(c4), "%.3f", m4);
+    std::snprintf(c8, sizeof(c8), "%.3f", m8);
+    std::snprintf(c24, sizeof(c24), "%.3f", outcome.makespan[24]);
+    table.AddRow({t, c4, c8, c24, saving});
+  }
+  table.Print(std::string("Figure 7(") + panel + ") — " + dataset +
+              ": CL-P simulated makespan [s] vs cluster size");
+}
+
+}  // namespace
+}  // namespace rankjoin::bench
+
+int main() {
+  rankjoin::bench::RunFigure("DBLPx5", "a");
+  rankjoin::bench::RunFigure("ORKU", "b");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 8: CL-P execution time as the DBLP dataset grows (x1, x5, x10)
+// for each theta. Expected shape: roughly linear growth for small
+// thetas; the steepest jump at theta = 0.4 from x5 to x10 (the paper
+// attributes its 7x jump there to a suboptimal delta).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace rankjoin;
+  using namespace rankjoin::bench;
+
+  const std::vector<std::string> datasets = {"DBLP", "DBLPx5", "DBLPx10"};
+  Table table({"theta", "x1", "x5", "x10", "pairs x1", "pairs x5",
+               "pairs x10"});
+  for (double theta : {0.1, 0.2, 0.3, 0.4}) {
+    std::vector<std::string> row;
+    char t[16];
+    std::snprintf(t, sizeof(t), "%.2f", theta);
+    row.push_back(t);
+    std::vector<std::string> pair_cells;
+    for (const std::string& dataset : datasets) {
+      SimilarityJoinConfig config;
+      config.algorithm = Algorithm::kCLP;
+      config.theta = theta;
+      config.theta_c = 0.03;
+      config.delta = dataset == "DBLP" ? 300 : dataset == "DBLPx5" ? 600 : 900;
+      RunOptions options;
+      options.simulate_workers = {kPaperExecutors};
+      RunOutcome outcome = RunOnce(dataset, config, options);
+      row.push_back(FormatMakespan(outcome, kPaperExecutors));
+      pair_cells.push_back(std::to_string(outcome.pairs));
+    }
+    row.insert(row.end(), pair_cells.begin(), pair_cells.end());
+    table.AddRow(row);
+  }
+  table.Print(
+      "Figure 8 — CL-P simulated 24-executor makespan [s] vs DBLP dataset "
+      "increase");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 9: effect of the clustering threshold theta_c on CL, for DBLP,
+// DBLPx5, and ORKU at every theta. Expected shape: theta_c = 0.03 is
+// the sweet spot (or close); growing theta_c makes the clustering
+// phase's own join too expensive without enough extra clusters.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace rankjoin::bench {
+namespace {
+
+void RunFigure(const std::string& dataset, const char* panel) {
+  const std::vector<double> theta_cs = {0.01, 0.02, 0.03, 0.04, 0.05};
+  Table table({"theta", "tc=0.01", "tc=0.02", "tc=0.03", "tc=0.04",
+               "tc=0.05", "clusters@0.03"});
+  for (double theta : {0.1, 0.2, 0.3, 0.4}) {
+    std::vector<std::string> row;
+    char t[16];
+    std::snprintf(t, sizeof(t), "%.2f", theta);
+    row.push_back(t);
+    std::string clusters;
+    for (double theta_c : theta_cs) {
+      SimilarityJoinConfig config;
+      config.algorithm = Algorithm::kCL;
+      config.theta = theta;
+      config.theta_c = theta_c;
+      RunOptions options;
+      options.simulate_workers = {kPaperExecutors};
+      RunOutcome outcome = RunOnce(dataset, config, options);
+      row.push_back(FormatMakespan(outcome, kPaperExecutors));
+      if (theta_c == 0.03) {
+        clusters = std::to_string(outcome.stats.clusters);
+      }
+    }
+    row.push_back(clusters);
+    table.AddRow(row);
+  }
+  table.Print(std::string("Figure 9(") + panel + ") — " + dataset +
+              ": CL simulated makespan [s] vs clustering threshold theta_c");
+}
+
+}  // namespace
+}  // namespace rankjoin::bench
+
+int main() {
+  rankjoin::bench::RunFigure("DBLP", "a");
+  rankjoin::bench::RunFigure("DBLPx5", "b");
+  rankjoin::bench::RunFigure("ORKU", "c");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 10: effect of the partitioning threshold delta on CL-P, for
+// ORKU, ORKUx5, and DBLPx5. Expected shape: a shallow bowl — small
+// deltas pay sub-partition join overhead, large deltas split nothing;
+// performance is not very sensitive in between (the paper's main point).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace rankjoin::bench {
+namespace {
+
+void RunFigure(const std::string& dataset, const char* panel,
+               const std::vector<double>& thetas,
+               const std::vector<uint64_t>& deltas) {
+  std::vector<std::string> header = {"delta"};
+  for (double theta : thetas) {
+    char t[32];
+    std::snprintf(t, sizeof(t), "theta=%.1f", theta);
+    header.push_back(t);
+  }
+  header.push_back("lists split");
+  Table table(header);
+
+  for (uint64_t delta : deltas) {
+    std::vector<std::string> row = {std::to_string(delta)};
+    uint64_t split = 0;
+    for (double theta : thetas) {
+      SimilarityJoinConfig config;
+      config.algorithm = Algorithm::kCLP;
+      config.theta = theta;
+      config.theta_c = 0.03;
+      config.delta = delta;
+      RunOptions options;
+      options.simulate_workers = {kPaperExecutors};
+      RunOutcome outcome = RunOnce(dataset, config, options);
+      row.push_back(FormatMakespan(outcome, kPaperExecutors));
+      split = std::max(split, outcome.stats.lists_repartitioned);
+    }
+    row.push_back(std::to_string(split));
+    table.AddRow(row);
+  }
+  table.Print(std::string("Figure 10(") + panel + ") — " + dataset +
+              ": CL-P simulated makespan [s] vs partitioning threshold");
+}
+
+}  // namespace
+}  // namespace rankjoin::bench
+
+int main() {
+  using rankjoin::bench::RunFigure;
+  // Per-dataset delta ranges, scaled from the paper's (which were tied
+  // to its dataset sizes). Larger thresholds get the larger dataset
+  // treatment exactly as in the paper's panel selection.
+  RunFigure("ORKU", "a", {0.3, 0.4}, {25, 50, 100, 250, 500, 1000});
+  RunFigure("ORKUx5", "b", {0.1, 0.2}, {100, 250, 500, 1000, 2500, 5000});
+  RunFigure("DBLPx5", "c", {0.3, 0.4}, {50, 100, 250, 500, 1000, 5000});
+  return 0;
+}

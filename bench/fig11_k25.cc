@@ -1,0 +1,46 @@
+// Figure 11: rankings of size k = 25 (ORKU-like), all four algorithms
+// when varying theta. Expected shape (paper): VJ-NL's margin over VJ
+// shrinks, CL sits close to VJ-NL, CL-P is best except at theta = 0.1,
+// and CL-P is the least sensitive to theta.
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace rankjoin;
+  using namespace rankjoin::bench;
+
+  Table table({"theta", "VJ", "VJ-NL", "CL", "CL-P", "pairs"});
+  for (double theta : {0.1, 0.2, 0.3, 0.4}) {
+    char t[16];
+    std::snprintf(t, sizeof(t), "%.2f", theta);
+    std::vector<std::string> row = {t};
+    std::vector<std::optional<size_t>> counts;
+    std::optional<size_t> pairs;
+    for (Algorithm algorithm : {Algorithm::kVJ, Algorithm::kVJNL,
+                                Algorithm::kCL, Algorithm::kCLP}) {
+      SimilarityJoinConfig config;
+      config.algorithm = algorithm;
+      config.theta = theta;
+      config.theta_c = 0.03;
+      config.delta = 500;  // fixed for all theta, as in the paper
+      RunOptions options;
+      options.simulate_workers = {kPaperExecutors};
+      RunOutcome outcome = RunOnce("ORKU25", config, options);
+      row.push_back(FormatMakespan(outcome, kPaperExecutors));
+      counts.push_back(outcome.pairs);
+      pairs = outcome.pairs;
+    }
+    CheckAgreement("ORKU25 theta=" + std::string(t), counts);
+    row.push_back(pairs ? std::to_string(*pairs) : "-");
+    table.AddRow(row);
+  }
+  table.Print(
+      "Figure 11 — ORKU-like top-25 rankings: simulated 24-executor "
+      "makespan [s] vs theta");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 12: VJ, VJ-NL, and CL when varying the number of partitions
+// (theta fixed at 0.3), on DBLP and DBLPx5. Expected shape: fairly
+// flat — the partition count has limited influence, with a mild optimum
+// that shifts up with dataset size.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace rankjoin::bench {
+namespace {
+
+void RunFigure(const std::string& dataset, const char* panel) {
+  Table table({"partitions", "VJ", "VJ-NL", "CL"});
+  for (int partitions : {43, 86, 186, 286}) {
+    std::vector<std::string> row = {std::to_string(partitions)};
+    for (Algorithm algorithm : {Algorithm::kVJ, Algorithm::kVJNL,
+                                Algorithm::kCL}) {
+      SimilarityJoinConfig config;
+      config.algorithm = algorithm;
+      config.theta = 0.3;
+      config.theta_c = 0.03;
+      config.num_partitions = partitions;
+      RunOptions options;
+      options.num_partitions = partitions;
+      options.simulate_workers = {kPaperExecutors};
+      RunOutcome outcome = RunOnce(dataset, config, options);
+      row.push_back(FormatMakespan(outcome, kPaperExecutors));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::string("Figure 12(") + panel + ") — " + dataset +
+              ": simulated makespan [s] vs number of partitions, theta=0.3");
+}
+
+}  // namespace
+}  // namespace rankjoin::bench
+
+int main() {
+  rankjoin::bench::RunFigure("DBLP", "a");
+  rankjoin::bench::RunFigure("DBLPx5", "b");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 13: CL-P when varying the number of partitions (theta = 0.3,
+// delta fixed), on DBLPx5. Expected shape: flat, with a slight dip
+// before the sweep's middle (the paper sees a small drop from 286 to
+// 486 partitions and uses 286 everywhere else).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace rankjoin;
+  using namespace rankjoin::bench;
+
+  Table table({"partitions", "CL-P", "pairs"});
+  for (int partitions : {286, 386, 486, 586, 686}) {
+    SimilarityJoinConfig config;
+    config.algorithm = Algorithm::kCLP;
+    config.theta = 0.3;
+    config.theta_c = 0.03;
+    config.delta = 600;  // the paper fixes delta = 10000 at its scale
+    config.num_partitions = partitions;
+    RunOptions options;
+    options.num_partitions = partitions;
+    options.simulate_workers = {kPaperExecutors};
+    RunOutcome outcome = RunOnce("DBLPx5", config, options);
+    table.AddRow({std::to_string(partitions),
+                  FormatMakespan(outcome, kPaperExecutors),
+                  std::to_string(outcome.pairs)});
+  }
+  table.Print(
+      "Figure 13 — DBLPx5: CL-P simulated makespan [s] vs number of "
+      "partitions, theta=0.3, delta=600");
+  return 0;
+}

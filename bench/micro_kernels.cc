@@ -1,0 +1,162 @@
+// Micro-benchmarks (google-benchmark) for the kernels on the join inner
+// loops: Footrule distance (plain, merge-join, bounded), prefix-size
+// math, Zipf sampling, reordering, and the per-group local joins.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "data/generator.h"
+#include "join/local_join.h"
+#include "ranking/footrule.h"
+#include "ranking/prefix.h"
+#include "ranking/reorder.h"
+
+namespace rankjoin {
+namespace {
+
+RankingDataset MakeData(int k, size_t n) {
+  GeneratorOptions options;
+  options.k = k;
+  options.num_rankings = n;
+  options.domain_size = static_cast<uint32_t>(k) * 30;
+  options.seed = 7;
+  return GenerateDataset(options);
+}
+
+void BM_FootruleDistancePlain(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  RankingDataset ds = MakeData(k, 256);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Ranking& a = ds.rankings[i % ds.size()];
+    const Ranking& b = ds.rankings[(i + 1) % ds.size()];
+    benchmark::DoNotOptimize(FootruleDistance(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_FootruleDistancePlain)->Arg(10)->Arg(25);
+
+void BM_FootruleDistanceMergeJoin(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  RankingDataset ds = MakeData(k, 256);
+  auto ordered = MakeOrderedDataset(ds.rankings, ItemOrder());
+  size_t i = 0;
+  for (auto _ : state) {
+    const OrderedRanking& a = ordered[i % ordered.size()];
+    const OrderedRanking& b = ordered[(i + 1) % ordered.size()];
+    benchmark::DoNotOptimize(FootruleDistance(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_FootruleDistanceMergeJoin)->Arg(10)->Arg(25);
+
+void BM_FootruleDistanceBounded(benchmark::State& state) {
+  const int k = 10;
+  RankingDataset ds = MakeData(k, 256);
+  auto ordered = MakeOrderedDataset(ds.rankings, ItemOrder());
+  const uint32_t bound = RawThreshold(0.01 * state.range(0), k);
+  size_t i = 0;
+  for (auto _ : state) {
+    const OrderedRanking& a = ordered[i % ordered.size()];
+    const OrderedRanking& b = ordered[(i + 1) % ordered.size()];
+    benchmark::DoNotOptimize(FootruleDistanceBounded(a, b, bound));
+    ++i;
+  }
+}
+BENCHMARK(BM_FootruleDistanceBounded)->Arg(10)->Arg(40);  // theta*100
+
+void BM_PrefixMath(benchmark::State& state) {
+  uint32_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OverlapPrefix(t % 109 + 1, 10));
+    benchmark::DoNotOptimize(OrderedPrefix(t % 49 + 1, 10));
+    ++t;
+  }
+}
+BENCHMARK(BM_PrefixMath);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(static_cast<uint64_t>(state.range(0)), 0.9);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000);
+
+void BM_MakeOrdered(benchmark::State& state) {
+  RankingDataset ds = MakeData(10, 512);
+  ItemOrder order =
+      ItemOrder::FromFrequencies(CountItemFrequencies(ds.rankings));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MakeOrdered(ds.rankings[i % ds.size()], order));
+    ++i;
+  }
+}
+BENCHMARK(BM_MakeOrdered);
+
+/// One posting-list group of the given size, shared key item 0.
+std::pair<std::vector<OrderedRanking>, std::vector<PrefixPosting>>
+MakeGroup(size_t n, int k) {
+  Rng rng(11);
+  std::vector<Ranking> rankings;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<ItemId> items{0};
+    while (static_cast<int>(items.size()) < k) {
+      ItemId candidate = static_cast<ItemId>(1 + rng.Uniform(60));
+      bool seen = false;
+      for (ItemId item : items) seen |= item == candidate;
+      if (!seen) items.push_back(candidate);
+    }
+    rng.Shuffle(items);
+    rankings.emplace_back(static_cast<RankingId>(i), items);
+  }
+  auto backing = MakeOrderedDataset(rankings, ItemOrder());
+  std::vector<PrefixPosting> group;
+  for (const OrderedRanking& r : backing) {
+    uint16_t key_rank = 0;
+    for (const ItemEntry& e : r.by_item) {
+      if (e.item == 0) key_rank = e.rank;
+    }
+    group.push_back(PrefixPosting{r.id, key_rank, false, &r});
+  }
+  return {std::move(backing), std::move(group)};
+}
+
+void BM_LocalNestedLoopJoin(benchmark::State& state) {
+  auto [backing, group] = MakeGroup(static_cast<size_t>(state.range(0)), 10);
+  LocalJoinOptions options;
+  options.raw_theta = RawThreshold(0.2, 10);
+  options.prefix_size = OverlapPrefix(options.raw_theta, 10);
+  for (auto _ : state) {
+    std::vector<ScoredPair> out;
+    JoinStats stats;
+    LocalNestedLoopJoin(group, options, &out, &stats);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LocalNestedLoopJoin)->Range(64, 1024)->Complexity();
+
+void BM_LocalPrefixJoin(benchmark::State& state) {
+  auto [backing, group] = MakeGroup(static_cast<size_t>(state.range(0)), 10);
+  LocalJoinOptions options;
+  options.raw_theta = RawThreshold(0.2, 10);
+  options.prefix_size = OverlapPrefix(options.raw_theta, 10);
+  for (auto _ : state) {
+    std::vector<ScoredPair> out;
+    JoinStats stats;
+    LocalPrefixJoin(group, options, &out, &stats);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LocalPrefixJoin)->Range(64, 1024)->Complexity();
+
+}  // namespace
+}  // namespace rankjoin
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// google-benchmark suite for the minispark dataflow primitives: shuffle
+// throughput, groupByKey, reduceByKey, join, distinct, and sortByKey.
+// These bound the constant factors behind every distributed pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "minispark/dataset.h"
+#include "minispark/extra_ops.h"
+
+namespace rankjoin::minispark {
+namespace {
+
+Context::Options BenchCluster() {
+  Context::Options options;
+  options.num_workers = 4;
+  options.default_partitions = 16;
+  return options;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> MakeKv(size_t n, uint32_t keys) {
+  Rng rng(7);
+  std::vector<std::pair<uint32_t, uint32_t>> data;
+  data.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.push_back({static_cast<uint32_t>(rng.Uniform(keys)),
+                    static_cast<uint32_t>(i)});
+  }
+  return data;
+}
+
+void BM_PartitionByKey(benchmark::State& state) {
+  Context ctx(BenchCluster());
+  auto data = MakeKv(static_cast<size_t>(state.range(0)), 1 << 16);
+  auto ds = Parallelize(&ctx, data, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionByKey(ds, 16));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PartitionByKey)->Arg(10000)->Arg(100000);
+
+void BM_GroupByKey(benchmark::State& state) {
+  Context ctx(BenchCluster());
+  auto data = MakeKv(static_cast<size_t>(state.range(0)), 1024);
+  auto ds = Parallelize(&ctx, data, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GroupByKey(ds, 16));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupByKey)->Arg(10000)->Arg(100000);
+
+void BM_ReduceByKey(benchmark::State& state) {
+  Context ctx(BenchCluster());
+  auto data = MakeKv(static_cast<size_t>(state.range(0)), 1024);
+  auto ds = Parallelize(&ctx, data, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ReduceByKey(ds, [](uint32_t a, uint32_t b) { return a + b; }, 16));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReduceByKey)->Arg(100000);
+
+void BM_Join(benchmark::State& state) {
+  Context ctx(BenchCluster());
+  auto left = Parallelize(
+      &ctx, MakeKv(static_cast<size_t>(state.range(0)), 4096), 16);
+  auto right = Parallelize(
+      &ctx, MakeKv(static_cast<size_t>(state.range(0)), 4096), 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Join(left, right, 16));
+  }
+}
+BENCHMARK(BM_Join)->Arg(10000);
+
+void BM_Distinct(benchmark::State& state) {
+  Context ctx(BenchCluster());
+  Rng rng(3);
+  std::vector<uint32_t> data;
+  for (int i = 0; i < state.range(0); ++i) {
+    data.push_back(static_cast<uint32_t>(rng.Uniform(1 << 12)));
+  }
+  auto ds = Parallelize(&ctx, data, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Distinct(ds, 16));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Distinct)->Arg(100000);
+
+void BM_SortByKey(benchmark::State& state) {
+  Context ctx(BenchCluster());
+  auto data = MakeKv(static_cast<size_t>(state.range(0)), 1 << 20);
+  auto ds = Parallelize(&ctx, data, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SortByKey(ds, 16));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortByKey)->Arg(100000);
+
+}  // namespace
+}  // namespace rankjoin::minispark
+
+BENCHMARK_MAIN();

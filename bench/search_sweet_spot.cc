@@ -1,0 +1,89 @@
+// Range-search "sweet spot" (prior work [18], whose machinery this
+// paper builds on): average per-query latency of a linear scan, the
+// inverted prefix index, and the coarse metric index across thresholds.
+// Expected shape: the prefix index dominates for small theta, degrades
+// as prefixes grow; the coarse index is flatter and overtakes for large
+// theta — the trade-off that motivates combining both worlds.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "ranking/footrule.h"
+#include "ranking/reorder.h"
+#include "search/range_search.h"
+
+int main() {
+  using namespace rankjoin;
+  using namespace rankjoin::bench;
+
+  const RankingDataset& data = GetDataset("DBLPx5");
+  auto prefix_index = PrefixRangeIndex::Build(data, 0.6);
+  auto coarse_index = CoarseRangeIndex::Build(data, 64);
+  if (!prefix_index.ok() || !coarse_index.ok()) {
+    std::fprintf(stderr, "index build failed\n");
+    return 1;
+  }
+
+  // Query workload: every 100th ranking.
+  std::vector<const Ranking*> queries;
+  for (size_t i = 0; i < data.size(); i += 100) {
+    queries.push_back(&data.rankings[i]);
+  }
+
+  Table table({"theta", "scan [us]", "prefix idx [us]", "coarse idx [us]",
+               "avg results"});
+  for (double theta : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
+    const uint32_t raw = RawThreshold(theta, data.k);
+
+    Stopwatch scan_watch;
+    size_t scan_results = 0;
+    {
+      // Linear scan baseline over the ordered representation.
+      ItemOrder identity;
+      auto ordered = MakeOrderedDataset(data.rankings, identity);
+      for (const Ranking* q : queries) {
+        OrderedRanking oq = MakeOrdered(*q, identity);
+        for (const OrderedRanking& r : ordered) {
+          if (r.id == q->id()) continue;
+          scan_results +=
+              FootruleDistanceBounded(oq, r, raw).has_value();
+        }
+      }
+    }
+    const double scan_us =
+        scan_watch.ElapsedSeconds() * 1e6 / queries.size();
+
+    Stopwatch prefix_watch;
+    size_t prefix_results = 0;
+    for (const Ranking* q : queries) {
+      prefix_results += prefix_index->Query(*q, theta)->size();
+    }
+    const double prefix_us =
+        prefix_watch.ElapsedSeconds() * 1e6 / queries.size();
+
+    Stopwatch coarse_watch;
+    size_t coarse_results = 0;
+    for (const Ranking* q : queries) {
+      coarse_results += coarse_index->Query(*q, theta)->size();
+    }
+    const double coarse_us =
+        coarse_watch.ElapsedSeconds() * 1e6 / queries.size();
+
+    CheckAgreement("search theta=" + std::to_string(theta),
+                   {scan_results, prefix_results, coarse_results});
+    char t[16], sc[32], pf[32], co[32];
+    std::snprintf(t, sizeof(t), "%.2f", theta);
+    std::snprintf(sc, sizeof(sc), "%.1f", scan_us);
+    std::snprintf(pf, sizeof(pf), "%.1f", prefix_us);
+    std::snprintf(co, sizeof(co), "%.1f", coarse_us);
+    table.AddRow({t, sc, pf, co,
+                  std::to_string(prefix_results / queries.size())});
+  }
+  table.Print(
+      "Range search (prior work [18] substrate) — per-query latency on "
+      "DBLPx5, 64-pivot coarse index");
+  return 0;
+}

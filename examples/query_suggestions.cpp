@@ -1,0 +1,138 @@
+// Search-engine query suggestion (paper Section 1): two queries are
+// related when their top-10 result lists are similar. This example
+// synthesizes a query log where queries are variations of a set of
+// "intents" (same results, slightly reshuffled), joins the result
+// rankings, and derives suggestion groups as connected components of the
+// similarity graph.
+
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/similarity_join.h"
+#include "data/generator.h"
+#include "minispark/dataset.h"
+
+namespace {
+
+using namespace rankjoin;
+
+/// Union-find over query ids for forming suggestion groups.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Merge(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+int main() {
+  constexpr int kK = 10;            // top-10 result lists
+  constexpr int kIntents = 120;     // distinct information needs
+  constexpr int kQueries = 900;     // logged queries (variations)
+  constexpr uint32_t kDocs = 30000; // document id universe
+
+  Rng rng(77);
+  ZipfSampler doc_popularity(kDocs, 0.6);
+
+  // One canonical result ranking per intent.
+  std::vector<Ranking> intents;
+  for (int i = 0; i < kIntents; ++i) {
+    std::vector<ItemId> docs;
+    while (static_cast<int>(docs.size()) < kK) {
+      ItemId doc = static_cast<ItemId>(doc_popularity.Sample(rng) - 1);
+      bool seen = false;
+      for (ItemId d : docs) seen |= d == doc;
+      if (!seen) docs.push_back(doc);
+    }
+    intents.emplace_back(static_cast<RankingId>(i), docs);
+  }
+
+  // Each logged query picks an intent and perturbs its result list a
+  // little (ranking jitter between query formulations).
+  RankingDataset queries;
+  queries.k = kK;
+  std::vector<int> intent_of(kQueries);
+  for (int q = 0; q < kQueries; ++q) {
+    const int intent = static_cast<int>(rng.Uniform(kIntents));
+    intent_of[q] = intent;
+    const int jitter = static_cast<int>(rng.UniformInt(0, 2));
+    queries.rankings.push_back(PerturbRanking(
+        intents[static_cast<size_t>(intent)], static_cast<RankingId>(q),
+        kDocs, jitter, rng));
+  }
+
+  minispark::Context ctx({.num_workers = 4, .default_partitions = 16});
+  SimilarityJoinConfig config;
+  config.algorithm = Algorithm::kCL;  // heavy near-duplicate structure
+  config.theta = 0.2;
+  config.theta_c = 0.03;
+  auto result = RunSimilarityJoin(&ctx, queries, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "join failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  UnionFind groups(kQueries);
+  for (const ResultPair& p : result->pairs) groups.Merge(p.first, p.second);
+
+  // Report group quality: fraction of merged pairs that share an intent.
+  size_t same_intent = 0;
+  for (const ResultPair& p : result->pairs) {
+    same_intent += intent_of[p.first] == intent_of[p.second];
+  }
+  std::vector<int> group_size(kQueries, 0);
+  for (int q = 0; q < kQueries; ++q) ++group_size[groups.Find(q)];
+  int num_groups = 0;
+  int largest = 0;
+  for (int size : group_size) {
+    num_groups += size > 0;
+    largest = std::max(largest, size);
+  }
+
+  std::printf("query log: %d queries over %d intents\n", kQueries, kIntents);
+  std::printf("similar result-list pairs: %zu (%.1f%% intra-intent)\n",
+              result->pairs.size(),
+              result->pairs.empty()
+                  ? 0.0
+                  : 100.0 * same_intent / result->pairs.size());
+  std::printf("suggestion groups: %d (largest holds %d queries)\n",
+              num_groups, largest);
+  std::printf("clusters formed by CL: %llu, singletons: %llu\n",
+              static_cast<unsigned long long>(result->stats.clusters),
+              static_cast<unsigned long long>(result->stats.singletons));
+
+  // Show one non-trivial suggestion group.
+  for (int root = 0; root < kQueries; ++root) {
+    if (group_size[root] >= 3) {
+      std::printf("\nexample group (intent %d):", intent_of[root]);
+      int shown = 0;
+      for (int q = 0; q < kQueries && shown < 6; ++q) {
+        if (static_cast<int>(groups.Find(q)) == root) {
+          std::printf(" q%d", q);
+          ++shown;
+        }
+      }
+      std::printf("\n");
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Command-line join driver: runs any of the algorithms over a text
+// dataset file and writes the result pairs.
+//
+//   rankjoin_cli --input data.txt --k 10 --theta 0.3
+//                [--algorithm vj|vj-nl|cl|cl-p|brute-force]
+//                [--theta-c 0.03] [--delta 500] [--partitions 64]
+//                [--workers 4] [--output pairs.txt] [--stats]
+//
+// Input format: one ranking per line, "id: i0 i1 ... ik-1" (see
+// data/io.h). Output: "id1 id2" lines sorted by pair.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/similarity_join.h"
+#include "data/io.h"
+#include "minispark/dataset.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --input FILE --k K --theta T [options]\n"
+      "  --algorithm NAME   vj | vj-nl | cl | cl-p | brute-force "
+      "(default cl-p)\n"
+      "  --theta-c T        clustering threshold (default 0.03)\n"
+      "  --delta N          CL-P partitioning threshold (default 500)\n"
+      "  --partitions N     shuffle partitions (default 64)\n"
+      "  --workers N        worker threads (default 4)\n"
+      "  --output FILE      write result pairs (default: count only)\n"
+      "  --stats            print work statistics\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rankjoin;
+
+  std::string input;
+  std::string output;
+  std::string algorithm = "cl-p";
+  int k = 0;
+  double theta = -1;
+  double theta_c = 0.03;
+  uint64_t delta = 500;
+  int partitions = 64;
+  int workers = 4;
+  bool print_stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--input")) {
+      input = next("--input");
+    } else if (!std::strcmp(argv[i], "--output")) {
+      output = next("--output");
+    } else if (!std::strcmp(argv[i], "--algorithm")) {
+      algorithm = next("--algorithm");
+    } else if (!std::strcmp(argv[i], "--k")) {
+      k = std::atoi(next("--k"));
+    } else if (!std::strcmp(argv[i], "--theta")) {
+      theta = std::atof(next("--theta"));
+    } else if (!std::strcmp(argv[i], "--theta-c")) {
+      theta_c = std::atof(next("--theta-c"));
+    } else if (!std::strcmp(argv[i], "--delta")) {
+      delta = std::strtoull(next("--delta"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--partitions")) {
+      partitions = std::atoi(next("--partitions"));
+    } else if (!std::strcmp(argv[i], "--workers")) {
+      workers = std::atoi(next("--workers"));
+    } else if (!std::strcmp(argv[i], "--stats")) {
+      print_stats = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (input.empty() || k <= 0 || theta < 0) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  auto parsed = ParseAlgorithm(algorithm);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 2;
+  }
+  auto dataset = ReadRankings(input, k);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  minispark::Context ctx(
+      {.num_workers = workers, .default_partitions = partitions});
+  SimilarityJoinConfig config;
+  config.algorithm = *parsed;
+  config.theta = theta;
+  config.theta_c = theta_c;
+  config.delta = delta;
+  auto result = RunSimilarityJoin(&ctx, *dataset, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%zu rankings, theta = %.3f, %s -> %zu similar pairs in %.3fs\n",
+              dataset->size(), theta, AlgorithmName(*parsed),
+              result->pairs.size(), result->stats.total_seconds);
+  if (print_stats) {
+    std::printf("%s\n", result->stats.ToString().c_str());
+  }
+  if (!output.empty()) {
+    if (Status s = WriteResultPairs(output, result->pairs); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("pairs written to %s\n", output.c_str());
+  }
+  return 0;
+}

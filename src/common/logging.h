@@ -1,0 +1,73 @@
+#ifndef RANKJOIN_COMMON_LOGGING_H_
+#define RANKJOIN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rankjoin {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted; defaults to kWarning so that
+/// library internals stay quiet in tests and benchmarks unless asked.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits the accumulated message on destruction.
+/// Use through the RANKJOIN_LOG macro rather than directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Aborts the process after emitting the message; used by RANKJOIN_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define RANKJOIN_LOG(level)                                              \
+  if (::rankjoin::LogLevel::k##level < ::rankjoin::GetLogLevel()) {      \
+  } else                                                                 \
+    ::rankjoin::internal::LogMessage(::rankjoin::LogLevel::k##level,     \
+                                     __FILE__, __LINE__)                 \
+        .stream()
+
+/// Internal invariant check: always on (benchmark code paths avoid it in
+/// per-pair inner loops). Aborts with a message when the condition fails.
+#define RANKJOIN_CHECK(condition)                                          \
+  if (condition) {                                                         \
+  } else                                                                   \
+    ::rankjoin::internal::FatalLogMessage(__FILE__, __LINE__, #condition)  \
+        .stream()
+
+#define RANKJOIN_DCHECK(condition) RANKJOIN_CHECK(condition)
+
+}  // namespace rankjoin
+
+#endif  // RANKJOIN_COMMON_LOGGING_H_

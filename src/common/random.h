@@ -1,0 +1,79 @@
+#ifndef RANKJOIN_COMMON_RANDOM_H_
+#define RANKJOIN_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rankjoin {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**).
+///
+/// All data generation in the repository goes through this class so that
+/// datasets, tests, and benchmarks are reproducible across runs and
+/// platforms (std::mt19937 distributions are not portable across
+/// standard-library implementations).
+class Rng {
+ public:
+  /// Seeds the four 64-bit state words from `seed` via splitmix64.
+  explicit Rng(uint64_t seed = 42);
+
+  /// Returns the next 64 random bits.
+  uint64_t Next();
+
+  /// Returns a uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffles `values` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (size_t i = values.size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Samples ranks from a Zipf distribution over {1, ..., n} with skew
+/// parameter `s` (probability of rank r proportional to r^-s).
+///
+/// Uses an inverted-CDF table, so construction is O(n) and each sample is
+/// O(log n). This matches the item-popularity model the paper assumes for
+/// real-world datasets (Section 6, Eq. 4).
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1; `s` >= 0 (s = 0 degenerates to uniform).
+  ZipfSampler(uint64_t n, double s);
+
+  /// Returns a rank in [1, n].
+  uint64_t Sample(Rng& rng) const;
+
+  /// Returns the probability mass of rank `r` (1-based).
+  double Probability(uint64_t r) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  double harmonic_;           // generalized harmonic number H_{n,s}
+  std::vector<double> cdf_;   // cdf_[r-1] = P(rank <= r)
+};
+
+}  // namespace rankjoin
+
+#endif  // RANKJOIN_COMMON_RANDOM_H_

@@ -1,0 +1,139 @@
+#ifndef RANKJOIN_COMMON_STATUS_H_
+#define RANKJOIN_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rankjoin {
+
+/// Error categories used across the library. Kept deliberately small;
+/// the message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value, modeled after the Status types
+/// used by Arrow and RocksDB. The library does not throw exceptions for
+/// anticipated failures (bad configuration, malformed input files);
+/// functions that can fail return a Status or Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Holds either a value of type T or an error Status. Accessing the value
+/// of an errored Result aborts the process (programming error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or a non-OK Status keeps call
+  /// sites terse: `return value;` / `return Status::IoError(...)`.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const;
+
+  std::variant<T, Status> payload_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::CheckOk() const {
+  if (!ok()) internal::DieOnBadResult(std::get<Status>(payload_));
+}
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define RANKJOIN_RETURN_NOT_OK(expr)                  \
+  do {                                                \
+    ::rankjoin::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                        \
+  } while (false)
+
+/// Evaluates a Result<T> expression, propagating an error Status and
+/// otherwise assigning the value to `lhs`.
+#define RANKJOIN_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto RANKJOIN_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!RANKJOIN_CONCAT_(_res_, __LINE__).ok())        \
+    return RANKJOIN_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(RANKJOIN_CONCAT_(_res_, __LINE__)).value()
+
+#define RANKJOIN_CONCAT_INNER_(a, b) a##b
+#define RANKJOIN_CONCAT_(a, b) RANKJOIN_CONCAT_INNER_(a, b)
+
+}  // namespace rankjoin
+
+#endif  // RANKJOIN_COMMON_STATUS_H_

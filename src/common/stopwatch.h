@@ -1,0 +1,37 @@
+#ifndef RANKJOIN_COMMON_STOPWATCH_H_
+#define RANKJOIN_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace rankjoin {
+
+/// Monotonic wall-clock stopwatch used by the dataflow engine's task
+/// metrics and by the benchmark harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in whole microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rankjoin
+
+#endif  // RANKJOIN_COMMON_STOPWATCH_H_

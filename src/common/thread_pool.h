@@ -1,0 +1,53 @@
+#ifndef RANKJOIN_COMMON_THREAD_POOL_H_
+#define RANKJOIN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rankjoin {
+
+/// A fixed-size worker pool executing closures FIFO.
+///
+/// This is the physical execution backend of minispark: one pool per
+/// Context, each dataflow task is one closure. The pool is intentionally
+/// simple — no work stealing, no priorities — because tasks are
+/// partition-granular and long-running.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding work and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace rankjoin
+
+#endif  // RANKJOIN_COMMON_THREAD_POOL_H_

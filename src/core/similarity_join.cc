@@ -1,0 +1,59 @@
+#include "core/similarity_join.h"
+
+#include "join/brute_force.h"
+#include "join/cluster_join.h"
+#include "join/vj.h"
+#include "join/vj_nl.h"
+#include "join/vsmart.h"
+
+namespace rankjoin {
+
+Result<JoinResult> RunSimilarityJoin(minispark::Context* ctx,
+                                     const RankingDataset& dataset,
+                                     const SimilarityJoinConfig& config) {
+  RANKJOIN_RETURN_NOT_OK(config.Validate(dataset.k));
+
+  switch (config.algorithm) {
+    case Algorithm::kBruteForce:
+      return BruteForceJoin(dataset, config.theta);
+
+    case Algorithm::kVJ:
+    case Algorithm::kVJNL: {
+      VjOptions options;
+      options.theta = config.theta;
+      options.num_partitions = config.num_partitions;
+      options.position_filter = config.position_filter;
+      options.reorder_by_frequency = config.reorder_by_frequency;
+      options.local_algorithm = config.algorithm == Algorithm::kVJ
+                                    ? LocalAlgorithm::kPrefixIndex
+                                    : LocalAlgorithm::kNestedLoop;
+      return RunVjJoin(ctx, dataset, options);
+    }
+
+    case Algorithm::kCL:
+    case Algorithm::kCLP: {
+      ClOptions options;
+      options.theta = config.theta;
+      options.theta_c = config.theta_c;
+      options.num_partitions = config.num_partitions;
+      options.position_filter = config.position_filter;
+      options.reorder_by_frequency = config.reorder_by_frequency;
+      options.singleton_optimization = config.singleton_optimization;
+      options.triangle_upper_shortcut = config.triangle_upper_shortcut;
+      options.resolve_overlaps = config.resolve_overlaps;
+      options.repartition_delta =
+          config.algorithm == Algorithm::kCLP ? config.delta : 0;
+      return RunClusterJoin(ctx, dataset, options);
+    }
+
+    case Algorithm::kVSmart: {
+      VSmartOptions options;
+      options.theta = config.theta;
+      options.num_partitions = config.num_partitions;
+      return RunVSmartJoin(ctx, dataset, options);
+    }
+  }
+  return Status::Internal("unhandled algorithm");
+}
+
+}  // namespace rankjoin

@@ -1,0 +1,34 @@
+#ifndef RANKJOIN_CORE_SIMILARITY_JOIN_H_
+#define RANKJOIN_CORE_SIMILARITY_JOIN_H_
+
+#include "common/status.h"
+#include "core/config.h"
+#include "join/stats.h"
+#include "minispark/context.h"
+#include "ranking/ranking.h"
+
+namespace rankjoin {
+
+/// Facade over the similarity-join algorithms: validates the
+/// configuration and dispatches to the selected pipeline.
+///
+/// Typical use:
+///
+///   minispark::Context ctx({.num_workers = 4, .default_partitions = 16});
+///   SimilarityJoinConfig config;
+///   config.algorithm = Algorithm::kCLP;
+///   config.theta = 0.3;
+///   config.delta = 2000;
+///   auto result = RunSimilarityJoin(&ctx, dataset, config);
+///   if (!result.ok()) { ... }
+///   for (const ResultPair& p : result->pairs) { ... }
+///
+/// The result pairs are unordered, each qualifying pair appearing
+/// exactly once with the smaller ranking id first.
+Result<JoinResult> RunSimilarityJoin(minispark::Context* ctx,
+                                     const RankingDataset& dataset,
+                                     const SimilarityJoinConfig& config);
+
+}  // namespace rankjoin
+
+#endif  // RANKJOIN_CORE_SIMILARITY_JOIN_H_

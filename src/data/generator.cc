@@ -1,0 +1,125 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace rankjoin {
+namespace {
+
+/// Samples one ranking of k distinct items with Zipf-distributed item
+/// popularity. Item id = Zipf rank - 1, so low ids are the frequent
+/// items (matching Eq. 4's f(i; s, v) frequency-by-rank model).
+Ranking SampleRanking(RankingId id, int k, const ZipfSampler& zipf,
+                      Rng& rng) {
+  std::vector<ItemId> items;
+  items.reserve(static_cast<size_t>(k));
+  std::unordered_set<ItemId> seen;
+  while (static_cast<int>(items.size()) < k) {
+    const ItemId item = static_cast<ItemId>(zipf.Sample(rng) - 1);
+    if (seen.insert(item).second) items.push_back(item);
+  }
+  return Ranking(id, std::move(items));
+}
+
+}  // namespace
+
+Ranking PerturbRanking(const Ranking& base, RankingId new_id,
+                       uint32_t domain_size, int ops, Rng& rng) {
+  std::vector<ItemId> items = base.items();
+  const int k = static_cast<int>(items.size());
+  for (int op = 0; op < ops; ++op) {
+    if (k >= 2 && rng.Bernoulli(0.5)) {
+      // Swap two adjacent ranks: raw-distance change of exactly 2.
+      const size_t r = rng.Uniform(static_cast<uint64_t>(k - 1));
+      std::swap(items[r], items[r + 1]);
+    } else {
+      // Replace the item at a random rank with a fresh domain item.
+      const size_t r = rng.Uniform(static_cast<uint64_t>(k));
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const ItemId candidate =
+            static_cast<ItemId>(rng.Uniform(domain_size));
+        bool present = false;
+        for (ItemId existing : items) {
+          if (existing == candidate) {
+            present = true;
+            break;
+          }
+        }
+        if (!present) {
+          items[r] = candidate;
+          break;
+        }
+      }
+    }
+  }
+  return Ranking(new_id, std::move(items));
+}
+
+RankingDataset GenerateDataset(const GeneratorOptions& options) {
+  RANKJOIN_CHECK(options.k >= 1);
+  RANKJOIN_CHECK(options.domain_size >= static_cast<uint32_t>(options.k));
+  Rng rng(options.seed);
+  ZipfSampler zipf(options.domain_size, options.zipf_skew);
+
+  RankingDataset dataset;
+  dataset.k = options.k;
+  dataset.rankings.reserve(options.num_rankings);
+  for (size_t i = 0; i < options.num_rankings; ++i) {
+    const RankingId id = static_cast<RankingId>(i);
+    if (!dataset.rankings.empty() &&
+        rng.Bernoulli(options.exact_duplicate_rate)) {
+      const size_t source = rng.Uniform(dataset.rankings.size());
+      dataset.rankings.push_back(
+          Ranking(id, dataset.rankings[source].items()));
+    } else if (!dataset.rankings.empty() &&
+               rng.Bernoulli(options.near_duplicate_rate)) {
+      const size_t source = rng.Uniform(dataset.rankings.size());
+      const int ops = static_cast<int>(
+          rng.UniformInt(1, std::max(1, options.max_perturbations)));
+      dataset.rankings.push_back(PerturbRanking(
+          dataset.rankings[source], id, options.domain_size, ops, rng));
+    } else {
+      dataset.rankings.push_back(SampleRanking(id, options.k, zipf, rng));
+    }
+  }
+  return dataset;
+}
+
+GeneratorOptions DblpLikeOptions() {
+  GeneratorOptions options;
+  options.k = 10;
+  options.num_rankings = 4000;
+  options.domain_size = 2000;
+  options.zipf_skew = 1.05;  // DBLP token frequencies are near-Zipf(1)
+  options.near_duplicate_rate = 0.15;
+  options.exact_duplicate_rate = 0.02;
+  options.max_perturbations = 2;
+  options.seed = 20200330;  // EDBT 2020 opening day
+  return options;
+}
+
+GeneratorOptions OrkuLikeOptions() {
+  GeneratorOptions options;
+  options.k = 10;
+  options.num_rankings = 6000;
+  options.domain_size = 6000;
+  options.zipf_skew = 0.95;
+  options.near_duplicate_rate = 0.15;
+  options.exact_duplicate_rate = 0.02;
+  options.max_perturbations = 2;
+  options.seed = 20200401;
+  return options;
+}
+
+GeneratorOptions OrkuLikeK25Options() {
+  GeneratorOptions options = OrkuLikeOptions();
+  options.k = 25;
+  options.num_rankings = 4500;  // paper: 1.5M of ORKU's 2M records reach k=25
+  options.seed = 20200402;
+  return options;
+}
+
+}  // namespace rankjoin

@@ -1,0 +1,70 @@
+#ifndef RANKJOIN_DATA_GENERATOR_H_
+#define RANKJOIN_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ranking/ranking.h"
+
+namespace rankjoin {
+
+/// Parameters of the synthetic top-k workload generator.
+///
+/// The generator substitutes for the DBLP / ORKU benchmark datasets used
+/// by the paper (see DESIGN.md). It reproduces the two dataset
+/// properties the evaluation depends on:
+///   1. skewed item popularity (Zipf), which drives prefix-filtering
+///      cost, posting-list skew and the repartitioning benefit; and
+///   2. planted near-duplicate records, which drive cluster formation in
+///      the CL algorithm (real DBLP/ORKU records contain near-identical
+///      entries, which is what makes theta_c-clustering pay off).
+struct GeneratorOptions {
+  /// Ranking length.
+  int k = 10;
+  /// Number of rankings to generate.
+  size_t num_rankings = 1000;
+  /// Item universe size (paper: vocabulary of tokens).
+  uint32_t domain_size = 2000;
+  /// Zipf skew of item popularity; 0 = uniform. DBLP-like token
+  /// frequencies are well modeled around 0.8-1.0.
+  double zipf_skew = 0.9;
+  /// Fraction of rankings generated as perturbed copies of an earlier
+  /// ranking (the near-duplicate population).
+  double near_duplicate_rate = 0.15;
+  /// Fraction of rankings generated as EXACT copies of an earlier
+  /// ranking. The paper notes (Section 7) that cutting set records to
+  /// their first k tokens leaves records at distance 0 in DBLP/ORKU;
+  /// this models that truncation artifact.
+  double exact_duplicate_rate = 0.0;
+  /// Maximum number of perturbation operations applied to a copy; each
+  /// operation is an adjacent-rank swap or a single item replacement.
+  int max_perturbations = 2;
+  /// RNG seed; the generator is fully deterministic given the options.
+  uint64_t seed = 42;
+};
+
+/// Generates a dataset according to `options`. Ranking ids are dense,
+/// 0-based, and in generation order.
+RankingDataset GenerateDataset(const GeneratorOptions& options);
+
+/// DBLP-like defaults at reproduction scale: top-10 rankings over a
+/// modest, strongly skewed token vocabulary (see DESIGN.md for the
+/// scale-down rationale).
+GeneratorOptions DblpLikeOptions();
+
+/// ORKU-like defaults: larger and with a bigger vocabulary, like the
+/// Orkut social-network dataset relative to DBLP.
+GeneratorOptions OrkuLikeOptions();
+
+/// ORKU-like defaults with k = 25 (paper Fig. 11).
+GeneratorOptions OrkuLikeK25Options();
+
+/// Applies `ops` random perturbations (adjacent swaps / item
+/// replacements from the domain) to a copy of `base`, assigning `new_id`.
+/// Exposed for the dataset-scaling implementation and tests.
+Ranking PerturbRanking(const Ranking& base, RankingId new_id,
+                       uint32_t domain_size, int ops, class Rng& rng);
+
+}  // namespace rankjoin
+
+#endif  // RANKJOIN_DATA_GENERATOR_H_

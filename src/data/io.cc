@@ -1,0 +1,114 @@
+#include "data/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+namespace rankjoin {
+
+Result<RankingDataset> ReadRankings(const std::string& path, int k) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  RankingDataset dataset;
+  dataset.k = k;
+  std::string line;
+  size_t line_number = 0;
+  RankingId next_id = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+
+    RankingId id = next_id;
+    std::string items_part = line;
+    const size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      try {
+        id = static_cast<RankingId>(std::stoul(line.substr(0, colon)));
+      } catch (...) {
+        return Status::IoError(path + ":" + std::to_string(line_number) +
+                               ": malformed id before ':'");
+      }
+      items_part = line.substr(colon + 1);
+    }
+
+    std::istringstream tokens(items_part);
+    std::vector<ItemId> items;
+    long long value = 0;
+    while (tokens >> value) {
+      if (value < 0) {
+        return Status::IoError(path + ":" + std::to_string(line_number) +
+                               ": negative item id");
+      }
+      items.push_back(static_cast<ItemId>(value));
+    }
+    if (static_cast<int>(items.size()) != k) {
+      return Status::IoError(path + ":" + std::to_string(line_number) +
+                             ": expected " + std::to_string(k) +
+                             " items, found " + std::to_string(items.size()));
+    }
+    Ranking ranking(id, std::move(items));
+    if (!ranking.IsValid()) {
+      return Status::IoError(path + ":" + std::to_string(line_number) +
+                             ": duplicate item in ranking");
+    }
+    dataset.rankings.push_back(std::move(ranking));
+    next_id = std::max(next_id, id) + 1;
+  }
+  return dataset;
+}
+
+Status WriteRankings(const std::string& path, const RankingDataset& dataset) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (const Ranking& r : dataset.rankings) {
+    out << r.id() << ':';
+    for (ItemId item : r.items()) out << ' ' << item;
+    out << '\n';
+  }
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+RankingDataset PreprocessSets(const std::vector<std::vector<ItemId>>& records,
+                              int k) {
+  RankingDataset dataset;
+  dataset.k = k;
+  std::unordered_set<std::string> seen_records;
+  RankingId next_id = 0;
+  for (const auto& record : records) {
+    // Duplicate-record removal operates on the full record, as in [10].
+    std::string fingerprint;
+    fingerprint.reserve(record.size() * sizeof(ItemId));
+    for (ItemId item : record) {
+      fingerprint.append(reinterpret_cast<const char*>(&item), sizeof(item));
+    }
+    if (!seen_records.insert(fingerprint).second) continue;
+
+    // Cut to the first k distinct tokens.
+    std::vector<ItemId> items;
+    std::unordered_set<ItemId> present;
+    for (ItemId item : record) {
+      if (static_cast<int>(items.size()) == k) break;
+      if (present.insert(item).second) items.push_back(item);
+    }
+    if (static_cast<int>(items.size()) < k) continue;
+    dataset.rankings.emplace_back(next_id++, std::move(items));
+  }
+  return dataset;
+}
+
+Status WriteResultPairs(
+    const std::string& path,
+    const std::vector<std::pair<RankingId, RankingId>>& pairs) {
+  std::vector<std::pair<RankingId, RankingId>> sorted = pairs;
+  std::sort(sorted.begin(), sorted.end());
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (const auto& [a, b] : sorted) out << a << ' ' << b << '\n';
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace rankjoin

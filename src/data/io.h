@@ -1,0 +1,43 @@
+#ifndef RANKJOIN_DATA_IO_H_
+#define RANKJOIN_DATA_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ranking/ranking.h"
+
+namespace rankjoin {
+
+/// Text format: one ranking per line, items as whitespace-separated
+/// integers, top item first. An optional "id:" prefix fixes the ranking
+/// id; otherwise ids are assigned by line number. Lines that are empty
+/// or start with '#' are skipped.
+///
+///   0: 2 5 4 3 1
+///   1: 1 4 5 9 0
+///
+/// This mirrors how the paper reads the DBLP/ORKU set files as text.
+
+/// Reads a dataset; every ranking must have exactly `k` distinct items.
+Result<RankingDataset> ReadRankings(const std::string& path, int k);
+
+/// Writes a dataset in the same format.
+Status WriteRankings(const std::string& path, const RankingDataset& dataset);
+
+/// Preprocesses raw set records into top-k rankings the way the paper
+/// prepares DBLP/ORKU (Section 7): duplicate records are removed, each
+/// record is cut to its first k distinct tokens, and records with fewer
+/// than k tokens are dropped. Ids are assigned densely in input order.
+RankingDataset PreprocessSets(const std::vector<std::vector<ItemId>>& records,
+                              int k);
+
+/// Writes the final join result as "id1 id2" lines, sorted by
+/// (id1, id2), for external diffing.
+Status WriteResultPairs(
+    const std::string& path,
+    const std::vector<std::pair<RankingId, RankingId>>& pairs);
+
+}  // namespace rankjoin
+
+#endif  // RANKJOIN_DATA_IO_H_

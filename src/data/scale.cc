@@ -1,0 +1,47 @@
+#include "data/scale.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "data/generator.h"
+
+namespace rankjoin {
+
+RankingDataset ScaleDataset(const RankingDataset& dataset, int factor,
+                            uint32_t domain_size, int perturbation_ops,
+                            uint64_t seed, double swap_copy_rate) {
+  RANKJOIN_CHECK(factor >= 1);
+  if (factor == 1) return dataset;
+
+  RankingDataset out;
+  out.k = dataset.k;
+  out.rankings.reserve(dataset.rankings.size() * static_cast<size_t>(factor));
+  out.rankings = dataset.rankings;
+
+  Rng rng(seed);
+  RankingId next_id = 0;
+  for (const Ranking& r : dataset.rankings) {
+    next_id = std::max(next_id, r.id() + 1);
+  }
+  for (int copy = 1; copy < factor; ++copy) {
+    for (const Ranking& r : dataset.rankings) {
+      if (dataset.k >= 2 && rng.Bernoulli(swap_copy_rate)) {
+        // Near-duplicate copy: one adjacent-rank swap (raw distance 2).
+        std::vector<ItemId> items = r.items();
+        const size_t pos = rng.Uniform(items.size() - 1);
+        std::swap(items[pos], items[pos + 1]);
+        out.rankings.emplace_back(next_id++, std::move(items));
+      } else {
+        const int ops = static_cast<int>(
+            rng.UniformInt(1, std::max(1, perturbation_ops)));
+        out.rankings.push_back(
+            PerturbRanking(r, next_id++, domain_size, ops, rng));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rankjoin

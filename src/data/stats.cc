@@ -1,0 +1,69 @@
+#include "data/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "ranking/reorder.h"
+
+namespace rankjoin {
+
+std::string DatasetStats::ToString() const {
+  std::ostringstream os;
+  os << num_rankings << " rankings, k=" << k << ", " << distinct_items
+     << " distinct items, max item frequency " << max_item_frequency
+     << ", mean " << mean_item_frequency << ", fitted Zipf s=" << zipf_skew;
+  return os.str();
+}
+
+DatasetStats ComputeDatasetStats(const RankingDataset& dataset) {
+  DatasetStats stats;
+  stats.num_rankings = dataset.size();
+  stats.k = dataset.k;
+
+  auto freq_map = CountItemFrequencies(dataset.rankings);
+  stats.distinct_items = freq_map.size();
+  std::vector<uint32_t> frequencies;
+  frequencies.reserve(freq_map.size());
+  uint64_t total = 0;
+  for (const auto& [item, count] : freq_map) {
+    frequencies.push_back(count);
+    stats.max_item_frequency = std::max(stats.max_item_frequency, count);
+    total += count;
+  }
+  if (!frequencies.empty()) {
+    stats.mean_item_frequency =
+        static_cast<double>(total) / static_cast<double>(frequencies.size());
+  }
+  stats.zipf_skew = EstimateZipfSkew(std::move(frequencies));
+  return stats;
+}
+
+double EstimateZipfSkew(std::vector<uint32_t> frequencies) {
+  std::sort(frequencies.begin(), frequencies.end(),
+            std::greater<uint32_t>());
+  // Least squares of log f_r = c - s * log r over positive frequencies.
+  double sum_x = 0;
+  double sum_y = 0;
+  double sum_xx = 0;
+  double sum_xy = 0;
+  size_t n = 0;
+  for (size_t r = 0; r < frequencies.size(); ++r) {
+    if (frequencies[r] == 0) break;
+    const double x = std::log(static_cast<double>(r + 1));
+    const double y = std::log(static_cast<double>(frequencies[r]));
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double denom = static_cast<double>(n) * sum_xx - sum_x * sum_x;
+  if (denom <= 0) return 0.0;
+  const double slope =
+      (static_cast<double>(n) * sum_xy - sum_x * sum_y) / denom;
+  return std::max(0.0, -slope);
+}
+
+}  // namespace rankjoin

@@ -1,0 +1,44 @@
+#ifndef RANKJOIN_DATA_STATS_H_
+#define RANKJOIN_DATA_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ranking/ranking.h"
+
+namespace rankjoin {
+
+/// Summary statistics of a ranking dataset — the inputs the paper's
+/// Section 6 guidance needs for choosing the partitioning threshold
+/// ("statistics like the number of records in the dataset, and the size
+/// of the vocabulary, or item domain, can be used").
+struct DatasetStats {
+  size_t num_rankings = 0;
+  int k = 0;
+  /// Number of distinct items occurring in the dataset (the vocabulary
+  /// v' of Eq. 4).
+  size_t distinct_items = 0;
+  /// Occurrences of the most frequent item.
+  uint32_t max_item_frequency = 0;
+  /// Mean occurrences per distinct item.
+  double mean_item_frequency = 0;
+  /// Zipf skew fitted to the frequency-rank curve (log-log least
+  /// squares); the `s` parameter of Eq. 4.
+  double zipf_skew = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes the summary for a dataset.
+DatasetStats ComputeDatasetStats(const RankingDataset& dataset);
+
+/// Fits the Zipf skew parameter to item frequencies via least squares
+/// on log(frequency) vs log(popularity rank). `frequencies` need not be
+/// sorted; zero entries are ignored. Returns 0 for fewer than two
+/// distinct positive frequencies.
+double EstimateZipfSkew(std::vector<uint32_t> frequencies);
+
+}  // namespace rankjoin
+
+#endif  // RANKJOIN_DATA_STATS_H_

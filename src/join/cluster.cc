@@ -1,0 +1,295 @@
+#include "join/cluster.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "join/local_join.h"
+#include "join/repartition.h"
+#include "minispark/dataset.h"
+#include "ranking/footrule.h"
+#include "ranking/prefix.h"
+
+namespace rankjoin {
+namespace {
+
+/// Pair threshold under Lemma 5.3, selected by the singleton flags.
+struct MixedThresholds {
+  uint32_t mm = 0;  // both non-singleton: theta + 2*theta_c
+  uint32_t ms = 0;  // mixed: theta + theta_c
+  uint32_t ss = 0;  // both singleton: theta
+
+  uint32_t For(const PrefixPosting& a, const PrefixPosting& b) const {
+    if (a.singleton && b.singleton) return ss;
+    if (a.singleton || b.singleton) return ms;
+    return mm;
+  }
+};
+
+/// Nested-loop kernel with per-pair thresholds (Algorithm 1's
+/// compute_sim): candidates share the group's key item; the position
+/// filter and the verification bound use the pair's own threshold.
+void MixedNestedLoop(const std::vector<PrefixPosting>& group,
+                     const MixedThresholds& thresholds, bool position_filter,
+                     std::vector<ScoredPair>* out, JoinStats* stats) {
+  const size_t n = group.size();
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const PrefixPosting& a = group[i];
+    for (size_t j = i + 1; j < n; ++j) {
+      const PrefixPosting& b = group[j];
+      if (a.id == b.id) continue;
+      const uint32_t theta = thresholds.For(a, b);
+      ++stats->candidates;
+      if (position_filter &&
+          !PositionFilterPasses(a.key_rank, b.key_rank, theta)) {
+        ++stats->position_filtered;
+        continue;
+      }
+      if (auto d = VerifyPair(*a.ranking, *b.ranking, theta, stats)) {
+        out->push_back({MakeResultPair(a.id, b.id), *d});
+      }
+    }
+  }
+}
+
+/// R-S variant of MixedNestedLoop for repartitioned posting lists.
+void MixedNestedLoopRS(const std::vector<PrefixPosting>& left,
+                       const std::vector<PrefixPosting>& right,
+                       const MixedThresholds& thresholds,
+                       bool position_filter, std::vector<ScoredPair>* out,
+                       JoinStats* stats) {
+  for (const PrefixPosting& a : left) {
+    for (const PrefixPosting& b : right) {
+      if (a.id == b.id) continue;
+      const uint32_t theta = thresholds.For(a, b);
+      ++stats->candidates;
+      if (position_filter &&
+          !PositionFilterPasses(a.key_rank, b.key_rank, theta)) {
+        ++stats->position_filtered;
+        continue;
+      }
+      if (auto d = VerifyPair(*a.ranking, *b.ranking, theta, stats)) {
+        out->push_back({MakeResultPair(a.id, b.id), *d});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Clustering RunClusteringPhase(minispark::Context* ctx,
+                              const std::vector<const OrderedRanking*>& all,
+                              const internal::SelfJoinSpec& spec,
+                              JoinStats* stats) {
+  Clustering clustering;
+  std::vector<ScoredPair> scored =
+      internal::DistributedSelfJoin(ctx, all, spec, stats);
+
+  // Cluster formation (Fig. 3): the smaller id of each qualifying pair
+  // is the centroid, the larger one its member.
+  clustering.pairs.reserve(scored.size());
+  std::unordered_set<RankingId> centroid_ids;
+  std::unordered_set<RankingId> in_any_pair;
+  for (const ScoredPair& sp : scored) {
+    const RankingId centroid = sp.first.first;
+    const RankingId member = sp.first.second;
+    clustering.pairs.push_back(ClusterPair{centroid, member, sp.second});
+    centroid_ids.insert(centroid);
+    in_any_pair.insert(centroid);
+    in_any_pair.insert(member);
+  }
+  clustering.centroids.assign(centroid_ids.begin(), centroid_ids.end());
+  std::sort(clustering.centroids.begin(), clustering.centroids.end());
+
+  // Singletons: rankings with no theta_c-similar partner at all.
+  for (const OrderedRanking* r : all) {
+    if (in_any_pair.find(r->id) == in_any_pair.end()) {
+      clustering.singletons.push_back(r->id);
+    }
+  }
+
+  stats->clusters = clustering.centroids.size();
+  stats->singletons = clustering.singletons.size();
+  stats->cluster_members = clustering.pairs.size();
+  return clustering;
+}
+
+Clustering RunRandomCentroidClustering(
+    minispark::Context* ctx, const std::vector<const OrderedRanking*>& all,
+    int num_centroids, uint32_t raw_theta_c, uint64_t seed,
+    JoinStats* stats) {
+  Clustering clustering;
+  if (all.empty()) return clustering;
+
+  // Pick centroids uniformly at random (without replacement).
+  Rng rng(seed);
+  std::vector<uint32_t> positions(all.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    positions[i] = static_cast<uint32_t>(i);
+  }
+  rng.Shuffle(positions);
+  const size_t centroid_count =
+      std::min(static_cast<size_t>(std::max(1, num_centroids)), all.size());
+  std::vector<const OrderedRanking*> centroid_rankings;
+  centroid_rankings.reserve(centroid_count);
+  for (size_t i = 0; i < centroid_count; ++i) {
+    centroid_rankings.push_back(all[positions[i]]);
+    clustering.centroids.push_back(all[positions[i]]->id);
+  }
+  std::sort(clustering.centroids.begin(), clustering.centroids.end());
+
+  // Assign every non-centroid to its closest centroid within theta_c —
+  // the [27]-style assignment, broadcast + map over the dataset.
+  minispark::Broadcast<std::vector<const OrderedRanking*>> centroids_bc =
+      ctx->MakeBroadcast(std::move(centroid_rankings));
+  minispark::Dataset<const OrderedRanking*> rankings =
+      minispark::Parallelize(ctx, all, ctx->default_partitions());
+  std::vector<JoinStats> slots(
+      static_cast<size_t>(rankings.num_partitions()));
+  auto assignments = rankings.MapPartitionsWithIndex(
+      [centroids_bc, raw_theta_c, &slots](
+          int index, const std::vector<const OrderedRanking*>& part) {
+        JoinStats& local = slots[static_cast<size_t>(index)];
+        // (centroid id, member id, distance); centroid id == member id
+        // encodes "no centroid in range".
+        std::vector<ClusterPair> out;
+        for (const OrderedRanking* r : part) {
+          ClusterPair assignment{r->id, r->id, 0};
+          uint32_t best = raw_theta_c + 1;
+          for (const OrderedRanking* centroid : *centroids_bc) {
+            if (centroid->id == r->id) {
+              // A centroid represents itself.
+              assignment = ClusterPair{r->id, r->id, 0};
+              best = 0;
+              break;
+            }
+            ++local.candidates;
+            if (auto d = VerifyPair(*r, *centroid,
+                                    best == raw_theta_c + 1 ? raw_theta_c
+                                                            : best - 1,
+                                    &local)) {
+              assignment = ClusterPair{centroid->id, r->id, *d};
+              best = *d;
+              if (best == 0) break;
+            }
+          }
+          out.push_back(assignment);
+        }
+        return out;
+      },
+      "randomClustering/assign");
+  for (const JoinStats& s : slots) stats->MergeCounters(s);
+
+  std::unordered_set<RankingId> centroid_ids(clustering.centroids.begin(),
+                                             clustering.centroids.end());
+  for (const ClusterPair& assignment : assignments.Collect()) {
+    if (centroid_ids.count(assignment.member) > 0) continue;  // centroid
+    if (assignment.centroid == assignment.member) {
+      // No centroid within theta_c: de-facto singleton (the random
+      // strategy's weakness — this ranking may well have close
+      // neighbors that simply were not drawn as centroids).
+      clustering.singletons.push_back(assignment.member);
+    } else {
+      clustering.pairs.push_back(assignment);
+    }
+  }
+
+  stats->clusters = clustering.centroids.size();
+  stats->singletons = clustering.singletons.size();
+  stats->cluster_members = clustering.pairs.size();
+  return clustering;
+}
+
+std::vector<CentroidPair> RunCentroidJoin(
+    minispark::Context* ctx, const RankingTable& table,
+    const std::vector<RankingId>& centroids,
+    const std::vector<RankingId>& singletons, const CentroidJoinSpec& spec,
+    JoinStats* stats) {
+  MixedThresholds thresholds;
+  thresholds.mm = spec.raw_theta + 2 * spec.raw_theta_c;
+  if (spec.singleton_optimization) {
+    thresholds.ms = spec.raw_theta + spec.raw_theta_c;
+    thresholds.ss = spec.raw_theta;
+  } else {
+    // Plain Lemma 5.1: one enlarged threshold for every centroid pair.
+    thresholds.ms = thresholds.mm;
+    thresholds.ss = thresholds.mm;
+  }
+
+  const int prefix_m = OverlapPrefix(thresholds.mm, spec.k);
+  // Completeness requires the singleton prefix to cover the (m, s) pair
+  // threshold (see cluster.h); with the optimization off all prefixes
+  // are the same.
+  const int prefix_s =
+      spec.singleton_optimization ? OverlapPrefix(thresholds.ms, spec.k)
+                                  : prefix_m;
+
+  // Emit prefix postings for both centroid classes, tagged with their
+  // type, then group by item (Algorithm 1's transform_and_emit).
+  struct Tagged {
+    RankingId id;
+    bool singleton;
+  };
+  std::vector<Tagged> tagged;
+  tagged.reserve(centroids.size() + singletons.size());
+  for (RankingId id : centroids) tagged.push_back({id, false});
+  for (RankingId id : singletons) tagged.push_back({id, true});
+
+  minispark::Dataset<Tagged> centroid_ds =
+      minispark::Parallelize(ctx, std::move(tagged), spec.num_partitions);
+  const RankingTable* table_ptr = &table;
+  auto postings = centroid_ds.FlatMap(
+      [table_ptr, prefix_m, prefix_s](const Tagged& t) {
+        const OrderedRanking& r = table_ptr->Get(t.id);
+        const size_t p = static_cast<size_t>(
+            std::min<int>(t.singleton ? prefix_s : prefix_m,
+                          static_cast<int>(r.canonical.size())));
+        std::vector<std::pair<ItemId, PrefixPosting>> out;
+        out.reserve(p);
+        for (size_t i = 0; i < p; ++i) {
+          const ItemEntry& e = r.canonical[i];
+          out.push_back(
+              {e.item, PrefixPosting{r.id, e.rank, t.singleton, &r}});
+        }
+        return out;
+      },
+      "centroidJoin/prefix");
+  minispark::Dataset<PostingGroup> groups = minispark::GroupByKey(
+      postings, spec.num_partitions, "centroidJoin/groupByItem");
+
+  const bool position_filter = spec.position_filter;
+  LocalJoinFn local_join = [thresholds, position_filter](
+                               const std::vector<PrefixPosting>& group,
+                               std::vector<ScoredPair>* out, JoinStats* s) {
+    MixedNestedLoop(group, thresholds, position_filter, out, s);
+  };
+  LocalRsJoinFn rs_join = [thresholds, position_filter](
+                              const std::vector<PrefixPosting>& left,
+                              const std::vector<PrefixPosting>& right,
+                              std::vector<ScoredPair>* out, JoinStats* s) {
+    MixedNestedLoopRS(left, right, thresholds, position_filter, out, s);
+  };
+
+  minispark::Dataset<ScoredPair> raw_pairs = JoinGroupsWithRepartitioning(
+      groups, spec.repartition_delta, spec.num_partitions, local_join,
+      rs_join, stats);
+  minispark::Dataset<ScoredPair> unique = minispark::Distinct(
+      raw_pairs, spec.num_partitions, "centroidJoin/distinct");
+
+  std::unordered_set<RankingId> singleton_set(singletons.begin(),
+                                              singletons.end());
+  std::vector<CentroidPair> result;
+  for (const ScoredPair& sp : unique.Collect()) {
+    CentroidPair cp;
+    cp.ci = sp.first.first;
+    cp.cj = sp.first.second;
+    cp.distance = sp.second;
+    cp.ci_singleton = singleton_set.count(cp.ci) > 0;
+    cp.cj_singleton = singleton_set.count(cp.cj) > 0;
+    result.push_back(cp);
+  }
+  return result;
+}
+
+}  // namespace rankjoin

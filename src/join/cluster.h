@@ -1,0 +1,108 @@
+#ifndef RANKJOIN_JOIN_CLUSTER_H_
+#define RANKJOIN_JOIN_CLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "join/stats.h"
+#include "join/verify.h"
+#include "join/vj.h"
+#include "minispark/context.h"
+#include "ranking/ranking.h"
+
+namespace rankjoin {
+
+/// One clustering-phase result tuple: `member` belongs to the cluster
+/// represented by `centroid` (the smaller id of the qualifying pair),
+/// at the given raw Footrule distance <= raw_theta_c.
+struct ClusterPair {
+  RankingId centroid = 0;
+  RankingId member = 0;
+  uint32_t distance = 0;
+};
+
+/// Output of the clustering phase (paper Section 5.1). Clusters may
+/// overlap; a ranking can be a member of several clusters and a centroid
+/// of its own at the same time.
+struct Clustering {
+  /// All (centroid, member, distance) tuples.
+  std::vector<ClusterPair> pairs;
+  /// Distinct centroids of clusters with >= 2 elements (the set C_m).
+  std::vector<RankingId> centroids;
+  /// Rankings that appear in no theta_c pair at all (the set C_s of
+  /// singleton-cluster representatives).
+  std::vector<RankingId> singletons;
+};
+
+/// Runs the clustering phase: a distributed self-join of the whole
+/// dataset with the clustering threshold (spec.raw_theta = raw theta_c),
+/// followed by cluster formation (smaller id of each pair becomes the
+/// centroid). Join work counters accumulate into `stats`.
+Clustering RunClusteringPhase(minispark::Context* ctx,
+                              const std::vector<const OrderedRanking*>& all,
+                              const internal::SelfJoinSpec& spec,
+                              JoinStats* stats);
+
+/// The alternative clustering the paper argues against (Section 5.1,
+/// following [22, 27]): `num_centroids` rankings are picked at random as
+/// centroids up front, every other ranking joins its closest centroid if
+/// that distance is within raw_theta_c, and everything else becomes a
+/// singleton. Radius stays bounded by theta_c, so the joining and
+/// expansion phases work unchanged. The paper predicts (and the
+/// ablation bench confirms) the drawbacks: the centroid count must be
+/// guessed, and with a small theta_c most random centroids attract no
+/// members, leaving many de-facto singletons.
+Clustering RunRandomCentroidClustering(
+    minispark::Context* ctx, const std::vector<const OrderedRanking*>& all,
+    int num_centroids, uint32_t raw_theta_c, uint64_t seed,
+    JoinStats* stats);
+
+/// One joining-phase result: a qualifying centroid pair with its
+/// distance and the singleton markers needed by the expansion.
+struct CentroidPair {
+  RankingId ci = 0;  // smaller id
+  RankingId cj = 0;
+  uint32_t distance = 0;
+  bool ci_singleton = false;
+  bool cj_singleton = false;
+};
+
+/// Configuration of the joining phase over centroids.
+struct CentroidJoinSpec {
+  /// Raw join threshold (theta).
+  uint32_t raw_theta = 0;
+  /// Raw clustering threshold (theta_c).
+  uint32_t raw_theta_c = 0;
+  int k = 0;
+  int num_partitions = 1;
+  bool position_filter = true;
+  /// Lemma 5.3: join singleton centroids with the tighter thresholds.
+  /// When false, every centroid is treated as non-singleton and the full
+  /// theta + 2*theta_c threshold applies to all pairs (plain Lemma 5.1).
+  bool singleton_optimization = true;
+  /// Algorithm-3 partitioning threshold; 0 disables.
+  uint64_t repartition_delta = 0;
+};
+
+/// Joining phase (paper Section 5.2, Algorithm 1): joins the centroid
+/// set C = C_m (prefix for theta + 2*theta_c) union C_s (shorter
+/// prefix), generating pairs under the per-type thresholds of Lemma 5.3:
+///
+///   (m, m): d <= theta + 2*theta_c
+///   (m, s): d <= theta + theta_c
+///   (s, s): d <= theta
+///
+/// Deviation from the paper's Algorithm 1 (documented in DESIGN.md): the
+/// singleton prefix is derived from theta + theta_c instead of theta.
+/// Prefix filtering only guarantees a shared prefix token when BOTH
+/// prefixes cover the pair's threshold; with get_prefix(theta) an (m, s)
+/// pair at distance in (theta, theta + theta_c] can be missed.
+std::vector<CentroidPair> RunCentroidJoin(
+    minispark::Context* ctx, const RankingTable& table,
+    const std::vector<RankingId>& centroids,
+    const std::vector<RankingId>& singletons, const CentroidJoinSpec& spec,
+    JoinStats* stats);
+
+}  // namespace rankjoin
+
+#endif  // RANKJOIN_JOIN_CLUSTER_H_

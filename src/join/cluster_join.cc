@@ -1,0 +1,396 @@
+#include "join/cluster_join.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "join/cluster.h"
+#include "join/verify.h"
+#include "minispark/dataset.h"
+#include "ranking/footrule.h"
+
+namespace rankjoin {
+namespace internal {
+
+Status ValidateClOptions(const ClOptions& options, int k) {
+  if (k < 1) return Status::InvalidArgument("dataset k must be >= 1");
+  if (options.theta < 0.0 || options.theta >= 1.0) {
+    return Status::InvalidArgument("theta must be in [0, 1)");
+  }
+  if (options.theta_c < 0.0) {
+    return Status::InvalidArgument("theta_c must be >= 0");
+  }
+  if (options.theta_c > options.theta) {
+    return Status::InvalidArgument(
+        "theta_c must not exceed theta: cluster members are results "
+        "themselves, so a larger clustering threshold would emit "
+        "non-qualifying pairs");
+  }
+  const uint32_t enlarged = RawThreshold(options.theta, k) +
+                            2 * RawThreshold(options.theta_c, k);
+  if (enlarged >= MaxFootrule(k)) {
+    return Status::InvalidArgument(
+        "theta + 2*theta_c reaches the disjoint-pair distance; prefix "
+        "filtering in the joining phase would be incomplete");
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
+
+namespace {
+
+/// (member id, raw distance to its centroid) — the value type of the
+/// cluster dataset keyed by centroid.
+using MemberRec = std::pair<RankingId, uint32_t>;
+
+/// Shared context for the expansion kernels.
+struct ExpansionContext {
+  const RankingTable* table = nullptr;
+  uint32_t raw_theta = 0;
+  bool upper_shortcut = true;
+};
+
+/// Processes one (candidate pair, known-distance bounds) according to
+/// the metric filters of Section 5.3: prune when the triangle lower
+/// bound exceeds theta, emit unverified when the upper bound already
+/// qualifies, verify otherwise.
+void EmitWithTriangleBounds(const ExpansionContext& ectx, RankingId a,
+                            RankingId b, int64_t lower_bound,
+                            int64_t upper_bound,
+                            std::vector<ResultPair>* out, JoinStats* stats) {
+  if (a == b) return;
+  if (lower_bound > static_cast<int64_t>(ectx.raw_theta)) {
+    ++stats->triangle_filtered;
+    return;
+  }
+  if (ectx.upper_shortcut &&
+      upper_bound <= static_cast<int64_t>(ectx.raw_theta)) {
+    ++stats->emitted_unverified;
+    out->push_back(MakeResultPair(a, b));
+    return;
+  }
+  if (VerifyPair(ectx.table->Get(a), ectx.table->Get(b), ectx.raw_theta,
+                 stats)
+          .has_value()) {
+    out->push_back(MakeResultPair(a, b));
+  }
+}
+
+/// Merges the per-partition stat slots into the accumulator.
+void MergeSlots(const std::vector<JoinStats>& slots, JoinStats* stats) {
+  for (const JoinStats& s : slots) stats->MergeCounters(s);
+}
+
+/// Keeps only each member's closest cluster pair (ties by smaller
+/// centroid id). Centroid/singleton classifications are left untouched:
+/// a centroid whose cluster empties stays a (conservatively thresholded)
+/// non-singleton centroid in the joining phase, which preserves
+/// completeness. Direct (centroid, member) results dropped here are
+/// recovered through the joining phase — the member's retained centroid
+/// is within 2*theta_c of the dropped one, so their centroid pair is in
+/// R_j and the member-centroid candidate reappears in the expansion.
+void ResolveOverlaps(Clustering* clustering) {
+  std::unordered_map<RankingId, size_t> best;
+  best.reserve(clustering->pairs.size());
+  for (size_t idx = 0; idx < clustering->pairs.size(); ++idx) {
+    const ClusterPair& cp = clustering->pairs[idx];
+    auto [it, inserted] = best.try_emplace(cp.member, idx);
+    if (inserted) continue;
+    const ClusterPair& incumbent = clustering->pairs[it->second];
+    if (cp.distance < incumbent.distance ||
+        (cp.distance == incumbent.distance &&
+         cp.centroid < incumbent.centroid)) {
+      it->second = idx;
+    }
+  }
+  std::vector<ClusterPair> kept;
+  kept.reserve(best.size());
+  for (size_t idx = 0; idx < clustering->pairs.size(); ++idx) {
+    auto it = best.find(clustering->pairs[idx].member);
+    if (it != best.end() && it->second == idx) {
+      kept.push_back(clustering->pairs[idx]);
+    }
+  }
+  clustering->pairs = std::move(kept);
+}
+
+/// Expansion phase (paper Section 5.3 / Algorithm 2): combines the
+/// joining-phase centroid pairs R_j with the clustering-phase tuples R_c
+/// to produce the final result set.
+std::vector<ResultPair> RunExpansion(minispark::Context* ctx,
+                                     const RankingTable& table,
+                                     const Clustering& clustering,
+                                     const std::vector<CentroidPair>& rj,
+                                     uint32_t raw_theta, int num_partitions,
+                                     bool upper_shortcut, JoinStats* stats) {
+  ExpansionContext ectx{&table, raw_theta, upper_shortcut};
+
+  // R_c keyed by centroid.
+  std::vector<std::pair<RankingId, MemberRec>> cluster_kv;
+  cluster_kv.reserve(clustering.pairs.size());
+  for (const ClusterPair& cp : clustering.pairs) {
+    cluster_kv.push_back({cp.centroid, {cp.member, cp.distance}});
+  }
+  minispark::Dataset<std::pair<RankingId, MemberRec>> clusters =
+      minispark::Parallelize(ctx, std::move(cluster_kv), num_partitions);
+
+  minispark::Dataset<CentroidPair> rj_ds =
+      minispark::Parallelize(ctx, rj, num_partitions);
+
+  // Direct results: R_s (both singleton, emitted as-is — their join
+  // threshold was theta) plus every centroid pair within theta.
+  minispark::Dataset<ResultPair> direct = rj_ds.FlatMap(
+      [raw_theta](const CentroidPair& cp) {
+        std::vector<ResultPair> out;
+        if (cp.distance <= raw_theta) {
+          out.push_back(MakeResultPair(cp.ci, cp.cj));
+        }
+        return out;
+      },
+      "expand/direct");
+
+  // Intra-cluster results: (centroid, member) pairs qualify outright
+  // (distance <= theta_c <= theta); member-member pairs are within
+  // 2*theta_c by the triangle inequality and are emitted unverified when
+  // the known distance sum already proves qualification.
+  minispark::Dataset<std::pair<RankingId, std::vector<MemberRec>>>
+      grouped_clusters = minispark::GroupByKey(clusters, num_partitions,
+                                               "expand/groupClusters");
+  std::vector<JoinStats> intra_slots(
+      static_cast<size_t>(grouped_clusters.num_partitions()));
+  minispark::Dataset<ResultPair> intra =
+      grouped_clusters.MapPartitionsWithIndex(
+          [ectx, &intra_slots](
+              int index,
+              const std::vector<std::pair<RankingId, std::vector<MemberRec>>>&
+                  part) {
+            std::vector<ResultPair> out;
+            JoinStats& local = intra_slots[static_cast<size_t>(index)];
+            for (const auto& [centroid, members] : part) {
+              for (const MemberRec& m : members) {
+                out.push_back(MakeResultPair(centroid, m.first));
+              }
+              for (size_t i = 0; i + 1 < members.size(); ++i) {
+                for (size_t j = i + 1; j < members.size(); ++j) {
+                  const int64_t sum =
+                      static_cast<int64_t>(members[i].second) +
+                      members[j].second;
+                  EmitWithTriangleBounds(ectx, members[i].first,
+                                         members[j].first, /*lower_bound=*/0,
+                                         sum, &out, &local);
+                }
+              }
+            }
+            return out;
+          },
+          "expand/intraCluster");
+  MergeSlots(intra_slots, stats);
+
+  // R_m: centroid pairs with at least one non-singleton side need to be
+  // joined with the clusters (Algorithm 2 lines 3-8).
+  minispark::Dataset<CentroidPair> rm = rj_ds.Filter(
+      [](const CentroidPair& cp) {
+        return !(cp.ci_singleton && cp.cj_singleton);
+      },
+      "expand/filterRm");
+
+  minispark::Dataset<std::pair<RankingId, CentroidPair>> rm_by_ci = rm.Map(
+      [](const CentroidPair& cp) {
+        return std::pair<RankingId, CentroidPair>(cp.ci, cp);
+      },
+      "expand/keyByCi");
+  minispark::Dataset<std::pair<RankingId, CentroidPair>> rm_by_cj = rm.Map(
+      [](const CentroidPair& cp) {
+        return std::pair<RankingId, CentroidPair>(cp.cj, cp);
+      },
+      "expand/keyByCj");
+
+  // Members of ci against cj (R_m,c, first direction).
+  auto j1 = minispark::Join(rm_by_ci, clusters, num_partitions,
+                            "expand/joinMembersCi");
+  std::vector<JoinStats> j1_slots(static_cast<size_t>(j1.num_partitions()));
+  minispark::Dataset<ResultPair> rm_c1 = j1.MapPartitionsWithIndex(
+      [ectx, &j1_slots](
+          int index,
+          const std::vector<
+              std::pair<RankingId, std::pair<CentroidPair, MemberRec>>>&
+              part) {
+        std::vector<ResultPair> out;
+        JoinStats& local = j1_slots[static_cast<size_t>(index)];
+        for (const auto& [ci, rec] : part) {
+          const CentroidPair& cp = rec.first;
+          const MemberRec& m = rec.second;
+          const int64_t dij = cp.distance;
+          const int64_t dmi = m.second;
+          EmitWithTriangleBounds(ectx, m.first, cp.cj,
+                                 std::abs(dij - dmi), dij + dmi, &out,
+                                 &local);
+        }
+        return out;
+      },
+      "expand/membersCi");
+  MergeSlots(j1_slots, stats);
+
+  // Members of cj against ci (R_m,c, second direction — the "switched
+  // centroids" join of Example 5.4).
+  auto j2 = minispark::Join(rm_by_cj, clusters, num_partitions,
+                            "expand/joinMembersCj");
+  std::vector<JoinStats> j2_slots(static_cast<size_t>(j2.num_partitions()));
+  minispark::Dataset<ResultPair> rm_c2 = j2.MapPartitionsWithIndex(
+      [ectx, &j2_slots](
+          int index,
+          const std::vector<
+              std::pair<RankingId, std::pair<CentroidPair, MemberRec>>>&
+              part) {
+        std::vector<ResultPair> out;
+        JoinStats& local = j2_slots[static_cast<size_t>(index)];
+        for (const auto& [cj, rec] : part) {
+          const CentroidPair& cp = rec.first;
+          const MemberRec& m = rec.second;
+          const int64_t dij = cp.distance;
+          const int64_t dmj = m.second;
+          EmitWithTriangleBounds(ectx, m.first, cp.ci,
+                                 std::abs(dij - dmj), dij + dmj, &out,
+                                 &local);
+        }
+        return out;
+      },
+      "expand/membersCj");
+  MergeSlots(j2_slots, stats);
+
+  // Members of ci against members of cj (R_m,m): re-key the first join
+  // by the second centroid and join with the clusters again.
+  minispark::Dataset<std::pair<RankingId, std::pair<CentroidPair, MemberRec>>>
+      j1_by_cj = j1.Map(
+          [](const std::pair<RankingId,
+                             std::pair<CentroidPair, MemberRec>>& rec) {
+            return std::pair<RankingId, std::pair<CentroidPair, MemberRec>>(
+                rec.second.first.cj, rec.second);
+          },
+          "expand/rekeyByCj");
+  auto jmm = minispark::Join(j1_by_cj, clusters, num_partitions,
+                             "expand/joinMembersBoth");
+  std::vector<JoinStats> jmm_slots(
+      static_cast<size_t>(jmm.num_partitions()));
+  minispark::Dataset<ResultPair> rm_m = jmm.MapPartitionsWithIndex(
+      [ectx, &jmm_slots](
+          int index,
+          const std::vector<std::pair<
+              RankingId, std::pair<std::pair<CentroidPair, MemberRec>,
+                                   MemberRec>>>& part) {
+        std::vector<ResultPair> out;
+        JoinStats& local = jmm_slots[static_cast<size_t>(index)];
+        for (const auto& [cj, rec] : part) {
+          const CentroidPair& cp = rec.first.first;
+          const MemberRec& mi = rec.first.second;  // member of ci
+          const MemberRec& mj = rec.second;        // member of cj
+          const int64_t dij = cp.distance;
+          const int64_t lower = dij - static_cast<int64_t>(mi.second) -
+                                static_cast<int64_t>(mj.second);
+          const int64_t upper = dij + static_cast<int64_t>(mi.second) +
+                                static_cast<int64_t>(mj.second);
+          EmitWithTriangleBounds(ectx, mi.first, mj.first, lower, upper,
+                                 &out, &local);
+        }
+        return out;
+      },
+      "expand/membersBoth");
+  MergeSlots(jmm_slots, stats);
+
+  // Union everything and remove duplicates (Algorithm 2 line 9).
+  minispark::Dataset<ResultPair> all = minispark::Union(
+      minispark::Union(minispark::Union(direct, intra, "expand/u1"),
+                       minispark::Union(rm_c1, rm_c2, "expand/u2"),
+                       "expand/u3"),
+      rm_m, "expand/u4");
+  return minispark::Distinct(all, num_partitions, "expand/distinct")
+      .Collect();
+}
+
+}  // namespace
+
+Result<JoinResult> RunClusterJoin(minispark::Context* ctx,
+                                  const RankingDataset& dataset,
+                                  const ClOptions& options) {
+  RANKJOIN_RETURN_NOT_OK(internal::ValidateClOptions(options, dataset.k));
+  RANKJOIN_RETURN_NOT_OK(dataset.Validate());
+  const int num_partitions = options.num_partitions > 0
+                                 ? options.num_partitions
+                                 : ctx->default_partitions();
+  const uint32_t raw_theta = RawThreshold(options.theta, dataset.k);
+  const uint32_t raw_theta_c = RawThreshold(options.theta_c, dataset.k);
+
+  Stopwatch total;
+  JoinResult result;
+
+  // Phase 1: Ordering (once, reused by both joins — Section 5).
+  Stopwatch phase;
+  std::vector<OrderedRanking> ordered = internal::OrderDataset(
+      ctx, dataset, options.reorder_by_frequency, num_partitions);
+  RankingTable table(ordered);
+  std::vector<const OrderedRanking*> all;
+  all.reserve(ordered.size());
+  for (const OrderedRanking& r : ordered) all.push_back(&r);
+  result.stats.ordering_seconds = phase.ElapsedSeconds();
+
+  // Phase 2: Clustering with theta_c.
+  phase.Reset();
+  internal::SelfJoinSpec cluster_spec;
+  cluster_spec.raw_theta = raw_theta_c;
+  cluster_spec.k = dataset.k;
+  cluster_spec.num_partitions = num_partitions;
+  cluster_spec.position_filter = options.position_filter;
+  cluster_spec.prefix_mode = PrefixMode::kOverlap;
+  cluster_spec.local_algorithm = options.clustering_algorithm;
+  Clustering clustering;
+  if (options.clustering_strategy == ClusteringStrategy::kJoinBased) {
+    clustering = RunClusteringPhase(ctx, all, cluster_spec, &result.stats);
+  } else {
+    const int centroids =
+        options.random_centroids > 0
+            ? options.random_centroids
+            : std::max(1, static_cast<int>(all.size() / 10));
+    clustering = RunRandomCentroidClustering(ctx, all, centroids,
+                                             raw_theta_c,
+                                             options.random_centroid_seed,
+                                             &result.stats);
+  }
+  result.stats.clustering_seconds = phase.ElapsedSeconds();
+
+  // Phase 3: Joining the centroids (Algorithm 1).
+  phase.Reset();
+  CentroidJoinSpec join_spec;
+  join_spec.raw_theta = raw_theta;
+  join_spec.raw_theta_c = raw_theta_c;
+  join_spec.k = dataset.k;
+  join_spec.num_partitions = num_partitions;
+  join_spec.position_filter = options.position_filter;
+  join_spec.singleton_optimization = options.singleton_optimization;
+  join_spec.repartition_delta = options.repartition_delta;
+  std::vector<CentroidPair> rj =
+      RunCentroidJoin(ctx, table, clustering.centroids, clustering.singletons,
+                      join_spec, &result.stats);
+  result.stats.joining_seconds = phase.ElapsedSeconds();
+
+  // Phase 4: Expansion (Algorithm 2).
+  phase.Reset();
+  if (options.resolve_overlaps) {
+    ResolveOverlaps(&clustering);
+    result.stats.cluster_members = clustering.pairs.size();
+  }
+  result.pairs = RunExpansion(ctx, table, clustering, rj, raw_theta,
+                              num_partitions, options.triangle_upper_shortcut,
+                              &result.stats);
+  result.stats.expansion_seconds = phase.ElapsedSeconds();
+
+  result.stats.result_pairs = result.pairs.size();
+  result.stats.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace rankjoin

@@ -1,0 +1,64 @@
+#include "join/estimate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace rankjoin {
+
+double EstimatePostingListLength(size_t n, double s, size_t v_prime) {
+  RANKJOIN_CHECK(v_prime >= 1);
+  // Generalized harmonic number H_{v',s} normalizes the frequencies.
+  double harmonic = 0.0;
+  for (size_t i = 1; i <= v_prime; ++i) {
+    harmonic += std::pow(static_cast<double>(i), -s);
+  }
+  double sum = 0.0;
+  for (size_t i = 1; i <= v_prime; ++i) {
+    const double f = std::pow(static_cast<double>(i), -s) / harmonic;
+    sum += static_cast<double>(n) * f * f;
+  }
+  return sum;
+}
+
+std::vector<size_t> MeasurePostingListLengths(
+    const std::vector<OrderedRanking>& rankings, int prefix_size) {
+  std::unordered_map<ItemId, size_t> lengths;
+  for (const OrderedRanking& r : rankings) {
+    const size_t p = std::min(static_cast<size_t>(prefix_size),
+                              r.canonical.size());
+    for (size_t i = 0; i < p; ++i) ++lengths[r.canonical[i].item];
+  }
+  std::vector<size_t> out;
+  out.reserve(lengths.size());
+  for (const auto& [item, len] : lengths) out.push_back(len);
+  std::sort(out.begin(), out.end(), std::greater<size_t>());
+  return out;
+}
+
+uint64_t SuggestDelta(size_t n, double s, size_t v_prime, double headroom) {
+  const double expected = EstimatePostingListLength(n, s, v_prime);
+  const double delta = std::max(1.0, expected * headroom);
+  return static_cast<uint64_t>(std::llround(delta));
+}
+
+uint64_t SuggestDeltaMeasured(const std::vector<OrderedRanking>& rankings,
+                              int prefix_size, double headroom) {
+  const std::vector<size_t> lengths =
+      MeasurePostingListLengths(rankings, prefix_size);
+  double sum = 0;
+  double sum_sq = 0;
+  for (size_t len : lengths) {
+    sum += static_cast<double>(len);
+    sum_sq += static_cast<double>(len) * static_cast<double>(len);
+  }
+  // Length-weighted expected list length: what a random prefix token
+  // hits, the same statistic Eq. 4 models.
+  const double expected = sum > 0 ? sum_sq / sum : 1.0;
+  return static_cast<uint64_t>(
+      std::llround(std::max(1.0, expected * headroom)));
+}
+
+}  // namespace rankjoin

@@ -1,0 +1,179 @@
+#include "join/rs_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "join/local_join.h"
+#include "join/verify.h"
+#include "minispark/dataset.h"
+#include "ranking/footrule.h"
+#include "ranking/prefix.h"
+#include "ranking/reorder.h"
+
+namespace rankjoin {
+namespace {
+
+/// A posting tagged with its side (false = R, true = S).
+struct SidedPosting {
+  bool from_s = false;
+  PrefixPosting posting;
+};
+
+/// R x S kernel over one posting group: every cross-side pair that
+/// survives the key-item position filter is verified.
+void RsGroupJoin(const std::vector<SidedPosting>& group, uint32_t raw_theta,
+                 bool position_filter, std::vector<ScoredPair>* out,
+                 JoinStats* stats) {
+  for (const SidedPosting& a : group) {
+    if (a.from_s) continue;
+    for (const SidedPosting& b : group) {
+      if (!b.from_s) continue;
+      ++stats->candidates;
+      if (position_filter &&
+          !PositionFilterPasses(a.posting.key_rank, b.posting.key_rank,
+                                raw_theta)) {
+        ++stats->position_filtered;
+        continue;
+      }
+      if (auto d = VerifyPair(*a.posting.ranking, *b.posting.ranking,
+                              raw_theta, stats)) {
+        // (r_id, s_id) — deliberately NOT normalized by id.
+        out->push_back({{a.posting.id, b.posting.id}, *d});
+      }
+    }
+  }
+}
+
+Status ValidateRs(const RankingDataset& r, const RankingDataset& s,
+                  const RsJoinOptions& options) {
+  if (r.k != s.k) {
+    return Status::InvalidArgument("R and S must share the same k");
+  }
+  if (r.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (options.theta < 0.0 || options.theta >= 1.0) {
+    return Status::InvalidArgument("theta must be in [0, 1)");
+  }
+  RANKJOIN_RETURN_NOT_OK(r.Validate());
+  RANKJOIN_RETURN_NOT_OK(s.Validate());
+  return Status::OK();
+}
+
+}  // namespace
+
+JoinResult BruteForceRsJoin(const RankingDataset& r, const RankingDataset& s,
+                            double theta) {
+  Stopwatch watch;
+  JoinResult result;
+  const uint32_t raw_theta = RawThreshold(theta, r.k);
+  const ItemOrder identity;
+  std::vector<OrderedRanking> ro = MakeOrderedDataset(r.rankings, identity);
+  std::vector<OrderedRanking> so = MakeOrderedDataset(s.rankings, identity);
+  for (const OrderedRanking& a : ro) {
+    for (const OrderedRanking& b : so) {
+      ++result.stats.candidates;
+      if (VerifyPair(a, b, raw_theta, &result.stats).has_value()) {
+        result.pairs.push_back({a.id, b.id});
+      }
+    }
+  }
+  result.stats.result_pairs = result.pairs.size();
+  result.stats.total_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Result<JoinResult> RunRsJoin(minispark::Context* ctx,
+                             const RankingDataset& r, const RankingDataset& s,
+                             const RsJoinOptions& options) {
+  RANKJOIN_RETURN_NOT_OK(ValidateRs(r, s, options));
+  const int num_partitions = options.num_partitions > 0
+                                 ? options.num_partitions
+                                 : ctx->default_partitions();
+  const int k = r.k;
+  const uint32_t raw_theta = RawThreshold(options.theta, k);
+  const int prefix = OverlapPrefix(raw_theta, k);
+
+  Stopwatch total;
+  JoinResult result;
+
+  // Ordering phase: item frequencies over R union S, one canonical
+  // order for both sides.
+  Stopwatch phase;
+  ItemOrder order;
+  if (options.reorder_by_frequency) {
+    std::unordered_map<ItemId, uint32_t> freq =
+        CountItemFrequencies(r.rankings);
+    for (const auto& [item, count] : CountItemFrequencies(s.rankings)) {
+      freq[item] += count;
+    }
+    order = ItemOrder::FromFrequencies(freq);
+  }
+  std::vector<OrderedRanking> ro = MakeOrderedDataset(r.rankings, order);
+  std::vector<OrderedRanking> so = MakeOrderedDataset(s.rankings, order);
+  result.stats.ordering_seconds = phase.ElapsedSeconds();
+
+  phase.Reset();
+  // Both sides emit prefix postings tagged with their origin.
+  auto emit_side = [&](const std::vector<OrderedRanking>& side,
+                       bool from_s) {
+    std::vector<const OrderedRanking*> ptrs;
+    ptrs.reserve(side.size());
+    for (const OrderedRanking& rk : side) ptrs.push_back(&rk);
+    auto ds = minispark::Parallelize(ctx, std::move(ptrs), num_partitions);
+    return ds.FlatMap(
+        [prefix, from_s](const OrderedRanking* rk) {
+          std::vector<std::pair<ItemId, SidedPosting>> out;
+          const size_t p = std::min(static_cast<size_t>(prefix),
+                                    rk->canonical.size());
+          out.reserve(p);
+          for (size_t i = 0; i < p; ++i) {
+            const ItemEntry& e = rk->canonical[i];
+            out.push_back(
+                {e.item,
+                 SidedPosting{from_s,
+                              PrefixPosting{rk->id, e.rank, false, rk}}});
+          }
+          return out;
+        },
+        from_s ? "rsJoin/prefixS" : "rsJoin/prefixR");
+  };
+  auto postings =
+      minispark::Union(emit_side(ro, false), emit_side(so, true),
+                       "rsJoin/unionSides");
+  auto groups =
+      minispark::GroupByKey(postings, num_partitions, "rsJoin/group");
+
+  const bool position_filter = options.position_filter;
+  std::vector<JoinStats> slots(static_cast<size_t>(groups.num_partitions()));
+  auto raw_pairs = groups.MapPartitionsWithIndex(
+      [raw_theta, position_filter, &slots](
+          int index,
+          const std::vector<std::pair<ItemId, std::vector<SidedPosting>>>&
+              part) {
+        std::vector<ScoredPair> out;
+        JoinStats& local = slots[static_cast<size_t>(index)];
+        for (const auto& group : part) {
+          RsGroupJoin(group.second, raw_theta, position_filter, &out,
+                      &local);
+        }
+        return out;
+      },
+      "rsJoin/localJoin");
+  for (const JoinStats& stats : slots) result.stats.MergeCounters(stats);
+
+  std::vector<ScoredPair> unique =
+      minispark::Distinct(raw_pairs, num_partitions, "rsJoin/distinct")
+          .Collect();
+  result.stats.joining_seconds = phase.ElapsedSeconds();
+
+  result.pairs.reserve(unique.size());
+  for (const ScoredPair& sp : unique) result.pairs.push_back(sp.first);
+  result.stats.result_pairs = result.pairs.size();
+  result.stats.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace rankjoin

@@ -1,0 +1,41 @@
+#ifndef RANKJOIN_JOIN_RS_JOIN_H_
+#define RANKJOIN_JOIN_RS_JOIN_H_
+
+#include "common/status.h"
+#include "join/stats.h"
+#include "minispark/context.h"
+#include "ranking/ranking.h"
+
+namespace rankjoin {
+
+/// R-S (two-dataset) similarity join: all pairs (r, s) with r from R,
+/// s from S, and Footrule distance d(r, s) <= theta. The building block
+/// the paper's Algorithm 3 uses between sub-partitions, exposed here as
+/// a first-class operation over two datasets (e.g., joining this week's
+/// rankings against last week's).
+///
+/// Unlike the self-join, result pairs are (r_id, s_id) in that order —
+/// ids are namespaced per dataset and may collide across R and S.
+struct RsJoinOptions {
+  /// Normalized distance threshold in [0, 1).
+  double theta = 0.2;
+  /// Shuffle partitions; -1 uses the context default.
+  int num_partitions = -1;
+  bool position_filter = true;
+  /// Frequency order computed over R union S.
+  bool reorder_by_frequency = true;
+};
+
+/// Exact reference: nested loop over R x S.
+JoinResult BruteForceRsJoin(const RankingDataset& r, const RankingDataset& s,
+                            double theta);
+
+/// Distributed prefix-filtering R-S join. Both datasets must share the
+/// same ranking length k.
+Result<JoinResult> RunRsJoin(minispark::Context* ctx,
+                             const RankingDataset& r, const RankingDataset& s,
+                             const RsJoinOptions& options);
+
+}  // namespace rankjoin
+
+#endif  // RANKJOIN_JOIN_RS_JOIN_H_

@@ -1,0 +1,82 @@
+#ifndef RANKJOIN_JOIN_STATS_H_
+#define RANKJOIN_JOIN_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ranking/ranking.h"
+
+namespace rankjoin {
+
+/// An unordered result pair, stored with the smaller id first.
+using ResultPair = std::pair<RankingId, RankingId>;
+
+/// Normalizes (a, b) so the smaller id comes first.
+constexpr ResultPair MakeResultPair(RankingId a, RankingId b) {
+  return a < b ? ResultPair{a, b} : ResultPair{b, a};
+}
+
+/// A result pair annotated with its raw Footrule distance. Join stages
+/// emit these so downstream phases (cluster formation, expansion
+/// filters) can reuse the distance without recomputation.
+using ScoredPair = std::pair<ResultPair, uint32_t>;
+
+/// Work counters accumulated by the join algorithms. Counter semantics
+/// are shared across algorithms so that benchmark tables can compare
+/// pruning effectiveness directly.
+struct JoinStats {
+  /// Candidate pairs produced by the index / nested loop before any
+  /// distance computation (after prefix grouping, before filters).
+  uint64_t candidates = 0;
+  /// Candidates removed by the position filter.
+  uint64_t position_filtered = 0;
+  /// Candidates removed by triangle-inequality bounds (CL expansion).
+  uint64_t triangle_filtered = 0;
+  /// Pairs whose distance was actually computed (verification calls).
+  uint64_t verified = 0;
+  /// Pairs emitted without a distance computation because a metric upper
+  /// bound already guaranteed qualification (CL expansion shortcut).
+  uint64_t emitted_unverified = 0;
+  /// Final distinct result pairs.
+  uint64_t result_pairs = 0;
+
+  /// CL-specific: clusters with >= 2 members / singleton clusters /
+  /// total members (counting multiplicity across overlapping clusters).
+  uint64_t clusters = 0;
+  uint64_t singletons = 0;
+  uint64_t cluster_members = 0;
+
+  /// CL-P-specific: posting lists split / sub-partition R-S joins run.
+  uint64_t lists_repartitioned = 0;
+  uint64_t chunk_pair_joins = 0;
+
+  /// Wall-clock seconds per pipeline phase (zero when not applicable).
+  double ordering_seconds = 0;
+  double clustering_seconds = 0;
+  double joining_seconds = 0;
+  double expansion_seconds = 0;
+  double total_seconds = 0;
+
+  /// Adds the counters (not the timings) of `other` into this object.
+  void MergeCounters(const JoinStats& other);
+
+  /// Multi-line human-readable dump.
+  std::string ToString() const;
+};
+
+/// The output of a similarity self-join: the qualifying pairs (each once,
+/// smaller id first, unsorted) plus work statistics.
+struct JoinResult {
+  std::vector<ResultPair> pairs;
+  JoinStats stats;
+};
+
+/// Sorts pairs by (first, second); convenient canonical form for
+/// comparisons in tests and benches.
+void SortPairs(std::vector<ResultPair>* pairs);
+
+}  // namespace rankjoin
+
+#endif  // RANKJOIN_JOIN_STATS_H_

@@ -1,0 +1,36 @@
+#include "join/verify.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "ranking/footrule.h"
+
+namespace rankjoin {
+
+std::optional<uint32_t> VerifyPair(const OrderedRanking& a,
+                                   const OrderedRanking& b,
+                                   uint32_t raw_theta, JoinStats* stats) {
+  ++stats->verified;
+  return FootruleDistanceBounded(a, b, raw_theta);
+}
+
+RankingTable::RankingTable(const std::vector<OrderedRanking>& rankings)
+    : rankings_(&rankings) {
+  RankingId max_id = 0;
+  for (const OrderedRanking& r : rankings) max_id = std::max(max_id, r.id);
+  index_.assign(static_cast<size_t>(max_id) + 1,
+                std::numeric_limits<size_t>::max());
+  for (size_t i = 0; i < rankings.size(); ++i) {
+    index_[rankings[i].id] = i;
+  }
+}
+
+const OrderedRanking& RankingTable::Get(RankingId id) const {
+  RANKJOIN_DCHECK(id < index_.size());
+  const size_t pos = index_[id];
+  RANKJOIN_DCHECK(pos != std::numeric_limits<size_t>::max());
+  return (*rankings_)[pos];
+}
+
+}  // namespace rankjoin

@@ -1,0 +1,42 @@
+#ifndef RANKJOIN_JOIN_VERIFY_H_
+#define RANKJOIN_JOIN_VERIFY_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "join/stats.h"
+#include "ranking/ranking.h"
+
+namespace rankjoin {
+
+/// Verification kernel shared by every join algorithm: computes the
+/// bounded Footrule distance between two rankings, maintains the
+/// `verified` counter, and returns the raw distance when it is within
+/// `raw_theta`.
+std::optional<uint32_t> VerifyPair(const OrderedRanking& a,
+                                   const OrderedRanking& b,
+                                   uint32_t raw_theta, JoinStats* stats);
+
+/// Read-only view resolving ranking ids to their OrderedRanking.
+///
+/// The paper's Spark implementation carries whole rankings inside the
+/// shuffled tuples (Figures 3-4); in-process we achieve the same data
+/// availability by sharing one immutable table, avoiding redundant
+/// copies without changing which stage can see which ranking.
+class RankingTable {
+ public:
+  /// `rankings` must outlive the table. Ids may be sparse.
+  explicit RankingTable(const std::vector<OrderedRanking>& rankings);
+
+  const OrderedRanking& Get(RankingId id) const;
+  size_t size() const { return rankings_->size(); }
+
+ private:
+  const std::vector<OrderedRanking>* rankings_;
+  // index_[id] = position in *rankings_, or npos.
+  std::vector<size_t> index_;
+};
+
+}  // namespace rankjoin
+
+#endif  // RANKJOIN_JOIN_VERIFY_H_

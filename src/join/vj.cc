@@ -1,0 +1,206 @@
+#include "join/vj.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "join/local_join.h"
+#include "join/repartition.h"
+#include "minispark/dataset.h"
+#include "ranking/footrule.h"
+#include "ranking/prefix.h"
+#include "ranking/reorder.h"
+
+namespace rankjoin {
+namespace internal {
+
+Status ValidateVjOptions(const VjOptions& options, int k) {
+  if (k < 1) return Status::InvalidArgument("dataset k must be >= 1");
+  if (options.theta < 0.0 || options.theta >= 1.0) {
+    return Status::InvalidArgument(
+        "theta must be in [0, 1); prefix filtering requires that disjoint "
+        "rankings cannot qualify");
+  }
+  if (options.prefix_mode == PrefixMode::kOrdered) {
+    if (options.reorder_by_frequency) {
+      return Status::InvalidArgument(
+          "the ordered prefix (Lemma 4.1) uses the original rank order and "
+          "cannot be combined with frequency reordering");
+    }
+    if (!OrderedPrefixApplicable(RawThreshold(options.theta, k), k)) {
+      return Status::InvalidArgument(
+          "ordered prefix requires raw_theta < k^2/2 (paper footnote 3)");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<OrderedRanking> OrderDataset(minispark::Context* ctx,
+                                         const RankingDataset& dataset,
+                                         bool reorder_by_frequency,
+                                         int num_partitions) {
+  minispark::Dataset<Ranking> rankings =
+      minispark::Parallelize(ctx, dataset.rankings, num_partitions);
+
+  ItemOrder order;  // identity (by item id) unless reordering is on
+  if (reorder_by_frequency) {
+    // Phase 1 of VJ: global item frequencies, computed as a dataflow
+    // aggregation and broadcast to all subsequent tasks.
+    auto item_ones = rankings.FlatMap(
+        [](const Ranking& r) {
+          std::vector<std::pair<ItemId, uint32_t>> out;
+          out.reserve(r.items().size());
+          for (ItemId item : r.items()) out.push_back({item, 1});
+          return out;
+        },
+        "vj/itemFrequency");
+    auto freq = minispark::ReduceByKey(
+        item_ones, [](uint32_t a, uint32_t b) { return a + b; },
+        num_partitions, "vj/itemFrequency");
+    std::unordered_map<ItemId, uint32_t> freq_map;
+    for (const auto& [item, count] : freq.Collect()) {
+      freq_map.emplace(item, count);
+    }
+    order = ItemOrder::FromFrequencies(freq_map);
+  }
+
+  minispark::Broadcast<ItemOrder> order_bc =
+      ctx->MakeBroadcast(std::move(order));
+  minispark::Dataset<OrderedRanking> ordered = rankings.Map(
+      [order_bc](const Ranking& r) { return MakeOrdered(r, *order_bc); },
+      "vj/canonicalize");
+  return ordered.Collect();
+}
+
+namespace {
+
+/// Emits (prefix item, posting) pairs for one ranking.
+std::vector<std::pair<ItemId, PrefixPosting>> EmitPrefix(
+    const OrderedRanking& ranking, int prefix_size, PrefixMode mode,
+    bool singleton = false) {
+  std::vector<std::pair<ItemId, PrefixPosting>> out;
+  const size_t p =
+      std::min(static_cast<size_t>(prefix_size), ranking.canonical.size());
+  out.reserve(p);
+  if (mode == PrefixMode::kOverlap) {
+    // First p entries in canonical (frequency) order.
+    for (size_t t = 0; t < p; ++t) {
+      const ItemEntry& e = ranking.canonical[t];
+      out.push_back({e.item, PrefixPosting{ranking.id, e.rank, singleton,
+                                           &ranking}});
+    }
+  } else {
+    // Ordered prefix (Lemma 4.1): the best-ranked p items, regardless of
+    // canonical position.
+    for (const ItemEntry& e : ranking.canonical) {
+      if (e.rank < p) {
+        out.push_back({e.item, PrefixPosting{ranking.id, e.rank, singleton,
+                                             &ranking}});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ScoredPair> DistributedSelfJoin(
+    minispark::Context* ctx,
+    const std::vector<const OrderedRanking*>& subset,
+    const SelfJoinSpec& spec, JoinStats* stats) {
+  const int prefix_size =
+      spec.prefix_mode == PrefixMode::kOverlap
+          ? OverlapPrefix(spec.raw_theta, spec.k)
+          : OrderedPrefix(spec.raw_theta, spec.k);
+
+  minispark::Dataset<const OrderedRanking*> rankings =
+      minispark::Parallelize(ctx, subset, spec.num_partitions);
+  auto postings = rankings.FlatMap(
+      [prefix_size, mode = spec.prefix_mode](const OrderedRanking* r) {
+        return EmitPrefix(*r, prefix_size, mode);
+      },
+      "selfJoin/prefix");
+  minispark::Dataset<PostingGroup> groups = minispark::GroupByKey(
+      postings, spec.num_partitions, "selfJoin/groupByItem");
+
+  LocalJoinOptions local_options;
+  local_options.raw_theta = spec.raw_theta;
+  local_options.prefix_size = prefix_size;
+  local_options.position_filter = spec.position_filter;
+
+  LocalJoinFn local_join;
+  if (spec.local_algorithm == LocalAlgorithm::kPrefixIndex) {
+    local_join = [local_options](const std::vector<PrefixPosting>& group,
+                                 std::vector<ScoredPair>* out,
+                                 JoinStats* s) {
+      LocalPrefixJoin(group, local_options, out, s);
+    };
+  } else {
+    local_join = [local_options](const std::vector<PrefixPosting>& group,
+                                 std::vector<ScoredPair>* out,
+                                 JoinStats* s) {
+      LocalNestedLoopJoin(group, local_options, out, s);
+    };
+  }
+  LocalRsJoinFn rs_join = [local_options](
+                              const std::vector<PrefixPosting>& left,
+                              const std::vector<PrefixPosting>& right,
+                              std::vector<ScoredPair>* out, JoinStats* s) {
+    LocalNestedLoopJoinRS(left, right, local_options, out, s);
+  };
+
+  minispark::Dataset<ScoredPair> raw_pairs = JoinGroupsWithRepartitioning(
+      groups, spec.repartition_delta, spec.num_partitions, local_join,
+      rs_join, stats);
+  // Final phase of VJ: remove the duplicates produced by rankings that
+  // share several prefix items.
+  minispark::Dataset<ScoredPair> unique =
+      minispark::Distinct(raw_pairs, spec.num_partitions, "selfJoin/distinct");
+  return unique.Collect();
+}
+
+}  // namespace internal
+
+Result<JoinResult> RunVjJoin(minispark::Context* ctx,
+                             const RankingDataset& dataset,
+                             const VjOptions& options) {
+  RANKJOIN_RETURN_NOT_OK(internal::ValidateVjOptions(options, dataset.k));
+  RANKJOIN_RETURN_NOT_OK(dataset.Validate());
+  const int num_partitions = options.num_partitions > 0
+                                 ? options.num_partitions
+                                 : ctx->default_partitions();
+
+  Stopwatch total;
+  JoinResult result;
+
+  Stopwatch phase;
+  std::vector<OrderedRanking> ordered = internal::OrderDataset(
+      ctx, dataset, options.reorder_by_frequency, num_partitions);
+  std::vector<const OrderedRanking*> all;
+  all.reserve(ordered.size());
+  for (const OrderedRanking& r : ordered) all.push_back(&r);
+  result.stats.ordering_seconds = phase.ElapsedSeconds();
+
+  phase.Reset();
+  internal::SelfJoinSpec spec;
+  spec.raw_theta = RawThreshold(options.theta, dataset.k);
+  spec.k = dataset.k;
+  spec.num_partitions = num_partitions;
+  spec.position_filter = options.position_filter;
+  spec.prefix_mode = options.prefix_mode;
+  spec.local_algorithm = options.local_algorithm;
+  spec.repartition_delta = options.repartition_delta;
+  std::vector<ScoredPair> scored =
+      internal::DistributedSelfJoin(ctx, all, spec, &result.stats);
+  result.stats.joining_seconds = phase.ElapsedSeconds();
+
+  result.pairs.reserve(scored.size());
+  for (const ScoredPair& sp : scored) result.pairs.push_back(sp.first);
+  result.stats.result_pairs = result.pairs.size();
+  result.stats.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace rankjoin

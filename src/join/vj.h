@@ -1,0 +1,94 @@
+#ifndef RANKJOIN_JOIN_VJ_H_
+#define RANKJOIN_JOIN_VJ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "join/stats.h"
+#include "minispark/context.h"
+#include "ranking/ranking.h"
+
+namespace rankjoin {
+
+/// Which prefix derivation to use (paper Section 4).
+enum class PrefixMode {
+  /// Overlap-based prefix under the global frequency order — required
+  /// when rankings are reordered; the paper's default.
+  kOverlap,
+  /// Ordered prefix of Lemma 4.1 (best-ranked items); slightly tighter
+  /// but fixes the prefix to the original top ranks.
+  kOrdered,
+};
+
+/// Per-posting-list join kernel (paper Sections 4 and 4.1).
+enum class LocalAlgorithm {
+  /// Inverted-index prefix join per group (VJ).
+  kPrefixIndex,
+  /// Iterator-style nested loop with the position filter (VJ-NL).
+  kNestedLoop,
+};
+
+/// Configuration of the VJ adaptation to top-k rankings.
+struct VjOptions {
+  /// Normalized distance threshold in [0, 1).
+  double theta = 0.1;
+  /// Shuffle partitions; -1 uses the context default.
+  int num_partitions = -1;
+  /// Apply the rank-difference position filter.
+  bool position_filter = true;
+  /// Reorder items by ascending global frequency before prefixing
+  /// (paper: major gains on skewed data; implies overlap prefixes).
+  bool reorder_by_frequency = true;
+  PrefixMode prefix_mode = PrefixMode::kOverlap;
+  LocalAlgorithm local_algorithm = LocalAlgorithm::kPrefixIndex;
+  /// Partitioning threshold delta of Algorithm 3; 0 disables
+  /// repartitioning of oversized posting lists.
+  uint64_t repartition_delta = 0;
+};
+
+/// Runs the Vernica-Join adaptation for top-k rankings (paper Section 4)
+/// as a minispark pipeline: frequency ordering, prefix flat-map,
+/// group-by-item, per-group local join, global deduplication.
+Result<JoinResult> RunVjJoin(minispark::Context* ctx,
+                             const RankingDataset& dataset,
+                             const VjOptions& options);
+
+namespace internal {
+
+/// Validates option/threshold combinations shared by the pipelines.
+Status ValidateVjOptions(const VjOptions& options, int k);
+
+/// Ordering phase: counts item frequencies and produces the canonical
+/// per-ranking representation, all as dataflow stages. Returns rankings
+/// in input order; stage metrics accumulate into the context.
+std::vector<OrderedRanking> OrderDataset(minispark::Context* ctx,
+                                         const RankingDataset& dataset,
+                                         bool reorder_by_frequency,
+                                         int num_partitions);
+
+/// Spec for a distributed prefix-filter self-join over already-ordered
+/// rankings (reused by the CL clustering phase, which joins the whole
+/// dataset with theta_c, and by the VJ driver).
+struct SelfJoinSpec {
+  uint32_t raw_theta = 0;
+  int k = 0;
+  int num_partitions = 1;
+  bool position_filter = true;
+  PrefixMode prefix_mode = PrefixMode::kOverlap;
+  LocalAlgorithm local_algorithm = LocalAlgorithm::kPrefixIndex;
+  uint64_t repartition_delta = 0;
+};
+
+/// Distributed self-join over `subset` (pointers must stay valid for the
+/// duration of the call). Returns deduplicated scored pairs with raw
+/// distance <= spec.raw_theta.
+std::vector<ScoredPair> DistributedSelfJoin(
+    minispark::Context* ctx,
+    const std::vector<const OrderedRanking*>& subset,
+    const SelfJoinSpec& spec, JoinStats* stats);
+
+}  // namespace internal
+}  // namespace rankjoin
+
+#endif  // RANKJOIN_JOIN_VJ_H_

@@ -1,0 +1,12 @@
+#include "join/vj_nl.h"
+
+namespace rankjoin {
+
+Result<JoinResult> RunVjNlJoin(minispark::Context* ctx,
+                               const RankingDataset& dataset,
+                               VjOptions options) {
+  options.local_algorithm = LocalAlgorithm::kNestedLoop;
+  return RunVjJoin(ctx, dataset, options);
+}
+
+}  // namespace rankjoin

@@ -1,0 +1,19 @@
+#ifndef RANKJOIN_JOIN_VJ_NL_H_
+#define RANKJOIN_JOIN_VJ_NL_H_
+
+#include "join/vj.h"
+
+namespace rankjoin {
+
+/// The VJ-NL variant (paper Section 4.1): identical pipeline to VJ, but
+/// each posting list is processed with an iterator-style nested loop
+/// plus the position filter instead of a per-partition inverted index.
+/// This avoids the per-reducer index construction that fights Spark's
+/// memory model.
+Result<JoinResult> RunVjNlJoin(minispark::Context* ctx,
+                               const RankingDataset& dataset,
+                               VjOptions options);
+
+}  // namespace rankjoin
+
+#endif  // RANKJOIN_JOIN_VJ_NL_H_

@@ -1,0 +1,41 @@
+#ifndef RANKJOIN_MINISPARK_APPROX_SIZE_H_
+#define RANKJOIN_MINISPARK_APPROX_SIZE_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rankjoin::minispark {
+
+/// Approximate serialized size of a record, used for shuffle-byte
+/// accounting. This mirrors what Spark's shuffle write metrics report;
+/// exact serialization is irrelevant to the experiments, only relative
+/// volume matters.
+template <typename T>
+size_t ApproxSize(const T&) {
+  return sizeof(T);
+}
+
+inline size_t ApproxSize(const std::string& s) {
+  return sizeof(std::string) + s.size();
+}
+
+template <typename U>
+size_t ApproxSize(const std::vector<U>& v);
+
+template <typename A, typename B>
+size_t ApproxSize(const std::pair<A, B>& p) {
+  return ApproxSize(p.first) + ApproxSize(p.second);
+}
+
+template <typename U>
+size_t ApproxSize(const std::vector<U>& v) {
+  size_t total = sizeof(std::vector<U>);
+  for (const auto& u : v) total += ApproxSize(u);
+  return total;
+}
+
+}  // namespace rankjoin::minispark
+
+#endif  // RANKJOIN_MINISPARK_APPROX_SIZE_H_

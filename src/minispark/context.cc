@@ -1,0 +1,31 @@
+#include "minispark/context.h"
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace rankjoin::minispark {
+
+Context::Context(Options options)
+    : options_(options),
+      pool_(static_cast<size_t>(options.num_workers > 0 ? options.num_workers
+                                                        : 1)) {
+  RANKJOIN_CHECK(options_.default_partitions >= 1);
+}
+
+StageMetrics Context::RunStage(const std::string& name, int num_tasks,
+                               const std::function<void(int)>& task) {
+  StageMetrics stage;
+  stage.name = name;
+  stage.task_seconds.assign(static_cast<size_t>(num_tasks), 0.0);
+  for (int i = 0; i < num_tasks; ++i) {
+    pool_.Submit([&stage, &task, i] {
+      Stopwatch watch;
+      task(i);
+      stage.task_seconds[static_cast<size_t>(i)] = watch.ElapsedSeconds();
+    });
+  }
+  pool_.Wait();
+  return stage;
+}
+
+}  // namespace rankjoin::minispark

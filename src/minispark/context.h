@@ -1,0 +1,84 @@
+#ifndef RANKJOIN_MINISPARK_CONTEXT_H_
+#define RANKJOIN_MINISPARK_CONTEXT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "minispark/metrics.h"
+
+namespace rankjoin::minispark {
+
+/// Read-only value replicated to every task, mirroring Spark's broadcast
+/// variables (the paper broadcasts the global item-frequency order).
+/// Copies of the handle share the underlying value.
+template <typename T>
+class Broadcast {
+ public:
+  explicit Broadcast(T value)
+      : value_(std::make_shared<const T>(std::move(value))) {}
+
+  const T& operator*() const { return *value_; }
+  const T* operator->() const { return value_.get(); }
+
+ private:
+  std::shared_ptr<const T> value_;
+};
+
+/// Driver-side handle for executing dataflow stages.
+///
+/// A Context owns a thread pool (the "cluster"), a default partition
+/// count (Spark's `spark.default.parallelism`) and the metrics of every
+/// stage it ran. Datasets created from the same Context share the pool.
+///
+/// The Context itself must be used from a single driver thread; tasks
+/// submitted through RunStage execute concurrently on the pool.
+class Context {
+ public:
+  struct Options {
+    /// Worker threads in the pool. The *simulated* cluster size used by
+    /// the scalability experiments is a separate knob, applied when
+    /// reading metrics (JobMetrics::SimulatedMakespan).
+    int num_workers = 4;
+    /// Partition count used when an operation does not specify one.
+    int default_partitions = 8;
+  };
+
+  explicit Context(Options options);
+  Context() : Context(Options{}) {}
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  int num_workers() const { return options_.num_workers; }
+  int default_partitions() const { return options_.default_partitions; }
+
+  JobMetrics& metrics() { return metrics_; }
+  const JobMetrics& metrics() const { return metrics_; }
+
+  /// Executes `num_tasks` tasks of a named stage on the pool, blocking
+  /// until all complete. `task(i)` runs for every i in [0, num_tasks).
+  /// Returns per-task wall times; the caller may annotate the returned
+  /// record with shuffle statistics before it is stored via AddStage.
+  StageMetrics RunStage(const std::string& name, int num_tasks,
+                        const std::function<void(int)>& task);
+
+  /// Stores a completed stage record in the job metrics.
+  void AddStage(StageMetrics stage) { metrics_.AddStage(std::move(stage)); }
+
+  /// Creates a broadcast variable.
+  template <typename T>
+  Broadcast<T> MakeBroadcast(T value) {
+    return Broadcast<T>(std::move(value));
+  }
+
+ private:
+  Options options_;
+  ThreadPool pool_;
+  JobMetrics metrics_;
+};
+
+}  // namespace rankjoin::minispark
+
+#endif  // RANKJOIN_MINISPARK_CONTEXT_H_

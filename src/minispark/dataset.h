@@ -1,0 +1,465 @@
+#ifndef RANKJOIN_MINISPARK_DATASET_H_
+#define RANKJOIN_MINISPARK_DATASET_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "minispark/approx_size.h"
+#include "minispark/context.h"
+#include "minispark/partitioner.h"
+
+namespace rankjoin::minispark {
+
+/// Hasher adapter that routes through ShuffleHash so that pair keys and
+/// integer keys are both well-mixed (see partitioner.h).
+struct ShuffleHasher {
+  template <typename K>
+  size_t operator()(const K& key) const {
+    return static_cast<size_t>(ShuffleHash(key));
+  }
+};
+
+/// An immutable, partitioned, typed collection — the minispark analog of
+/// a Spark RDD.
+///
+/// Unlike Spark, evaluation is eager: every transformation runs one stage
+/// (one task per partition) on the owning Context's thread pool and
+/// materializes its output. This keeps the engine small while preserving
+/// the properties the paper's algorithms depend on: hash-partitioned
+/// shuffles, per-partition task granularity, stragglers from skewed
+/// partitions, and shuffle-volume accounting.
+///
+/// Dataset handles are cheap to copy (shared ownership of the partition
+/// data). All driver-side calls must come from one thread.
+template <typename T>
+class Dataset {
+ public:
+  using Partitions = std::vector<std::vector<T>>;
+
+  Dataset(Context* ctx, std::shared_ptr<const Partitions> partitions)
+      : ctx_(ctx), partitions_(std::move(partitions)) {
+    RANKJOIN_CHECK(ctx_ != nullptr);
+    RANKJOIN_CHECK(partitions_ != nullptr);
+  }
+
+  Context* context() const { return ctx_; }
+  int num_partitions() const { return static_cast<int>(partitions_->size()); }
+  const Partitions& partitions() const { return *partitions_; }
+
+  /// Total number of elements across partitions.
+  size_t Count() const {
+    size_t n = 0;
+    for (const auto& p : *partitions_) n += p.size();
+    return n;
+  }
+
+  /// Number of elements in the largest partition (skew indicator).
+  size_t MaxPartitionSize() const {
+    size_t n = 0;
+    for (const auto& p : *partitions_) n = std::max(n, p.size());
+    return n;
+  }
+
+  /// Gathers all elements to the driver, in partition order.
+  std::vector<T> Collect() const {
+    std::vector<T> out;
+    out.reserve(Count());
+    for (const auto& p : *partitions_) {
+      out.insert(out.end(), p.begin(), p.end());
+    }
+    return out;
+  }
+
+  /// Element-wise transformation (narrow dependency, no shuffle).
+  template <typename F>
+  auto Map(F fn, const std::string& name = "map") const {
+    using U = std::decay_t<decltype(fn(std::declval<const T&>()))>;
+    return MapPartitionsWithIndex(
+        [fn = std::move(fn)](int /*index*/, const std::vector<T>& part) {
+          std::vector<U> out;
+          out.reserve(part.size());
+          for (const T& t : part) out.push_back(fn(t));
+          return out;
+        },
+        name);
+  }
+
+  /// One-to-many transformation; `fn` returns a vector of outputs.
+  template <typename F>
+  auto FlatMap(F fn, const std::string& name = "flatMap") const {
+    using Vec = std::decay_t<decltype(fn(std::declval<const T&>()))>;
+    using U = typename Vec::value_type;
+    return MapPartitionsWithIndex(
+        [fn = std::move(fn)](int /*index*/, const std::vector<T>& part) {
+          std::vector<U> out;
+          for (const T& t : part) {
+            Vec produced = fn(t);
+            out.insert(out.end(), std::make_move_iterator(produced.begin()),
+                       std::make_move_iterator(produced.end()));
+          }
+          return out;
+        },
+        name);
+  }
+
+  /// Keeps the elements for which `pred` returns true.
+  template <typename F>
+  Dataset<T> Filter(F pred, const std::string& name = "filter") const {
+    return MapPartitionsWithIndex(
+        [pred = std::move(pred)](int /*index*/, const std::vector<T>& part) {
+          std::vector<T> out;
+          for (const T& t : part) {
+            if (pred(t)) out.push_back(t);
+          }
+          return out;
+        },
+        name);
+  }
+
+  /// Whole-partition transformation: `fn(partition_index, elements)`
+  /// returns the output partition. This is the iterator-style hook the
+  /// paper's VJ-NL variant exploits (Section 4.1).
+  template <typename F>
+  auto MapPartitionsWithIndex(F fn,
+                              const std::string& name = "mapPartitions") const {
+    using Vec = std::decay_t<decltype(fn(0, std::declval<const std::vector<T>&>()))>;
+    using U = typename Vec::value_type;
+    auto out = std::make_shared<typename Dataset<U>::Partitions>(
+        partitions_->size());
+    const Partitions& in = *partitions_;
+    StageMetrics stage =
+        ctx_->RunStage(name, num_partitions(), [&](int i) {
+          (*out)[static_cast<size_t>(i)] =
+              fn(i, in[static_cast<size_t>(i)]);
+        });
+    stage.max_partition_size = MaxSize(*out);
+    ctx_->AddStage(std::move(stage));
+    return Dataset<U>(ctx_, std::move(out));
+  }
+
+  /// Redistributes elements round-robin into `n` partitions (full
+  /// shuffle, like Spark's repartition()).
+  Dataset<T> Repartition(int n, const std::string& name = "repartition") const {
+    RANKJOIN_CHECK(n >= 1);
+    auto out = std::make_shared<Partitions>(static_cast<size_t>(n));
+    uint64_t records = 0;
+    uint64_t bytes = 0;
+    // Deterministic round-robin assignment in global element order.
+    size_t next = 0;
+    for (const auto& part : *partitions_) {
+      for (const T& t : part) {
+        (*out)[next % static_cast<size_t>(n)].push_back(t);
+        ++next;
+        ++records;
+        bytes += ApproxSize(t);
+      }
+    }
+    StageMetrics stage = ctx_->RunStage(name, n, [](int) {});
+    stage.shuffle_records = records;
+    stage.shuffle_bytes = bytes;
+    stage.max_partition_size = MaxSize(*out);
+    ctx_->AddStage(std::move(stage));
+    return Dataset<T>(ctx_, std::move(out));
+  }
+
+ private:
+  template <typename U>
+  static uint64_t MaxSize(const std::vector<std::vector<U>>& parts) {
+    uint64_t m = 0;
+    for (const auto& p : parts) m = std::max<uint64_t>(m, p.size());
+    return m;
+  }
+
+  Context* ctx_;
+  std::shared_ptr<const Partitions> partitions_;
+};
+
+/// Creates a Dataset by splitting `data` into `num_partitions` contiguous
+/// chunks (like sc.parallelize). Uses the context default when
+/// `num_partitions` <= 0.
+template <typename T>
+Dataset<T> Parallelize(Context* ctx, std::vector<T> data,
+                       int num_partitions = -1) {
+  if (num_partitions <= 0) num_partitions = ctx->default_partitions();
+  auto parts = std::make_shared<typename Dataset<T>::Partitions>(
+      static_cast<size_t>(num_partitions));
+  const size_t n = data.size();
+  const size_t per = (n + static_cast<size_t>(num_partitions) - 1) /
+                     static_cast<size_t>(num_partitions);
+  for (size_t i = 0; i < n; ++i) {
+    (*parts)[per == 0 ? 0 : i / per].push_back(std::move(data[i]));
+  }
+  StageMetrics stage = ctx->RunStage("parallelize", num_partitions, [](int) {});
+  stage.max_partition_size = 0;
+  for (const auto& p : *parts) {
+    stage.max_partition_size =
+        std::max<uint64_t>(stage.max_partition_size, p.size());
+  }
+  ctx->AddStage(std::move(stage));
+  return Dataset<T>(ctx, std::move(parts));
+}
+
+namespace internal {
+
+/// Hash-shuffles key-value records into `n` buckets by key. Returns the
+/// target partitions and accounts records/bytes into `stage`.
+template <typename K, typename V>
+std::shared_ptr<const std::vector<std::vector<std::pair<K, V>>>> ShuffleByKey(
+    Context* ctx, const std::vector<std::vector<std::pair<K, V>>>& input,
+    int n, const std::string& name, StageMetrics* out_stage) {
+  HashPartitioner partitioner(n);
+  // Phase 1 (map side): each input partition writes its buckets.
+  std::vector<std::vector<std::vector<std::pair<K, V>>>> buckets(
+      input.size());
+  StageMetrics write_stage = ctx->RunStage(
+      name + "/shuffle-write", static_cast<int>(input.size()), [&](int i) {
+        auto& local = buckets[static_cast<size_t>(i)];
+        local.assign(static_cast<size_t>(n), {});
+        for (const auto& kv : input[static_cast<size_t>(i)]) {
+          local[static_cast<size_t>(partitioner.PartitionOf(kv.first))]
+              .push_back(kv);
+        }
+      });
+  ctx->AddStage(std::move(write_stage));
+
+  // Phase 2 (reduce side): concatenate the buckets of every mapper.
+  auto out =
+      std::make_shared<std::vector<std::vector<std::pair<K, V>>>>(
+          static_cast<size_t>(n));
+  StageMetrics read_stage =
+      ctx->RunStage(name + "/shuffle-read", n, [&](int p) {
+        auto& dest = (*out)[static_cast<size_t>(p)];
+        size_t total = 0;
+        for (const auto& mapper : buckets) {
+          total += mapper[static_cast<size_t>(p)].size();
+        }
+        dest.reserve(total);
+        for (auto& mapper : buckets) {
+          auto& src = mapper[static_cast<size_t>(p)];
+          dest.insert(dest.end(), std::make_move_iterator(src.begin()),
+                      std::make_move_iterator(src.end()));
+        }
+      });
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+  for (const auto& part : *out) {
+    for (const auto& kv : part) {
+      ++records;
+      bytes += ApproxSize(kv);
+    }
+  }
+  read_stage.shuffle_records = records;
+  read_stage.shuffle_bytes = bytes;
+  for (const auto& p : *out) {
+    read_stage.max_partition_size =
+        std::max<uint64_t>(read_stage.max_partition_size, p.size());
+  }
+  *out_stage = read_stage;
+  ctx->AddStage(std::move(read_stage));
+  return out;
+}
+
+}  // namespace internal
+
+/// Hash-partitions a key-value dataset by key (Spark partitionBy).
+/// Records with equal keys land in the same output partition.
+template <typename K, typename V>
+Dataset<std::pair<K, V>> PartitionByKey(const Dataset<std::pair<K, V>>& ds,
+                                        int n = -1,
+                                        const std::string& name =
+                                            "partitionBy") {
+  Context* ctx = ds.context();
+  if (n <= 0) n = ctx->default_partitions();
+  StageMetrics unused;
+  auto parts = internal::ShuffleByKey(ctx, ds.partitions(), n, name, &unused);
+  return Dataset<std::pair<K, V>>(ctx, std::move(parts));
+}
+
+/// Groups values by key after a hash shuffle (Spark groupByKey). Output
+/// preserves per-key arrival order of values (deterministic: mapper order
+/// then in-partition order).
+template <typename K, typename V>
+Dataset<std::pair<K, std::vector<V>>> GroupByKey(
+    const Dataset<std::pair<K, V>>& ds, int n = -1,
+    const std::string& name = "groupByKey") {
+  Dataset<std::pair<K, V>> shuffled = PartitionByKey(ds, n, name);
+  return shuffled.MapPartitionsWithIndex(
+      [](int /*index*/, const std::vector<std::pair<K, V>>& part) {
+        std::unordered_map<K, size_t, ShuffleHasher> slot;
+        std::vector<std::pair<K, std::vector<V>>> out;
+        for (const auto& kv : part) {
+          auto [it, inserted] = slot.try_emplace(kv.first, out.size());
+          if (inserted) out.push_back({kv.first, {}});
+          out[it->second].second.push_back(kv.second);
+        }
+        return out;
+      },
+      name + "/group");
+}
+
+/// Merges values per key with a binary combiner (Spark reduceByKey).
+/// Combines map-side before shuffling, like Spark's combiner.
+template <typename K, typename V, typename F>
+Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds, F fn,
+                                     int n = -1,
+                                     const std::string& name = "reduceByKey") {
+  // Map-side combine.
+  Dataset<std::pair<K, V>> combined = ds.MapPartitionsWithIndex(
+      [fn](int /*index*/, const std::vector<std::pair<K, V>>& part) {
+        std::unordered_map<K, size_t, ShuffleHasher> slot;
+        std::vector<std::pair<K, V>> out;
+        for (const auto& kv : part) {
+          auto [it, inserted] = slot.try_emplace(kv.first, out.size());
+          if (inserted) {
+            out.push_back(kv);
+          } else {
+            out[it->second].second = fn(out[it->second].second, kv.second);
+          }
+        }
+        return out;
+      },
+      name + "/combine");
+  Dataset<std::pair<K, V>> shuffled = PartitionByKey(combined, n, name);
+  return shuffled.MapPartitionsWithIndex(
+      [fn](int /*index*/, const std::vector<std::pair<K, V>>& part) {
+        std::unordered_map<K, size_t, ShuffleHasher> slot;
+        std::vector<std::pair<K, V>> out;
+        for (const auto& kv : part) {
+          auto [it, inserted] = slot.try_emplace(kv.first, out.size());
+          if (inserted) {
+            out.push_back(kv);
+          } else {
+            out[it->second].second = fn(out[it->second].second, kv.second);
+          }
+        }
+        return out;
+      },
+      name + "/reduce");
+}
+
+/// Inner equi-join on key (Spark join). Produces one output record per
+/// matching (left, right) value pair.
+template <typename K, typename V, typename W>
+Dataset<std::pair<K, std::pair<V, W>>> Join(
+    const Dataset<std::pair<K, V>>& left,
+    const Dataset<std::pair<K, W>>& right, int n = -1,
+    const std::string& name = "join") {
+  Context* ctx = left.context();
+  RANKJOIN_CHECK(ctx == right.context());
+  if (n <= 0) n = ctx->default_partitions();
+  StageMetrics unused;
+  auto lparts =
+      internal::ShuffleByKey(ctx, left.partitions(), n, name + "/L", &unused);
+  auto rparts =
+      internal::ShuffleByKey(ctx, right.partitions(), n, name + "/R", &unused);
+  using Out = std::pair<K, std::pair<V, W>>;
+  auto out = std::make_shared<typename Dataset<Out>::Partitions>(
+      static_cast<size_t>(n));
+  StageMetrics stage = ctx->RunStage(name + "/probe", n, [&](int p) {
+    const auto& lp = (*lparts)[static_cast<size_t>(p)];
+    const auto& rp = (*rparts)[static_cast<size_t>(p)];
+    std::unordered_map<K, std::vector<const V*>, ShuffleHasher> table;
+    for (const auto& kv : lp) table[kv.first].push_back(&kv.second);
+    auto& dest = (*out)[static_cast<size_t>(p)];
+    for (const auto& kw : rp) {
+      auto it = table.find(kw.first);
+      if (it == table.end()) continue;
+      for (const V* v : it->second) {
+        dest.push_back({kw.first, {*v, kw.second}});
+      }
+    }
+  });
+  for (const auto& p : *out) {
+    stage.max_partition_size =
+        std::max<uint64_t>(stage.max_partition_size, p.size());
+  }
+  ctx->AddStage(std::move(stage));
+  return Dataset<Out>(ctx, std::move(out));
+}
+
+/// Groups both sides by key (Spark cogroup). Keys present on either side
+/// appear once, with the (possibly empty) value lists of each side.
+template <typename K, typename V, typename W>
+Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
+    const Dataset<std::pair<K, V>>& left,
+    const Dataset<std::pair<K, W>>& right, int n = -1,
+    const std::string& name = "cogroup") {
+  Context* ctx = left.context();
+  RANKJOIN_CHECK(ctx == right.context());
+  if (n <= 0) n = ctx->default_partitions();
+  StageMetrics unused;
+  auto lparts =
+      internal::ShuffleByKey(ctx, left.partitions(), n, name + "/L", &unused);
+  auto rparts =
+      internal::ShuffleByKey(ctx, right.partitions(), n, name + "/R", &unused);
+  using Out = std::pair<K, std::pair<std::vector<V>, std::vector<W>>>;
+  auto out = std::make_shared<typename Dataset<Out>::Partitions>(
+      static_cast<size_t>(n));
+  StageMetrics stage = ctx->RunStage(name + "/merge", n, [&](int p) {
+    std::unordered_map<K, size_t, ShuffleHasher> slot;
+    auto& dest = (*out)[static_cast<size_t>(p)];
+    for (const auto& kv : (*lparts)[static_cast<size_t>(p)]) {
+      auto [it, inserted] = slot.try_emplace(kv.first, dest.size());
+      if (inserted) dest.push_back({kv.first, {{}, {}}});
+      dest[it->second].second.first.push_back(kv.second);
+    }
+    for (const auto& kw : (*rparts)[static_cast<size_t>(p)]) {
+      auto [it, inserted] = slot.try_emplace(kw.first, dest.size());
+      if (inserted) dest.push_back({kw.first, {{}, {}}});
+      dest[it->second].second.second.push_back(kw.second);
+    }
+  });
+  ctx->AddStage(std::move(stage));
+  return Dataset<Out>(ctx, std::move(out));
+}
+
+/// Removes duplicate elements (Spark distinct). T must be equality
+/// comparable and hashable through ShuffleHash.
+template <typename T>
+Dataset<T> Distinct(const Dataset<T>& ds, int n = -1,
+                    const std::string& name = "distinct") {
+  Context* ctx = ds.context();
+  if (n <= 0) n = ctx->default_partitions();
+  // Key by the element itself, shuffle, then dedup per partition.
+  Dataset<std::pair<T, char>> keyed = ds.Map(
+      [](const T& t) { return std::pair<T, char>(t, 0); }, name + "/key");
+  Dataset<std::pair<T, char>> shuffled = PartitionByKey(keyed, n, name);
+  return shuffled.MapPartitionsWithIndex(
+      [](int /*index*/, const std::vector<std::pair<T, char>>& part) {
+        std::unordered_set<T, ShuffleHasher> seen;
+        std::vector<T> out;
+        for (const auto& kv : part) {
+          if (seen.insert(kv.first).second) out.push_back(kv.first);
+        }
+        return out;
+      },
+      name + "/dedup");
+}
+
+/// Concatenates two datasets partition-wise (Spark union).
+template <typename T>
+Dataset<T> Union(const Dataset<T>& a, const Dataset<T>& b,
+                 const std::string& name = "union") {
+  Context* ctx = a.context();
+  RANKJOIN_CHECK(ctx == b.context());
+  auto out = std::make_shared<typename Dataset<T>::Partitions>();
+  out->reserve(a.partitions().size() + b.partitions().size());
+  for (const auto& p : a.partitions()) out->push_back(p);
+  for (const auto& p : b.partitions()) out->push_back(p);
+  StageMetrics stage =
+      ctx->RunStage(name, static_cast<int>(out->size()), [](int) {});
+  ctx->AddStage(std::move(stage));
+  return Dataset<T>(ctx, std::move(out));
+}
+
+}  // namespace rankjoin::minispark
+
+#endif  // RANKJOIN_MINISPARK_DATASET_H_

@@ -1,0 +1,176 @@
+#ifndef RANKJOIN_MINISPARK_EXTRA_OPS_H_
+#define RANKJOIN_MINISPARK_EXTRA_OPS_H_
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "minispark/dataset.h"
+
+namespace rankjoin::minispark {
+
+/// Additional RDD-style operations that round out the Spark surface the
+/// paper's pipelines could draw on: value-side maps, sampled
+/// range-partitioned sort, aggregation, counting, and sampling.
+
+/// Transforms values, keeping keys (Spark mapValues — no shuffle).
+template <typename K, typename V, typename F>
+auto MapValues(const Dataset<std::pair<K, V>>& ds, F fn,
+               const std::string& name = "mapValues") {
+  using W = std::decay_t<decltype(fn(std::declval<const V&>()))>;
+  return ds.Map(
+      [fn = std::move(fn)](const std::pair<K, V>& kv) {
+        return std::pair<K, W>(kv.first, fn(kv.second));
+      },
+      name);
+}
+
+/// Projects the keys (Spark keys()).
+template <typename K, typename V>
+Dataset<K> Keys(const Dataset<std::pair<K, V>>& ds,
+                const std::string& name = "keys") {
+  return ds.Map([](const std::pair<K, V>& kv) { return kv.first; }, name);
+}
+
+/// Projects the values (Spark values()).
+template <typename K, typename V>
+Dataset<V> Values(const Dataset<std::pair<K, V>>& ds,
+                  const std::string& name = "values") {
+  return ds.Map([](const std::pair<K, V>& kv) { return kv.second; }, name);
+}
+
+/// Per-key aggregation with distinct accumulator type (Spark
+/// aggregateByKey): `seq(acc, value)` folds values into a per-key
+/// accumulator created from `zero`; `comb(a, b)` merges accumulators
+/// across map-side partials.
+template <typename K, typename V, typename A, typename Seq, typename Comb>
+Dataset<std::pair<K, A>> AggregateByKey(const Dataset<std::pair<K, V>>& ds,
+                                        A zero, Seq seq, Comb comb,
+                                        int n = -1,
+                                        const std::string& name =
+                                            "aggregateByKey") {
+  // Map-side partial aggregation.
+  Dataset<std::pair<K, A>> partial = ds.MapPartitionsWithIndex(
+      [zero, seq](int /*index*/, const std::vector<std::pair<K, V>>& part) {
+        std::unordered_map<K, size_t, ShuffleHasher> slot;
+        std::vector<std::pair<K, A>> out;
+        for (const auto& kv : part) {
+          auto [it, inserted] = slot.try_emplace(kv.first, out.size());
+          if (inserted) out.push_back({kv.first, zero});
+          out[it->second].second = seq(out[it->second].second, kv.second);
+        }
+        return out;
+      },
+      name + "/partial");
+  return ReduceByKey(partial, comb, n, name);
+}
+
+/// Counts records per key (Spark countByKey, but distributed — returns
+/// a dataset rather than a driver map).
+template <typename K, typename V>
+Dataset<std::pair<K, uint64_t>> CountByKey(
+    const Dataset<std::pair<K, V>>& ds, int n = -1,
+    const std::string& name = "countByKey") {
+  auto ones = ds.Map(
+      [](const std::pair<K, V>& kv) {
+        return std::pair<K, uint64_t>(kv.first, 1);
+      },
+      name + "/ones");
+  return ReduceByKey(ones, [](uint64_t a, uint64_t b) { return a + b; }, n,
+                     name);
+}
+
+/// Bernoulli sampling without replacement (Spark sample(false, f)).
+/// Deterministic per (seed, partition index).
+template <typename T>
+Dataset<T> Sample(const Dataset<T>& ds, double fraction, uint64_t seed = 13,
+                  const std::string& name = "sample") {
+  return ds.MapPartitionsWithIndex(
+      [fraction, seed](int index, const std::vector<T>& part) {
+        Rng rng(seed + static_cast<uint64_t>(index) * 0x9e3779b9ULL);
+        std::vector<T> out;
+        for (const T& t : part) {
+          if (rng.Bernoulli(fraction)) out.push_back(t);
+        }
+        return out;
+      },
+      name);
+}
+
+/// Sorts by key into `n` range partitions (Spark sortByKey): partition
+/// boundaries are estimated from a sample, records are range-shuffled,
+/// and each partition is sorted locally. Collect() then yields a fully
+/// sorted sequence. K must be less-than comparable.
+template <typename K, typename V>
+Dataset<std::pair<K, V>> SortByKey(const Dataset<std::pair<K, V>>& ds,
+                                   int n = -1,
+                                   const std::string& name = "sortByKey",
+                                   uint64_t seed = 29) {
+  Context* ctx = ds.context();
+  if (n <= 0) n = ctx->default_partitions();
+
+  // Boundary estimation from a key sample (Spark's RangePartitioner).
+  std::vector<K> sample;
+  {
+    Rng rng(seed);
+    const size_t total = ds.Count();
+    const double fraction =
+        total == 0 ? 0.0
+                   : std::min(1.0, static_cast<double>(n) * 24.0 /
+                                       static_cast<double>(total));
+    for (const auto& part : ds.partitions()) {
+      for (const auto& kv : part) {
+        if (rng.Bernoulli(fraction)) sample.push_back(kv.first);
+      }
+    }
+    std::sort(sample.begin(), sample.end());
+  }
+  std::vector<K> bounds;  // n-1 upper bounds
+  for (int b = 1; b < n && !sample.empty(); ++b) {
+    bounds.push_back(
+        sample[std::min(sample.size() - 1,
+                        sample.size() * static_cast<size_t>(b) /
+                            static_cast<size_t>(n))]);
+  }
+
+  // Range shuffle: output partition p holds keys in
+  // (bounds[p-1], bounds[p]]; partition order IS key-range order, so
+  // Collect() of the sorted partitions is globally sorted.
+  auto out = std::make_shared<typename Dataset<std::pair<K, V>>::Partitions>(
+      static_cast<size_t>(n));
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+  for (const auto& part : ds.partitions()) {
+    for (const auto& kv : part) {
+      const auto it =
+          std::lower_bound(bounds.begin(), bounds.end(), kv.first);
+      (*out)[static_cast<size_t>(it - bounds.begin())].push_back(kv);
+      ++records;
+      bytes += ApproxSize(kv);
+    }
+  }
+  StageMetrics sort_stage =
+      ctx->RunStage(name + "/sortLocal", n, [&out](int p) {
+        auto& dest = (*out)[static_cast<size_t>(p)];
+        std::sort(dest.begin(), dest.end(),
+                  [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
+                    return a.first < b.first;
+                  });
+      });
+  sort_stage.shuffle_records = records;
+  sort_stage.shuffle_bytes = bytes;
+  for (const auto& p : *out) {
+    sort_stage.max_partition_size =
+        std::max<uint64_t>(sort_stage.max_partition_size, p.size());
+  }
+  ctx->AddStage(std::move(sort_stage));
+  return Dataset<std::pair<K, V>>(ctx, std::move(out));
+}
+
+}  // namespace rankjoin::minispark
+
+#endif  // RANKJOIN_MINISPARK_EXTRA_OPS_H_

@@ -1,0 +1,84 @@
+#include "minispark/metrics.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+namespace rankjoin::minispark {
+
+double StageMetrics::TotalTaskSeconds() const {
+  double total = 0.0;
+  for (double t : task_seconds) total += t;
+  return total;
+}
+
+double StageMetrics::MaxTaskSeconds() const {
+  double max = 0.0;
+  for (double t : task_seconds) max = std::max(max, t);
+  return max;
+}
+
+double StageMetrics::SimulatedMakespan(int workers) const {
+  if (workers <= 0) workers = 1;
+  if (task_seconds.empty()) return 0.0;
+  std::vector<double> sorted = task_seconds;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  // Greedy LPT: assign each task to the currently least-loaded worker.
+  std::priority_queue<double, std::vector<double>, std::greater<double>> load;
+  for (int i = 0; i < workers; ++i) load.push(0.0);
+  for (double t : sorted) {
+    double least = load.top();
+    load.pop();
+    load.push(least + t);
+  }
+  double makespan = 0.0;
+  while (!load.empty()) {
+    makespan = std::max(makespan, load.top());
+    load.pop();
+  }
+  return makespan;
+}
+
+void JobMetrics::AddStage(StageMetrics stage) {
+  stages_.push_back(std::move(stage));
+}
+
+void JobMetrics::Clear() { stages_.clear(); }
+
+double JobMetrics::TotalTaskSeconds() const {
+  double total = 0.0;
+  for (const auto& s : stages_) total += s.TotalTaskSeconds();
+  return total;
+}
+
+double JobMetrics::SimulatedMakespan(int workers) const {
+  double total = 0.0;
+  for (const auto& s : stages_) total += s.SimulatedMakespan(workers);
+  return total;
+}
+
+uint64_t JobMetrics::TotalShuffleRecords() const {
+  uint64_t total = 0;
+  for (const auto& s : stages_) total += s.shuffle_records;
+  return total;
+}
+
+uint64_t JobMetrics::TotalShuffleBytes() const {
+  uint64_t total = 0;
+  for (const auto& s : stages_) total += s.shuffle_bytes;
+  return total;
+}
+
+std::string JobMetrics::ToString() const {
+  std::ostringstream os;
+  for (const auto& s : stages_) {
+    os << s.name << ": tasks=" << s.task_seconds.size()
+       << " cpu_s=" << s.TotalTaskSeconds()
+       << " max_task_s=" << s.MaxTaskSeconds()
+       << " shuffle_records=" << s.shuffle_records
+       << " max_partition=" << s.max_partition_size << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rankjoin::minispark

@@ -1,0 +1,62 @@
+#ifndef RANKJOIN_MINISPARK_METRICS_H_
+#define RANKJOIN_MINISPARK_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rankjoin::minispark {
+
+/// Per-stage execution record. One stage corresponds to one dataflow
+/// transformation executed over all partitions (one task per partition).
+struct StageMetrics {
+  std::string name;
+  /// Wall-clock seconds of each task (index = partition).
+  std::vector<double> task_seconds;
+  /// Records crossing a shuffle boundary into this stage (0 for narrow
+  /// transformations such as map/filter).
+  uint64_t shuffle_records = 0;
+  /// Approximate payload bytes of those records.
+  uint64_t shuffle_bytes = 0;
+  /// Elements in the largest output partition — the skew signal the
+  /// paper's repartitioning (Section 6) attacks.
+  uint64_t max_partition_size = 0;
+
+  /// Sum of all task times (total CPU demand of the stage).
+  double TotalTaskSeconds() const;
+  /// Longest single task (lower bound on distributed stage latency).
+  double MaxTaskSeconds() const;
+  /// Stage latency when tasks are greedily scheduled (longest processing
+  /// time first) onto `workers` parallel workers. This is the makespan a
+  /// Spark/YARN cluster with that many executor slots would approach, and
+  /// is what the scalability experiments (paper Fig. 7) report.
+  double SimulatedMakespan(int workers) const;
+};
+
+/// Accumulated metrics for a sequence of stages (a "job").
+class JobMetrics {
+ public:
+  void AddStage(StageMetrics stage);
+  void Clear();
+
+  const std::vector<StageMetrics>& stages() const { return stages_; }
+
+  /// Total CPU seconds across all stages.
+  double TotalTaskSeconds() const;
+  /// Sum of per-stage simulated makespans for a `workers`-slot cluster.
+  /// Stages are barriers in the RDD model, so makespans add up.
+  double SimulatedMakespan(int workers) const;
+  uint64_t TotalShuffleRecords() const;
+  uint64_t TotalShuffleBytes() const;
+
+  /// Multi-line human-readable per-stage summary.
+  std::string ToString() const;
+
+ private:
+  std::vector<StageMetrics> stages_;
+};
+
+}  // namespace rankjoin::minispark
+
+#endif  // RANKJOIN_MINISPARK_METRICS_H_

@@ -1,0 +1,69 @@
+#include "ranking/kendall.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace rankjoin {
+
+double KendallDistance(const Ranking& a, const Ranking& b, double p) {
+  RANKJOIN_CHECK(a.k() == b.k());
+  RANKJOIN_CHECK(p >= 0.0 && p <= 1.0);
+
+  // Union domain with ranks (-1 = absent).
+  std::unordered_map<ItemId, std::pair<int, int>> ranks;
+  for (int r = 0; r < a.k(); ++r) {
+    ranks[a.ItemAt(r)] = {r, -1};
+  }
+  for (int r = 0; r < b.k(); ++r) {
+    auto [it, inserted] = ranks.try_emplace(b.ItemAt(r), -1, r);
+    if (!inserted) it->second.second = r;
+  }
+  std::vector<std::pair<int, int>> entries;
+  entries.reserve(ranks.size());
+  for (const auto& [item, rank_pair] : ranks) entries.push_back(rank_pair);
+
+  double distance = 0.0;
+  for (size_t i = 0; i + 1 < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      const int ia = entries[i].first;
+      const int ja = entries[j].first;
+      const int ib = entries[i].second;
+      const int jb = entries[j].second;
+      const bool i_in_a = ia >= 0, j_in_a = ja >= 0;
+      const bool i_in_b = ib >= 0, j_in_b = jb >= 0;
+      if (i_in_a && j_in_a && i_in_b && j_in_b) {
+        // Case 1: ordered oppositely?
+        if ((ia < ja) != (ib < jb)) distance += 1;
+      } else if (i_in_a && j_in_a && (i_in_b != j_in_b)) {
+        // Case 2 (a-side): the item absent from b is implicitly last
+        // there; penalty if a ranks it ahead of the present one.
+        if (i_in_b ? (ja < ia) : (ia < ja)) distance += 1;
+      } else if (i_in_b && j_in_b && (i_in_a != j_in_a)) {
+        // Case 2 (b-side).
+        if (i_in_a ? (jb < ib) : (ib < jb)) distance += 1;
+      } else if ((i_in_a && !i_in_b && j_in_b && !j_in_a) ||
+                 (j_in_a && !j_in_b && i_in_b && !i_in_a)) {
+        // Case 3: each item exclusive to a different list.
+        distance += 1;
+      } else {
+        // Case 4: both items confined to the same list.
+        distance += p;
+      }
+    }
+  }
+  return distance;
+}
+
+double MaxKendall(int k, double p) {
+  const double cross = static_cast<double>(k) * k;
+  const double confined = static_cast<double>(k) * (k - 1) / 2.0;
+  return cross + 2.0 * p * confined;
+}
+
+double NormalizeKendall(double raw, int k, double p) {
+  return raw / MaxKendall(k, p);
+}
+
+}  // namespace rankjoin

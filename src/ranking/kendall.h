@@ -1,0 +1,41 @@
+#ifndef RANKJOIN_RANKING_KENDALL_H_
+#define RANKJOIN_RANKING_KENDALL_H_
+
+#include "ranking/ranking.h"
+
+namespace rankjoin {
+
+/// Kendall's tau adaptation for top-k lists, K^(p) (Fagin et al.,
+/// referenced by the paper's Section 3 as the alternative distance).
+///
+/// For every unordered item pair {i, j} from the union of the two
+/// domains, the penalty is:
+///   - both items in both lists: 1 if the lists order them oppositely;
+///   - i, j in one list, exactly one of them in the other: 1 if the
+///     list containing both ranks the absent-elsewhere item ahead
+///     (the other list implicitly ranks it behind);
+///   - i only in one list, j only in the other: 1 (implicitly opposite);
+///   - i, j both confined to a single list: the penalty parameter p
+///     (p = 0 is the "optimistic" K^(0)).
+///
+/// Unlike the Footrule adaptation with l = k (an exact L1 metric, see
+/// footrule.h), K^(p) is only a *near*-metric: the triangle inequality
+/// holds up to a constant relaxation factor (2). The join pipelines in
+/// this repository therefore use Footrule; Kendall is provided for
+/// analysis and result post-processing, with the Diaconis-Graham
+/// relation K <= F <= 2K available as a sanity bridge on permutations.
+
+/// Raw K^(p) distance. Both rankings must have the same k.
+/// O(|union|^2) — fine for top-k lists (k <= a few dozen).
+double KendallDistance(const Ranking& a, const Ranking& b, double p = 0.0);
+
+/// Maximum K^(p) between two top-k lists (attained by disjoint lists):
+/// k^2 cross pairs plus 2 * p * C(k,2) confined pairs.
+double MaxKendall(int k, double p = 0.0);
+
+/// Normalizes a raw K^(p) value into [0, 1].
+double NormalizeKendall(double raw, int k, double p = 0.0);
+
+}  // namespace rankjoin
+
+#endif  // RANKJOIN_RANKING_KENDALL_H_

@@ -1,0 +1,45 @@
+#include "ranking/prefix.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "ranking/footrule.h"
+
+namespace rankjoin {
+
+int MinOverlap(uint32_t raw_theta, int k) {
+  RANKJOIN_CHECK(k >= 1);
+  // Smallest o in [0, k] with (k-o)*(k-o+1) <= raw_theta. The product is
+  // decreasing in o, so a linear scan from o = 0 finds the minimum; k is
+  // tiny (10..25) so closed-form sqrt is not worth the floating-point
+  // edge cases.
+  for (int o = 0; o <= k; ++o) {
+    const uint32_t m = static_cast<uint32_t>(k - o);
+    if (m * (m + 1) <= raw_theta) return o;
+  }
+  return k;  // unreachable: o = k gives 0 <= raw_theta
+}
+
+int OverlapPrefix(uint32_t raw_theta, int k) {
+  const int o = MinOverlap(raw_theta, k);
+  // o == 0 would require indexing k+1 items; the join algorithms must
+  // reject thresholds that allow disjoint qualifying pairs up front.
+  RANKJOIN_CHECK(o >= 1) << "prefix filtering needs raw_theta < k*(k+1)";
+  return std::clamp(k - o + 1, 1, k);
+}
+
+int OrderedPrefix(uint32_t raw_theta, int k) {
+  // Smallest p with 2*p^2 > raw_theta, i.e. floor(sqrt(raw_theta/2)) + 1.
+  // Integer scan again; p <= k.
+  for (int p = 1; p <= k; ++p) {
+    const uint32_t pp = static_cast<uint32_t>(p);
+    if (2 * pp * pp > raw_theta) return p;
+  }
+  return k;
+}
+
+bool OrderedPrefixApplicable(uint32_t raw_theta, int k) {
+  return 2 * raw_theta < static_cast<uint32_t>(k) * static_cast<uint32_t>(k);
+}
+
+}  // namespace rankjoin

@@ -1,0 +1,49 @@
+#include "ranking/ranking.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace rankjoin {
+
+int Ranking::RankOf(ItemId item) const {
+  for (size_t r = 0; r < items_.size(); ++r) {
+    if (items_[r] == item) return static_cast<int>(r);
+  }
+  return -1;
+}
+
+bool Ranking::IsValid() const {
+  std::unordered_set<ItemId> seen;
+  for (ItemId item : items_) {
+    if (!seen.insert(item).second) return false;
+  }
+  return true;
+}
+
+std::string Ranking::ToString() const {
+  std::ostringstream os;
+  os << id_ << ": [";
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << items_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Status RankingDataset::Validate() const {
+  for (const Ranking& r : rankings) {
+    if (r.k() != k) {
+      return Status::InvalidArgument("ranking " + std::to_string(r.id()) +
+                                     " has length " + std::to_string(r.k()) +
+                                     ", expected " + std::to_string(k));
+    }
+    if (!r.IsValid()) {
+      return Status::InvalidArgument("ranking " + std::to_string(r.id()) +
+                                     " contains duplicate items");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rankjoin

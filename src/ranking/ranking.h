@@ -1,0 +1,88 @@
+#ifndef RANKJOIN_RANKING_RANKING_H_
+#define RANKJOIN_RANKING_RANKING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rankjoin {
+
+/// Identifier of a ranked item (paper: items are represented by ids).
+using ItemId = uint32_t;
+/// Identifier of a ranking within a dataset.
+using RankingId = uint32_t;
+
+/// A fixed-length top-k list: a bijection from k distinct items onto the
+/// ranks {0, ..., k-1} (paper Section 3; rank 0 is the top item).
+class Ranking {
+ public:
+  Ranking() = default;
+  Ranking(RankingId id, std::vector<ItemId> items)
+      : id_(id), items_(std::move(items)) {}
+
+  RankingId id() const { return id_; }
+  int k() const { return static_cast<int>(items_.size()); }
+  const std::vector<ItemId>& items() const { return items_; }
+
+  /// Item at rank `r` (0-based; 0 = top).
+  ItemId ItemAt(int r) const { return items_[static_cast<size_t>(r)]; }
+
+  /// Rank of `item`, or -1 if the item is not in the list. Linear scan —
+  /// k is small (10..25); hot paths use OrderedRanking instead.
+  int RankOf(ItemId item) const;
+
+  /// True if all items are distinct (a valid top-k list).
+  bool IsValid() const;
+
+  /// "id: [i0, i1, ...]" for debugging and examples.
+  std::string ToString() const;
+
+  friend bool operator==(const Ranking& a, const Ranking& b) {
+    return a.id_ == b.id_ && a.items_ == b.items_;
+  }
+
+ private:
+  RankingId id_ = 0;
+  std::vector<ItemId> items_;
+};
+
+/// A dataset of fixed-length rankings, all sharing the same k.
+struct RankingDataset {
+  int k = 0;
+  std::vector<Ranking> rankings;
+
+  size_t size() const { return rankings.size(); }
+
+  /// Validates the fixed-k and distinct-items invariants.
+  Status Validate() const;
+};
+
+/// One (item, original rank) entry of a reordered ranking.
+struct ItemEntry {
+  ItemId item = 0;
+  uint16_t rank = 0;
+
+  friend bool operator==(const ItemEntry& a, const ItemEntry& b) {
+    return a.item == b.item && a.rank == b.rank;
+  }
+};
+
+/// A ranking transformed for join processing (paper Section 4 / Fig. 3):
+/// items carry their original rank, and two orders are materialized —
+/// the canonical (ascending global frequency) order that determines
+/// prefixes, and an item-id order enabling O(k) merge-join distance
+/// computation.
+struct OrderedRanking {
+  RankingId id = 0;
+  uint16_t k = 0;
+  /// Entries in canonical order; the prefix of size p is the first p.
+  std::vector<ItemEntry> canonical;
+  /// The same entries sorted by item id.
+  std::vector<ItemEntry> by_item;
+};
+
+}  // namespace rankjoin
+
+#endif  // RANKJOIN_RANKING_RANKING_H_

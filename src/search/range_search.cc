@@ -1,0 +1,213 @@
+#include "search/range_search.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "ranking/footrule.h"
+#include "ranking/prefix.h"
+
+namespace rankjoin {
+
+Result<PrefixRangeIndex> PrefixRangeIndex::Build(
+    const RankingDataset& dataset, double max_theta) {
+  if (dataset.k < 1) {
+    return Status::InvalidArgument("dataset k must be >= 1");
+  }
+  if (max_theta < 0.0 || max_theta >= 1.0) {
+    return Status::InvalidArgument("max_theta must be in [0, 1)");
+  }
+  RANKJOIN_RETURN_NOT_OK(dataset.Validate());
+
+  PrefixRangeIndex index;
+  index.k_ = dataset.k;
+  index.max_theta_ = max_theta;
+  index.order_ =
+      ItemOrder::FromFrequencies(CountItemFrequencies(dataset.rankings));
+  index.ordered_ = MakeOrderedDataset(dataset.rankings, index.order_);
+
+  const int prefix =
+      OverlapPrefix(RawThreshold(max_theta, dataset.k), dataset.k);
+  for (uint32_t pos = 0; pos < index.ordered_.size(); ++pos) {
+    const OrderedRanking& r = index.ordered_[pos];
+    const size_t p =
+        std::min(static_cast<size_t>(prefix), r.canonical.size());
+    for (size_t i = 0; i < p; ++i) {
+      index.index_[r.canonical[i].item].push_back(
+          {pos, r.canonical[i].rank});
+    }
+  }
+  return index;
+}
+
+Result<std::vector<RankingId>> PrefixRangeIndex::Query(
+    const Ranking& query, double theta, JoinStats* stats) const {
+  if (query.k() != k_) {
+    return Status::InvalidArgument("query length differs from index k");
+  }
+  if (theta < 0.0 || theta > max_theta_) {
+    return Status::InvalidArgument(
+        "theta must be within the index's max_theta");
+  }
+  JoinStats local;
+  if (stats == nullptr) stats = &local;
+
+  const uint32_t raw_theta = RawThreshold(theta, k_);
+  const int prefix = OverlapPrefix(raw_theta, k_);
+  const OrderedRanking q = MakeOrdered(query, order_);
+
+  // Stamp-based candidate set over positions: 0 = unseen this query.
+  std::vector<uint8_t> state(ordered_.size(), 0);  // 1 alive, 2 dead
+  std::vector<uint32_t> alive;
+  const size_t p = std::min(static_cast<size_t>(prefix), q.canonical.size());
+  for (size_t i = 0; i < p; ++i) {
+    const ItemEntry& entry = q.canonical[i];
+    auto it = index_.find(entry.item);
+    if (it == index_.end()) continue;
+    for (const auto& [pos, rank] : it->second) {
+      if (state[pos] == 2) continue;
+      if (!PositionFilterPasses(entry.rank, rank, raw_theta)) {
+        if (state[pos] == 0) ++stats->candidates;
+        if (state[pos] != 2) ++stats->position_filtered;
+        state[pos] = 2;
+        continue;
+      }
+      if (state[pos] == 0) {
+        state[pos] = 1;
+        alive.push_back(pos);
+        ++stats->candidates;
+      }
+    }
+  }
+
+  std::vector<RankingId> result;
+  for (uint32_t pos : alive) {
+    if (state[pos] != 1) continue;
+    const OrderedRanking& candidate = ordered_[pos];
+    if (candidate.id == query.id()) continue;
+    ++stats->verified;
+    if (FootruleDistanceBounded(q, candidate, raw_theta).has_value()) {
+      result.push_back(candidate.id);
+    }
+  }
+  stats->result_pairs += result.size();
+  return result;
+}
+
+Result<CoarseRangeIndex> CoarseRangeIndex::Build(
+    const RankingDataset& dataset, int num_pivots, uint64_t seed) {
+  if (dataset.k < 1) {
+    return Status::InvalidArgument("dataset k must be >= 1");
+  }
+  if (num_pivots < 1) {
+    return Status::InvalidArgument("num_pivots must be >= 1");
+  }
+  RANKJOIN_RETURN_NOT_OK(dataset.Validate());
+
+  CoarseRangeIndex index;
+  index.k_ = dataset.k;
+  index.ordered_ = MakeOrderedDataset(dataset.rankings, ItemOrder());
+  const size_t n = index.ordered_.size();
+  if (n == 0) return index;
+
+  const size_t pivots =
+      std::min(static_cast<size_t>(num_pivots), n);
+
+  // Greedy farthest-first pivot selection: spreads the pivots out so
+  // group radii stay small (tight triangle pruning).
+  Rng rng(seed);
+  std::vector<uint32_t> pivot_positions;
+  pivot_positions.push_back(static_cast<uint32_t>(rng.Uniform(n)));
+  std::vector<uint32_t> nearest_distance(
+      n, std::numeric_limits<uint32_t>::max());
+  std::vector<uint32_t> nearest_pivot(n, 0);
+  auto relax = [&](size_t pivot_index) {
+    const OrderedRanking& pivot =
+        index.ordered_[pivot_positions[pivot_index]];
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t d = FootruleDistance(pivot, index.ordered_[i]);
+      if (d < nearest_distance[i]) {
+        nearest_distance[i] = d;
+        nearest_pivot[i] = static_cast<uint32_t>(pivot_index);
+      }
+    }
+  };
+  relax(0);
+  while (pivot_positions.size() < pivots) {
+    size_t farthest = 0;
+    for (size_t i = 1; i < n; ++i) {
+      if (nearest_distance[i] > nearest_distance[farthest]) farthest = i;
+    }
+    if (nearest_distance[farthest] == 0) break;  // all points covered
+    pivot_positions.push_back(static_cast<uint32_t>(farthest));
+    relax(pivot_positions.size() - 1);
+  }
+
+  index.groups_.resize(pivot_positions.size());
+  for (size_t g = 0; g < pivot_positions.size(); ++g) {
+    index.groups_[g].pivot_position = pivot_positions[g];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Group& group = index.groups_[nearest_pivot[i]];
+    group.members.push_back(
+        {static_cast<uint32_t>(i), nearest_distance[i]});
+    group.radius = std::max(group.radius, nearest_distance[i]);
+  }
+  return index;
+}
+
+Result<std::vector<RankingId>> CoarseRangeIndex::Query(
+    const Ranking& query, double theta, JoinStats* stats) const {
+  if (query.k() != k_) {
+    return Status::InvalidArgument("query length differs from index k");
+  }
+  if (theta < 0.0 || theta >= 1.0) {
+    return Status::InvalidArgument("theta must be in [0, 1)");
+  }
+  JoinStats local;
+  if (stats == nullptr) stats = &local;
+
+  const uint32_t raw_theta = RawThreshold(theta, k_);
+  const OrderedRanking q = MakeOrdered(query, ItemOrder());
+
+  std::vector<RankingId> result;
+  for (const Group& group : groups_) {
+    const OrderedRanking& pivot = ordered_[group.pivot_position];
+    ++stats->verified;
+    const uint32_t dq = FootruleDistance(q, pivot);
+    // Whole-group pruning: every member m satisfies
+    // d(q, m) >= d(q, pivot) - d(pivot, m) >= dq - radius.
+    if (dq > group.radius + raw_theta) {
+      stats->triangle_filtered += group.members.size();
+      continue;
+    }
+    for (const Member& member : group.members) {
+      const OrderedRanking& candidate = ordered_[member.position];
+      if (candidate.id == query.id()) continue;
+      ++stats->candidates;
+      // Per-member triangle bound through the pivot.
+      const uint32_t lower = dq > member.distance_to_pivot
+                                 ? dq - member.distance_to_pivot
+                                 : member.distance_to_pivot - dq;
+      if (lower > raw_theta) {
+        ++stats->triangle_filtered;
+        continue;
+      }
+      // Upper bound: qualification without verification.
+      if (dq + member.distance_to_pivot <= raw_theta) {
+        ++stats->emitted_unverified;
+        result.push_back(candidate.id);
+        continue;
+      }
+      ++stats->verified;
+      if (FootruleDistanceBounded(q, candidate, raw_theta).has_value()) {
+        result.push_back(candidate.id);
+      }
+    }
+  }
+  stats->result_pairs += result.size();
+  return result;
+}
+
+}  // namespace rankjoin

@@ -1,0 +1,80 @@
+#include "join/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generator.h"
+#include "ranking/footrule.h"
+
+namespace rankjoin {
+namespace {
+
+TEST(BruteForceTest, HandComputedPairs) {
+  RankingDataset ds;
+  ds.k = 3;
+  ds.rankings = {
+      Ranking(0, {1, 2, 3}),
+      Ranking(1, {2, 1, 3}),   // distance 2 to ranking 0
+      Ranking(2, {7, 8, 9}),   // disjoint from both
+  };
+  // Raw threshold for theta: MaxFootrule(3) = 12; theta = 0.2 -> raw 2.
+  JoinResult result = BruteForceJoin(ds, 0.2);
+  ASSERT_EQ(result.pairs.size(), 1u);
+  EXPECT_EQ(result.pairs[0], MakeResultPair(0, 1));
+  EXPECT_EQ(result.stats.candidates, 3u);
+  EXPECT_EQ(result.stats.result_pairs, 1u);
+}
+
+TEST(BruteForceTest, ThetaZeroFindsExactDuplicates) {
+  RankingDataset ds;
+  ds.k = 3;
+  ds.rankings = {
+      Ranking(0, {1, 2, 3}),
+      Ranking(1, {1, 2, 3}),
+      Ranking(2, {1, 3, 2}),
+  };
+  JoinResult result = BruteForceJoin(ds, 0.0);
+  ASSERT_EQ(result.pairs.size(), 1u);
+  EXPECT_EQ(result.pairs[0], MakeResultPair(0, 1));
+}
+
+TEST(BruteForceTest, EmptyAndSingletonDatasets) {
+  RankingDataset ds;
+  ds.k = 5;
+  EXPECT_TRUE(BruteForceJoin(ds, 0.3).pairs.empty());
+  ds.rankings = {Ranking(0, {1, 2, 3, 4, 5})};
+  EXPECT_TRUE(BruteForceJoin(ds, 0.3).pairs.empty());
+}
+
+TEST(BruteForceTest, PairsAreNormalizedAndUnique) {
+  GeneratorOptions options;
+  options.num_rankings = 200;
+  options.domain_size = 150;
+  options.seed = 17;
+  RankingDataset ds = GenerateDataset(options);
+  JoinResult result = BruteForceJoin(ds, 0.3);
+  std::set<ResultPair> seen;
+  for (const ResultPair& p : result.pairs) {
+    EXPECT_LT(p.first, p.second);
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate pair";
+  }
+}
+
+TEST(BruteForceTest, LargerThetaIsSuperset) {
+  GeneratorOptions options;
+  options.num_rankings = 150;
+  options.domain_size = 100;
+  options.seed = 19;
+  RankingDataset ds = GenerateDataset(options);
+  auto small = BruteForceJoin(ds, 0.2);
+  auto large = BruteForceJoin(ds, 0.4);
+  std::set<ResultPair> large_set(large.pairs.begin(), large.pairs.end());
+  EXPECT_GE(large.pairs.size(), small.pairs.size());
+  for (const ResultPair& p : small.pairs) {
+    EXPECT_TRUE(large_set.count(p)) << p.first << "," << p.second;
+  }
+}
+
+}  // namespace
+}  // namespace rankjoin

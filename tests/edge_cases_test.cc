@@ -1,0 +1,170 @@
+// Cross-algorithm edge cases: degenerate datasets, extreme thresholds,
+// and tiny k — every configuration must behave, not crash, and agree
+// with brute force.
+
+#include <gtest/gtest.h>
+
+#include "core/similarity_join.h"
+#include "tests/test_util.h"
+
+namespace rankjoin {
+namespace {
+
+using testutil::PairSet;
+using testutil::TestCluster;
+using testutil::Truth;
+
+std::vector<Algorithm> AllDistributed() {
+  return {Algorithm::kVJ, Algorithm::kVJNL, Algorithm::kCL,
+          Algorithm::kCLP, Algorithm::kVSmart};
+}
+
+SimilarityJoinConfig BaseConfig(Algorithm algorithm, double theta) {
+  SimilarityJoinConfig config;
+  config.algorithm = algorithm;
+  config.theta = theta;
+  config.theta_c = std::min(0.03, theta);
+  config.delta = 16;
+  return config;
+}
+
+TEST(EdgeCaseTest, EmptyDataset) {
+  RankingDataset ds;
+  ds.k = 10;
+  minispark::Context ctx(TestCluster());
+  for (Algorithm algorithm : AllDistributed()) {
+    auto result = RunSimilarityJoin(&ctx, ds, BaseConfig(algorithm, 0.3));
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
+    EXPECT_TRUE(result->pairs.empty());
+  }
+}
+
+TEST(EdgeCaseTest, SingleRanking) {
+  RankingDataset ds;
+  ds.k = 5;
+  ds.rankings = {Ranking(0, {1, 2, 3, 4, 5})};
+  minispark::Context ctx(TestCluster());
+  for (Algorithm algorithm : AllDistributed()) {
+    auto result = RunSimilarityJoin(&ctx, ds, BaseConfig(algorithm, 0.3));
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
+    EXPECT_TRUE(result->pairs.empty());
+  }
+}
+
+TEST(EdgeCaseTest, TwoIdenticalRankings) {
+  RankingDataset ds;
+  ds.k = 5;
+  ds.rankings = {Ranking(0, {1, 2, 3, 4, 5}), Ranking(1, {1, 2, 3, 4, 5})};
+  minispark::Context ctx(TestCluster());
+  for (Algorithm algorithm : AllDistributed()) {
+    auto result = RunSimilarityJoin(&ctx, ds, BaseConfig(algorithm, 0.0));
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
+    ASSERT_EQ(result->pairs.size(), 1u) << AlgorithmName(algorithm);
+    EXPECT_EQ(result->pairs[0], MakeResultPair(0, 1));
+  }
+}
+
+TEST(EdgeCaseTest, ThetaZeroOnRandomData) {
+  GeneratorOptions generator;
+  generator.k = 10;
+  generator.num_rankings = 200;
+  generator.domain_size = 100;
+  generator.exact_duplicate_rate = 0.2;
+  generator.seed = 808;
+  RankingDataset ds = GenerateDataset(generator);
+  minispark::Context ctx(TestCluster());
+  std::set<ResultPair> expected = Truth(ds, 0.0);
+  EXPECT_FALSE(expected.empty());  // exact duplicates planted
+  for (Algorithm algorithm : AllDistributed()) {
+    auto result = RunSimilarityJoin(&ctx, ds, BaseConfig(algorithm, 0.0));
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
+    EXPECT_EQ(PairSet(result->pairs), expected) << AlgorithmName(algorithm);
+  }
+}
+
+TEST(EdgeCaseTest, KEqualsOne) {
+  // Top-1 "rankings": similarity collapses to equality of the single
+  // item (max distance = 2).
+  RankingDataset ds;
+  ds.k = 1;
+  ds.rankings = {Ranking(0, {5}), Ranking(1, {5}), Ranking(2, {9})};
+  minispark::Context ctx(TestCluster());
+  for (Algorithm algorithm : AllDistributed()) {
+    auto result = RunSimilarityJoin(&ctx, ds, BaseConfig(algorithm, 0.4));
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
+    EXPECT_EQ(PairSet(result->pairs), Truth(ds, 0.4))
+        << AlgorithmName(algorithm);
+  }
+}
+
+TEST(EdgeCaseTest, KEqualsTwo) {
+  GeneratorOptions generator;
+  generator.k = 2;
+  generator.num_rankings = 150;
+  generator.domain_size = 12;
+  generator.seed = 809;
+  RankingDataset ds = GenerateDataset(generator);
+  minispark::Context ctx(TestCluster());
+  for (double theta : {0.1, 0.5}) {
+    std::set<ResultPair> expected = Truth(ds, theta);
+    for (Algorithm algorithm : AllDistributed()) {
+      auto result =
+          RunSimilarityJoin(&ctx, ds, BaseConfig(algorithm, theta));
+      ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
+      EXPECT_EQ(PairSet(result->pairs), expected)
+          << AlgorithmName(algorithm) << " theta " << theta;
+    }
+  }
+}
+
+TEST(EdgeCaseTest, HighThresholdNearLimit) {
+  // theta = 0.9: prefix is nearly the whole ranking; everything still
+  // agrees with brute force. (CL needs theta + 2*theta_c < 1.)
+  GeneratorOptions generator;
+  generator.k = 10;
+  generator.num_rankings = 120;
+  generator.domain_size = 60;
+  generator.seed = 810;
+  RankingDataset ds = GenerateDataset(generator);
+  minispark::Context ctx(TestCluster());
+  std::set<ResultPair> expected = Truth(ds, 0.9);
+  for (Algorithm algorithm : AllDistributed()) {
+    SimilarityJoinConfig config = BaseConfig(algorithm, 0.9);
+    auto result = RunSimilarityJoin(&ctx, ds, config);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
+    EXPECT_EQ(PairSet(result->pairs), expected) << AlgorithmName(algorithm);
+  }
+}
+
+TEST(EdgeCaseTest, AllRankingsIdentical) {
+  RankingDataset ds;
+  ds.k = 4;
+  for (RankingId id = 0; id < 30; ++id) {
+    ds.rankings.emplace_back(id, std::vector<ItemId>{1, 2, 3, 4});
+  }
+  minispark::Context ctx(TestCluster());
+  const size_t all_pairs = 30 * 29 / 2;
+  for (Algorithm algorithm : AllDistributed()) {
+    auto result = RunSimilarityJoin(&ctx, ds, BaseConfig(algorithm, 0.1));
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
+    EXPECT_EQ(result->pairs.size(), all_pairs) << AlgorithmName(algorithm);
+  }
+}
+
+TEST(EdgeCaseTest, SparseIdsSupported) {
+  // Non-dense ranking ids must work through every pipeline.
+  RankingDataset ds;
+  ds.k = 3;
+  ds.rankings = {Ranking(100, {1, 2, 3}), Ranking(2000, {1, 2, 3}),
+                 Ranking(77777, {2, 1, 3})};
+  minispark::Context ctx(TestCluster());
+  for (Algorithm algorithm : AllDistributed()) {
+    auto result = RunSimilarityJoin(&ctx, ds, BaseConfig(algorithm, 0.2));
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
+    EXPECT_EQ(PairSet(result->pairs), Truth(ds, 0.2))
+        << AlgorithmName(algorithm);
+  }
+}
+
+}  // namespace
+}  // namespace rankjoin

@@ -1,0 +1,161 @@
+#include "minispark/extra_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace rankjoin::minispark {
+namespace {
+
+Context::Options SmallCluster() {
+  Context::Options options;
+  options.num_workers = 4;
+  options.default_partitions = 4;
+  return options;
+}
+
+TEST(MapValuesTest, TransformsOnlyValues) {
+  Context ctx(SmallCluster());
+  std::vector<std::pair<int, int>> data = {{1, 10}, {2, 20}};
+  auto ds = Parallelize(&ctx, data, 2);
+  auto mapped = MapValues(ds, [](const int& v) { return v / 10; });
+  auto collected = mapped.Collect();
+  ASSERT_EQ(collected.size(), 2u);
+  for (const auto& [k, v] : collected) EXPECT_EQ(k, v);
+}
+
+TEST(KeysValuesTest, Project) {
+  Context ctx(SmallCluster());
+  std::vector<std::pair<int, std::string>> data = {{1, "a"}, {2, "b"}};
+  auto ds = Parallelize(&ctx, data, 2);
+  EXPECT_EQ(Keys(ds).Collect(), (std::vector<int>{1, 2}));
+  EXPECT_EQ(Values(ds).Collect(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(AggregateByKeyTest, DistinctAccumulatorType) {
+  Context ctx(SmallCluster());
+  // Average per key: accumulator = (sum, count).
+  std::vector<std::pair<int, double>> data;
+  for (int i = 0; i < 60; ++i) {
+    data.push_back({i % 3, static_cast<double>(i)});
+  }
+  auto ds = Parallelize(&ctx, data, 4);
+  using Acc = std::pair<double, int>;
+  auto agg = AggregateByKey(
+      ds, Acc{0.0, 0},
+      [](Acc acc, double v) {
+        acc.first += v;
+        acc.second += 1;
+        return acc;
+      },
+      [](Acc a, const Acc& b) {
+        a.first += b.first;
+        a.second += b.second;
+        return a;
+      },
+      2);
+  auto collected = agg.Collect();
+  ASSERT_EQ(collected.size(), 3u);
+  for (const auto& [key, acc] : collected) {
+    EXPECT_EQ(acc.second, 20);
+    // Keys 0,1,2: arithmetic series sums.
+    double expected = 0;
+    for (int i = key; i < 60; i += 3) expected += i;
+    EXPECT_DOUBLE_EQ(acc.first, expected);
+  }
+}
+
+TEST(CountByKeyTest, Counts) {
+  Context ctx(SmallCluster());
+  std::vector<std::pair<std::string, int>> data;
+  for (int i = 0; i < 10; ++i) data.push_back({"a", i});
+  for (int i = 0; i < 5; ++i) data.push_back({"b", i});
+  auto ds = Parallelize(&ctx, data, 3);
+  auto counts = CountByKey(ds, 2).Collect();
+  ASSERT_EQ(counts.size(), 2u);
+  for (const auto& [key, count] : counts) {
+    EXPECT_EQ(count, key == "a" ? 10u : 5u);
+  }
+}
+
+TEST(SampleTest, FractionRoughlyRespected) {
+  Context ctx(SmallCluster());
+  std::vector<int> data(10000);
+  std::iota(data.begin(), data.end(), 0);
+  auto ds = Parallelize(&ctx, data, 8);
+  const size_t sampled = Sample(ds, 0.3).Count();
+  EXPECT_GT(sampled, 2500u);
+  EXPECT_LT(sampled, 3500u);
+  // Edge fractions.
+  EXPECT_EQ(Sample(ds, 0.0).Count(), 0u);
+  EXPECT_EQ(Sample(ds, 1.0).Count(), 10000u);
+}
+
+TEST(SampleTest, DeterministicForSeed) {
+  Context ctx(SmallCluster());
+  std::vector<int> data(1000);
+  std::iota(data.begin(), data.end(), 0);
+  auto ds = Parallelize(&ctx, data, 4);
+  EXPECT_EQ(Sample(ds, 0.5, 7).Collect(), Sample(ds, 0.5, 7).Collect());
+}
+
+TEST(SortByKeyTest, GloballySorted) {
+  Context ctx(SmallCluster());
+  Rng rng(3);
+  std::vector<std::pair<int, int>> data;
+  for (int i = 0; i < 5000; ++i) {
+    data.push_back({static_cast<int>(rng.Uniform(100000)), i});
+  }
+  auto ds = Parallelize(&ctx, data, 8);
+  auto sorted = SortByKey(ds, 6);
+  EXPECT_EQ(sorted.num_partitions(), 6);
+  auto collected = sorted.Collect();
+  ASSERT_EQ(collected.size(), data.size());
+  EXPECT_TRUE(std::is_sorted(
+      collected.begin(), collected.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+}
+
+TEST(SortByKeyTest, RangePartitionsAreBalancedOnUniformKeys) {
+  Context ctx(SmallCluster());
+  Rng rng(5);
+  std::vector<std::pair<int, int>> data;
+  for (int i = 0; i < 20000; ++i) {
+    data.push_back({static_cast<int>(rng.Uniform(1 << 20)), i});
+  }
+  auto ds = Parallelize(&ctx, data, 8);
+  auto sorted = SortByKey(ds, 5);
+  // Sampled boundaries should keep the largest partition within ~3x of
+  // the ideal share.
+  EXPECT_LT(sorted.MaxPartitionSize(), 3u * 20000u / 5u);
+}
+
+TEST(SortByKeyTest, HandlesEmptyAndTiny) {
+  Context ctx(SmallCluster());
+  auto empty = Parallelize(&ctx, std::vector<std::pair<int, int>>{}, 2);
+  EXPECT_EQ(SortByKey(empty, 3).Count(), 0u);
+
+  auto single =
+      Parallelize(&ctx, std::vector<std::pair<int, int>>{{5, 1}}, 2);
+  auto collected = SortByKey(single, 3).Collect();
+  ASSERT_EQ(collected.size(), 1u);
+  EXPECT_EQ(collected[0].first, 5);
+}
+
+TEST(SortByKeyTest, DuplicateKeysPreserved) {
+  Context ctx(SmallCluster());
+  std::vector<std::pair<int, int>> data = {{1, 1}, {1, 2}, {1, 3}, {0, 4}};
+  auto ds = Parallelize(&ctx, data, 2);
+  auto collected = SortByKey(ds, 2).Collect();
+  ASSERT_EQ(collected.size(), 4u);
+  EXPECT_EQ(collected[0].first, 0);
+  int ones = 0;
+  for (const auto& [k, v] : collected) ones += k == 1;
+  EXPECT_EQ(ones, 3);
+}
+
+}  // namespace
+}  // namespace rankjoin::minispark

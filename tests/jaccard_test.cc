@@ -1,0 +1,223 @@
+#include "jaccard/jaccard_join.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "jaccard/jaccard.h"
+#include "ranking/reorder.h"
+#include "tests/test_util.h"
+
+namespace rankjoin {
+namespace {
+
+using testutil::PairSet;
+using testutil::SmallSkewedDataset;
+using testutil::TestCluster;
+
+OrderedRanking AsSet(RankingId id, std::vector<ItemId> items) {
+  return MakeOrdered(Ranking(id, std::move(items)), ItemOrder());
+}
+
+TEST(JaccardMathTest, OverlapByMerge) {
+  OrderedRanking a = AsSet(0, {1, 5, 9, 3});
+  OrderedRanking b = AsSet(1, {9, 2, 3, 7});
+  EXPECT_EQ(SetOverlap(a, b), 2);
+  EXPECT_EQ(SetOverlap(a, a), 4);
+  OrderedRanking c = AsSet(2, {100, 200, 300, 400});
+  EXPECT_EQ(SetOverlap(a, c), 0);
+}
+
+TEST(JaccardMathTest, DistanceFromOverlap) {
+  // k = 4: identical -> 0; disjoint -> 1; overlap 2 -> 1 - 2/6 = 2/3.
+  EXPECT_DOUBLE_EQ(JaccardDistanceFromOverlap(4, 4), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardDistanceFromOverlap(0, 4), 1.0);
+  EXPECT_NEAR(JaccardDistanceFromOverlap(2, 4), 2.0 / 3.0, 1e-12);
+}
+
+TEST(JaccardMathTest, DistanceIgnoresOrder) {
+  OrderedRanking a = AsSet(0, {1, 2, 3, 4});
+  OrderedRanking b = AsSet(1, {4, 3, 2, 1});
+  EXPECT_DOUBLE_EQ(JaccardDistance(a, b), 0.0);
+}
+
+TEST(JaccardMathTest, TriangleInequality) {
+  GeneratorOptions options;
+  options.k = 10;
+  options.num_rankings = 80;
+  options.domain_size = 30;
+  options.seed = 404;
+  RankingDataset ds = GenerateDataset(options);
+  auto ordered = MakeOrderedDataset(ds.rankings, ItemOrder());
+  for (size_t a = 0; a < 40; ++a) {
+    for (size_t b = 0; b < 40; ++b) {
+      for (size_t c = 0; c < 40; c += 7) {
+        EXPECT_LE(JaccardDistance(ordered[a], ordered[c]),
+                  JaccardDistance(ordered[a], ordered[b]) +
+                      JaccardDistance(ordered[b], ordered[c]) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(JaccardMathTest, MinOverlapMatchesClosedForm) {
+  // o_min = ceil(2k(1-theta) / (2-theta)).
+  for (int k : {5, 10, 25}) {
+    for (double theta : {0.1, 0.2, 0.3, 0.5, 0.7, 0.9}) {
+      const int o = JaccardMinOverlap(theta, k);
+      const double closed = 2.0 * k * (1.0 - theta) / (2.0 - theta);
+      EXPECT_EQ(o, static_cast<int>(std::ceil(closed - 1e-9)))
+          << "k=" << k << " theta=" << theta;
+      // Defining property: o qualifies, o-1 does not.
+      EXPECT_TRUE(JaccardQualifies(o, k, theta));
+      if (o > 0) {
+        EXPECT_FALSE(JaccardQualifies(o - 1, k, theta));
+      }
+    }
+  }
+}
+
+TEST(JaccardMathTest, PrefixBounds) {
+  EXPECT_EQ(JaccardPrefix(0.0, 10), 1);  // identical sets only
+  EXPECT_GE(JaccardPrefix(0.9, 10), JaccardPrefix(0.1, 10));
+  EXPECT_LE(JaccardPrefix(0.99, 10), 10);
+}
+
+TEST(JaccardBruteForceTest, SmallHandCase) {
+  RankingDataset ds;
+  ds.k = 4;
+  ds.rankings = {
+      Ranking(0, {1, 2, 3, 4}),
+      Ranking(1, {4, 3, 2, 1}),   // same set -> distance 0
+      Ranking(2, {1, 2, 3, 9}),   // overlap 3 -> 1 - 3/5 = 0.4
+      Ranking(3, {7, 8, 10, 11}),  // disjoint from 0
+  };
+  JoinResult result = JaccardBruteForceJoin(ds, 0.4);
+  std::set<ResultPair> pairs(result.pairs.begin(), result.pairs.end());
+  EXPECT_EQ(pairs.size(), 3u);  // (0,1), (0,2), (1,2)
+  EXPECT_TRUE(pairs.count({0, 1}));
+  EXPECT_TRUE(pairs.count({0, 2}));
+  EXPECT_TRUE(pairs.count({1, 2}));
+}
+
+std::set<ResultPair> JaccardTruth(const RankingDataset& ds, double theta) {
+  return PairSet(JaccardBruteForceJoin(ds, theta).pairs);
+}
+
+TEST(JaccardVjJoinTest, MatchesBruteForceAcrossThetas) {
+  RankingDataset ds = SmallSkewedDataset(700);
+  minispark::Context ctx(TestCluster());
+  for (double theta : {0.2, 0.4, 0.6, 0.8}) {
+    JaccardJoinOptions options;
+    options.theta = theta;
+    auto result = RunJaccardVjJoin(&ctx, ds, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(PairSet(result->pairs), JaccardTruth(ds, theta))
+        << "theta " << theta;
+  }
+}
+
+TEST(JaccardVjJoinTest, WithoutReorderingStillCorrect) {
+  RankingDataset ds = SmallSkewedDataset(701);
+  minispark::Context ctx(TestCluster());
+  JaccardJoinOptions options;
+  options.theta = 0.5;
+  options.reorder_by_frequency = false;
+  auto result = RunJaccardVjJoin(&ctx, ds, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(PairSet(result->pairs), JaccardTruth(ds, 0.5));
+}
+
+TEST(JaccardClusterJoinTest, MatchesBruteForceAcrossThetas) {
+  RankingDataset ds = SmallSkewedDataset(702);
+  minispark::Context ctx(TestCluster());
+  for (double theta : {0.2, 0.4, 0.6}) {
+    JaccardJoinOptions options;
+    options.theta = theta;
+    options.theta_c = 0.1;
+    auto result = RunJaccardClusterJoin(&ctx, ds, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(PairSet(result->pairs), JaccardTruth(ds, theta))
+        << "theta " << theta;
+  }
+}
+
+TEST(JaccardClusterJoinTest, ThetaCVariants) {
+  RankingDataset ds = SmallSkewedDataset(703);
+  minispark::Context ctx(TestCluster());
+  std::set<ResultPair> expected = JaccardTruth(ds, 0.4);
+  for (double theta_c : {0.0, 0.05, 0.2}) {
+    JaccardJoinOptions options;
+    options.theta = 0.4;
+    options.theta_c = theta_c;
+    auto result = RunJaccardClusterJoin(&ctx, ds, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(PairSet(result->pairs), expected) << "theta_c " << theta_c;
+  }
+}
+
+TEST(JaccardClusterJoinTest, SingletonOptimizationToggle) {
+  RankingDataset ds = SmallSkewedDataset(704);
+  minispark::Context ctx(TestCluster());
+  std::set<ResultPair> expected = JaccardTruth(ds, 0.5);
+  for (bool opt : {true, false}) {
+    JaccardJoinOptions options;
+    options.theta = 0.5;
+    options.theta_c = 0.1;
+    options.singleton_optimization = opt;
+    auto result = RunJaccardClusterJoin(&ctx, ds, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(PairSet(result->pairs), expected) << opt;
+  }
+}
+
+TEST(JaccardClusterJoinTest, TriangleShortcutToggle) {
+  RankingDataset ds = SmallSkewedDataset(705);
+  minispark::Context ctx(TestCluster());
+  std::set<ResultPair> expected = JaccardTruth(ds, 0.4);
+  for (bool shortcut : {true, false}) {
+    JaccardJoinOptions options;
+    options.theta = 0.4;
+    options.theta_c = 0.1;
+    options.triangle_upper_shortcut = shortcut;
+    auto result = RunJaccardClusterJoin(&ctx, ds, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(PairSet(result->pairs), expected) << shortcut;
+  }
+}
+
+TEST(JaccardJoinTest, RejectsBadParameters) {
+  RankingDataset ds = SmallSkewedDataset(706, 20);
+  minispark::Context ctx(TestCluster());
+  JaccardJoinOptions options;
+  options.theta = 1.0;
+  EXPECT_FALSE(RunJaccardVjJoin(&ctx, ds, options).ok());
+  options.theta = 0.5;
+  options.theta_c = 0.6;  // theta_c > theta
+  EXPECT_FALSE(RunJaccardClusterJoin(&ctx, ds, options).ok());
+  options.theta = 0.8;
+  options.theta_c = 0.2;  // theta + 2*theta_c > 1
+  EXPECT_FALSE(RunJaccardClusterJoin(&ctx, ds, options).ok());
+}
+
+TEST(JaccardJoinTest, PartitionInvariance) {
+  RankingDataset ds = SmallSkewedDataset(707, 200);
+  minispark::Context ctx(TestCluster());
+  std::set<ResultPair> expected = JaccardTruth(ds, 0.4);
+  for (int partitions : {1, 4, 32}) {
+    JaccardJoinOptions options;
+    options.theta = 0.4;
+    options.theta_c = 0.1;
+    options.num_partitions = partitions;
+    auto vj = RunJaccardVjJoin(&ctx, ds, options);
+    auto cl = RunJaccardClusterJoin(&ctx, ds, options);
+    ASSERT_TRUE(vj.ok());
+    ASSERT_TRUE(cl.ok());
+    EXPECT_EQ(PairSet(vj->pairs), expected);
+    EXPECT_EQ(PairSet(cl->pairs), expected);
+  }
+}
+
+}  // namespace
+}  // namespace rankjoin

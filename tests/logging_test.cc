@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace rankjoin {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kWarning); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, EmitsAtOrAboveLevel) {
+  SetLogLevel(LogLevel::kWarning);
+  testing::internal::CaptureStderr();
+  RANKJOIN_LOG(Warning) << "visible " << 42;
+  RANKJOIN_LOG(Info) << "hidden";
+  std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("visible 42"), std::string::npos);
+  EXPECT_EQ(err.find("hidden"), std::string::npos);
+}
+
+TEST_F(LoggingTest, DebugVisibleWhenEnabled) {
+  SetLogLevel(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  RANKJOIN_LOG(Debug) << "dbg";
+  std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("dbg"), std::string::npos);
+  EXPECT_NE(err.find("DEBUG"), std::string::npos);
+}
+
+TEST_F(LoggingTest, CheckPassesSilently) {
+  RANKJOIN_CHECK(1 + 1 == 2) << "never evaluated";
+  SUCCEED();
+}
+
+using LoggingDeathTest = LoggingTest;
+
+TEST_F(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ RANKJOIN_CHECK(false) << "boom"; }, "Check failed");
+}
+
+}  // namespace
+}  // namespace rankjoin

@@ -1,0 +1,319 @@
+#include "minispark/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "minispark/metrics.h"
+#include "minispark/partitioner.h"
+
+namespace rankjoin::minispark {
+namespace {
+
+Context::Options SmallCluster() {
+  Context::Options options;
+  options.num_workers = 4;
+  options.default_partitions = 4;
+  return options;
+}
+
+std::vector<int> Iota(int n) {
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(PartitionerTest, Mix64Scatters) {
+  // Dense integers must not map to consecutive partitions (identity hash
+  // would defeat the skew experiments).
+  HashPartitioner p(8);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[p.PartitionOf(i)];
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(PartitionerTest, PairKeysHash) {
+  HashPartitioner p(16);
+  std::pair<uint32_t, uint32_t> a{1, 2};
+  std::pair<uint32_t, uint32_t> b{2, 1};
+  // Not a strict requirement, but the mixed hash should distinguish
+  // swapped components.
+  EXPECT_NE(ShuffleHash(a), ShuffleHash(b));
+}
+
+TEST(DatasetTest, ParallelizeSplitsAndCollects) {
+  Context ctx(SmallCluster());
+  auto ds = Parallelize(&ctx, Iota(10), 3);
+  EXPECT_EQ(ds.num_partitions(), 3);
+  EXPECT_EQ(ds.Count(), 10u);
+  EXPECT_EQ(ds.Collect(), Iota(10));
+}
+
+TEST(DatasetTest, ParallelizeUsesContextDefault) {
+  Context ctx(SmallCluster());
+  auto ds = Parallelize(&ctx, Iota(10));
+  EXPECT_EQ(ds.num_partitions(), 4);
+}
+
+TEST(DatasetTest, ParallelizeEmpty) {
+  Context ctx(SmallCluster());
+  auto ds = Parallelize(&ctx, std::vector<int>{}, 2);
+  EXPECT_EQ(ds.Count(), 0u);
+  EXPECT_TRUE(ds.Collect().empty());
+}
+
+TEST(DatasetTest, MapTransformsEveryElement) {
+  Context ctx(SmallCluster());
+  auto ds = Parallelize(&ctx, Iota(8), 2);
+  auto doubled = ds.Map([](const int& x) { return x * 2; });
+  std::vector<int> expect = {0, 2, 4, 6, 8, 10, 12, 14};
+  EXPECT_EQ(doubled.Collect(), expect);
+}
+
+TEST(DatasetTest, MapChangesType) {
+  Context ctx(SmallCluster());
+  auto ds = Parallelize(&ctx, Iota(3), 2);
+  auto strings =
+      ds.Map([](const int& x) { return std::to_string(x); });
+  EXPECT_EQ(strings.Collect(), (std::vector<std::string>{"0", "1", "2"}));
+}
+
+TEST(DatasetTest, FlatMapExpands) {
+  Context ctx(SmallCluster());
+  auto ds = Parallelize(&ctx, Iota(3), 2);
+  auto repeated = ds.FlatMap([](const int& x) {
+    return std::vector<int>(static_cast<size_t>(x), x);
+  });
+  EXPECT_EQ(repeated.Collect(), (std::vector<int>{1, 2, 2}));
+}
+
+TEST(DatasetTest, FilterKeepsMatching) {
+  Context ctx(SmallCluster());
+  auto ds = Parallelize(&ctx, Iota(10), 3);
+  auto evens = ds.Filter([](const int& x) { return x % 2 == 0; });
+  EXPECT_EQ(evens.Collect(), (std::vector<int>{0, 2, 4, 6, 8}));
+}
+
+TEST(DatasetTest, MapPartitionsSeesWholePartition) {
+  Context ctx(SmallCluster());
+  auto ds = Parallelize(&ctx, Iota(9), 3);
+  auto sums = ds.MapPartitionsWithIndex(
+      [](int /*index*/, const std::vector<int>& part) {
+        int total = 0;
+        for (int x : part) total += x;
+        return std::vector<int>{total};
+      });
+  auto collected = sums.Collect();
+  EXPECT_EQ(collected.size(), 3u);
+  EXPECT_EQ(std::accumulate(collected.begin(), collected.end(), 0), 36);
+}
+
+TEST(DatasetTest, RepartitionPreservesElements) {
+  Context ctx(SmallCluster());
+  auto ds = Parallelize(&ctx, Iota(10), 2);
+  auto re = ds.Repartition(5);
+  EXPECT_EQ(re.num_partitions(), 5);
+  auto collected = re.Collect();
+  std::sort(collected.begin(), collected.end());
+  EXPECT_EQ(collected, Iota(10));
+}
+
+TEST(DatasetTest, MaxPartitionSizeReportsSkew) {
+  Context ctx(SmallCluster());
+  auto parts = std::make_shared<Dataset<int>::Partitions>(
+      Dataset<int>::Partitions{{1, 2, 3, 4}, {5}});
+  Dataset<int> ds(&ctx, parts);
+  EXPECT_EQ(ds.MaxPartitionSize(), 4u);
+}
+
+TEST(KeyValueTest, PartitionByKeyGroupsKeys) {
+  Context ctx(SmallCluster());
+  std::vector<std::pair<int, int>> data;
+  for (int i = 0; i < 40; ++i) data.push_back({i % 5, i});
+  auto ds = Parallelize(&ctx, data, 4);
+  auto shuffled = PartitionByKey(ds, 3);
+  EXPECT_EQ(shuffled.num_partitions(), 3);
+  EXPECT_EQ(shuffled.Count(), 40u);
+  // All records of one key land in the same partition.
+  for (int key = 0; key < 5; ++key) {
+    int partitions_with_key = 0;
+    for (const auto& part : shuffled.partitions()) {
+      bool has = false;
+      for (const auto& kv : part) has |= kv.first == key;
+      partitions_with_key += has;
+    }
+    EXPECT_EQ(partitions_with_key, 1) << "key " << key;
+  }
+}
+
+TEST(KeyValueTest, GroupByKeyCollectsAllValues) {
+  Context ctx(SmallCluster());
+  std::vector<std::pair<std::string, int>> data = {
+      {"a", 1}, {"b", 2}, {"a", 3}, {"b", 4}, {"a", 5}};
+  auto ds = Parallelize(&ctx, data, 2);
+  auto grouped = GroupByKey(ds, 2);
+  auto collected = grouped.Collect();
+  ASSERT_EQ(collected.size(), 2u);
+  for (auto& [key, values] : collected) {
+    std::sort(values.begin(), values.end());
+    if (key == "a") {
+      EXPECT_EQ(values, (std::vector<int>{1, 3, 5}));
+    } else {
+      EXPECT_EQ(values, (std::vector<int>{2, 4}));
+    }
+  }
+}
+
+TEST(KeyValueTest, ReduceByKeySums) {
+  Context ctx(SmallCluster());
+  std::vector<std::pair<int, int>> data;
+  for (int i = 1; i <= 100; ++i) data.push_back({i % 3, i});
+  auto ds = Parallelize(&ctx, data, 4);
+  auto reduced =
+      ReduceByKey(ds, [](int a, int b) { return a + b; }, 2);
+  auto collected = reduced.Collect();
+  ASSERT_EQ(collected.size(), 3u);
+  int total = 0;
+  for (const auto& [k, v] : collected) total += v;
+  EXPECT_EQ(total, 5050);
+}
+
+TEST(KeyValueTest, JoinMatchesKeys) {
+  Context ctx(SmallCluster());
+  std::vector<std::pair<int, std::string>> left = {
+      {1, "a"}, {2, "b"}, {3, "c"}};
+  std::vector<std::pair<int, double>> right = {
+      {2, 2.0}, {3, 3.0}, {3, 3.5}, {4, 4.0}};
+  auto l = Parallelize(&ctx, left, 2);
+  auto r = Parallelize(&ctx, right, 3);
+  auto joined = Join(l, r, 2);
+  auto collected = joined.Collect();
+  ASSERT_EQ(collected.size(), 3u);  // (2,b,2.0), (3,c,3.0), (3,c,3.5)
+  int key2 = 0;
+  int key3 = 0;
+  for (const auto& [k, vw] : collected) {
+    if (k == 2) {
+      ++key2;
+      EXPECT_EQ(vw.first, "b");
+    }
+    if (k == 3) {
+      ++key3;
+      EXPECT_EQ(vw.first, "c");
+    }
+  }
+  EXPECT_EQ(key2, 1);
+  EXPECT_EQ(key3, 2);
+}
+
+TEST(KeyValueTest, CoGroupIncludesUnmatchedKeys) {
+  Context ctx(SmallCluster());
+  std::vector<std::pair<int, int>> left = {{1, 10}, {2, 20}};
+  std::vector<std::pair<int, int>> right = {{2, 200}, {3, 300}};
+  auto l = Parallelize(&ctx, left, 2);
+  auto r = Parallelize(&ctx, right, 2);
+  auto cg = CoGroup(l, r, 2);
+  auto collected = cg.Collect();
+  ASSERT_EQ(collected.size(), 3u);
+  for (const auto& [k, lists] : collected) {
+    if (k == 1) {
+      EXPECT_EQ(lists.first.size(), 1u);
+      EXPECT_TRUE(lists.second.empty());
+    } else if (k == 2) {
+      EXPECT_EQ(lists.first.size(), 1u);
+      EXPECT_EQ(lists.second.size(), 1u);
+    } else {
+      EXPECT_TRUE(lists.first.empty());
+      EXPECT_EQ(lists.second.size(), 1u);
+    }
+  }
+}
+
+TEST(KeyValueTest, DistinctRemovesDuplicates) {
+  Context ctx(SmallCluster());
+  std::vector<int> data = {1, 2, 2, 3, 3, 3, 4};
+  auto ds = Parallelize(&ctx, data, 3);
+  auto collected = Distinct(ds, 2).Collect();
+  std::sort(collected.begin(), collected.end());
+  EXPECT_EQ(collected, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(KeyValueTest, DistinctOnPairs) {
+  Context ctx(SmallCluster());
+  using P = std::pair<uint32_t, uint32_t>;
+  std::vector<P> data = {{1, 2}, {1, 2}, {2, 1}, {3, 4}};
+  auto ds = Parallelize(&ctx, data, 2);
+  auto collected = Distinct(ds, 2).Collect();
+  EXPECT_EQ(collected.size(), 3u);
+}
+
+TEST(KeyValueTest, UnionConcatenates) {
+  Context ctx(SmallCluster());
+  auto a = Parallelize(&ctx, std::vector<int>{1, 2}, 1);
+  auto b = Parallelize(&ctx, std::vector<int>{3}, 1);
+  auto u = Union(a, b);
+  EXPECT_EQ(u.num_partitions(), 2);
+  EXPECT_EQ(u.Collect(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(BroadcastTest, SharesValue) {
+  Context ctx(SmallCluster());
+  Broadcast<std::vector<int>> bc = ctx.MakeBroadcast(Iota(5));
+  Broadcast<std::vector<int>> copy = bc;
+  EXPECT_EQ(&*bc, &*copy);
+  EXPECT_EQ(copy->size(), 5u);
+}
+
+TEST(MetricsTest, ShuffleRecordsCounted) {
+  Context ctx(SmallCluster());
+  ctx.metrics().Clear();
+  std::vector<std::pair<int, int>> data;
+  for (int i = 0; i < 30; ++i) data.push_back({i, i});
+  auto ds = Parallelize(&ctx, data, 3);
+  PartitionByKey(ds, 2, "testShuffle");
+  uint64_t shuffled = 0;
+  for (const auto& stage : ctx.metrics().stages()) {
+    if (stage.name.rfind("testShuffle", 0) == 0) {
+      shuffled += stage.shuffle_records;
+    }
+  }
+  EXPECT_EQ(shuffled, 30u);
+}
+
+TEST(MetricsTest, SimulatedMakespanLpt) {
+  StageMetrics stage;
+  stage.task_seconds = {4.0, 3.0, 2.0, 1.0};
+  // 1 worker: sum = 10. 2 workers LPT: {4,1} vs {3,2} -> 5.
+  EXPECT_DOUBLE_EQ(stage.SimulatedMakespan(1), 10.0);
+  EXPECT_DOUBLE_EQ(stage.SimulatedMakespan(2), 5.0);
+  // More workers than tasks: longest task dominates.
+  EXPECT_DOUBLE_EQ(stage.SimulatedMakespan(8), 4.0);
+}
+
+TEST(MetricsTest, JobMakespanAddsStages) {
+  JobMetrics job;
+  StageMetrics s1;
+  s1.task_seconds = {2.0, 2.0};
+  StageMetrics s2;
+  s2.task_seconds = {1.0};
+  job.AddStage(s1);
+  job.AddStage(s2);
+  EXPECT_DOUBLE_EQ(job.SimulatedMakespan(2), 3.0);
+  EXPECT_DOUBLE_EQ(job.TotalTaskSeconds(), 5.0);
+}
+
+TEST(MetricsTest, ToStringMentionsStageNames) {
+  Context ctx(SmallCluster());
+  ctx.metrics().Clear();
+  Parallelize(&ctx, Iota(4), 2).Map([](const int& x) { return x; },
+                                    "namedStage");
+  EXPECT_NE(ctx.metrics().ToString().find("namedStage"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rankjoin::minispark

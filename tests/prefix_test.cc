@@ -1,0 +1,122 @@
+#include "ranking/prefix.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ranking/footrule.h"
+
+namespace rankjoin {
+namespace {
+
+TEST(MinOverlapTest, ClosedFormAgreement) {
+  // o is the smallest overlap with (k-o)(k-o+1) <= raw_theta; check the
+  // defining inequality on both sides for a sweep of thresholds.
+  for (int k : {5, 10, 25}) {
+    for (uint32_t t = 0; t < MaxFootrule(k); ++t) {
+      const int o = MinOverlap(t, k);
+      const uint32_t m = static_cast<uint32_t>(k - o);
+      EXPECT_LE(m * (m + 1), t) << "k=" << k << " t=" << t;
+      if (o > 0) {
+        const uint32_t m1 = m + 1;  // overlap o-1
+        EXPECT_GT(m1 * (m1 + 1), t) << "k=" << k << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(MinOverlapTest, ZeroThresholdNeedsFullOverlap) {
+  EXPECT_EQ(MinOverlap(0, 10), 10);
+  EXPECT_EQ(MinOverlap(1, 10), 10);  // distance 1 impossible, 2 via swap
+  EXPECT_EQ(MinOverlap(2, 10), 9);
+}
+
+TEST(OverlapPrefixTest, PaperRegimeValues) {
+  // k = 10: raw thresholds for theta in {0.1, 0.2, 0.3, 0.4}.
+  EXPECT_EQ(OverlapPrefix(RawThreshold(0.1, 10), 10), 3);   // o = 8
+  EXPECT_EQ(OverlapPrefix(RawThreshold(0.2, 10), 10), 5);   // o = 6
+  EXPECT_EQ(OverlapPrefix(RawThreshold(0.3, 10), 10), 6);   // o = 5
+  EXPECT_EQ(OverlapPrefix(RawThreshold(0.4, 10), 10), 5 + 2);
+}
+
+TEST(OverlapPrefixTest, GrowsWithThreshold) {
+  int last = 0;
+  for (double theta : {0.05, 0.1, 0.2, 0.3, 0.4}) {
+    const int p = OverlapPrefix(RawThreshold(theta, 10), 10);
+    EXPECT_GE(p, last);
+    last = p;
+  }
+}
+
+TEST(OverlapPrefixTest, MinimumDistanceConstruction) {
+  // Two rankings overlapping in exactly o items have distance at least
+  // (k-o)(k-o+1); build the witness pair to show tightness.
+  const int k = 6;
+  for (int o = 1; o <= k; ++o) {
+    std::vector<ItemId> a_items;
+    std::vector<ItemId> b_items;
+    // Shared items at the top ranks, disjoint tails.
+    for (int r = 0; r < o; ++r) {
+      a_items.push_back(static_cast<ItemId>(r));
+      b_items.push_back(static_cast<ItemId>(r));
+    }
+    for (int r = o; r < k; ++r) {
+      a_items.push_back(static_cast<ItemId>(100 + r));
+      b_items.push_back(static_cast<ItemId>(200 + r));
+    }
+    Ranking a(0, a_items);
+    Ranking b(1, b_items);
+    const uint32_t m = static_cast<uint32_t>(k - o);
+    EXPECT_EQ(FootruleDistance(a, b), m * (m + 1));
+  }
+}
+
+TEST(OrderedPrefixTest, PaperLemma41Example) {
+  // Figure 1: k = 5, first p = 2 items disjoint, minimum distance
+  // L(2,5) = 8. So for raw_theta = 8 the prefix must be 3; for 7 it is 2.
+  EXPECT_EQ(OrderedPrefix(8, 5), 3);
+  EXPECT_EQ(OrderedPrefix(7, 5), 2);
+  EXPECT_EQ(OrderedPrefix(1, 5), 1);
+}
+
+TEST(OrderedPrefixTest, MatchesClosedForm) {
+  // p = floor(sqrt(raw/2)) + 1 wherever the formula applies.
+  for (int k : {10, 25}) {
+    for (uint32_t t = 0; 2 * t < static_cast<uint32_t>(k * k); ++t) {
+      const int p = OrderedPrefix(t, k);
+      EXPECT_GT(2u * p * p, t);
+      if (p > 1) {
+        EXPECT_LE(2u * (p - 1) * (p - 1), t);
+      }
+    }
+  }
+}
+
+TEST(OrderedPrefixTest, DisjointPrefixDistanceWitness) {
+  // Rankings sharing all items but with the first p of each placed at
+  // the following p positions of the other reach exactly 2*p^2 (the
+  // L(p, k) bound the lemma's proof constructs).
+  const int p = 2;
+  // k = 6; a: [0 1 2 3 4 5]; b: [2 3 0 1 4 5] — size-p blocks swapped.
+  Ranking a(0, {0, 1, 2, 3, 4, 5});
+  Ranking b(1, {2, 3, 0, 1, 4, 5});
+  EXPECT_EQ(FootruleDistance(a, b), static_cast<uint32_t>(2 * p * p));
+}
+
+TEST(OrderedPrefixTest, Applicability) {
+  EXPECT_TRUE(OrderedPrefixApplicable(RawThreshold(0.4, 10), 10));
+  EXPECT_FALSE(OrderedPrefixApplicable(56, 10));  // 2*56 > 100
+  EXPECT_TRUE(OrderedPrefixApplicable(49, 10));
+}
+
+TEST(OrderedPrefixTest, TighterThanOverlapPrefixInPractice) {
+  // The paper notes the positional bound gives slightly tighter (or
+  // equal) prefixes in its regime.
+  for (double theta : {0.1, 0.2, 0.3}) {
+    const uint32_t raw = RawThreshold(theta, 10);
+    EXPECT_LE(OrderedPrefix(raw, 10), OverlapPrefix(raw, 10)) << theta;
+  }
+}
+
+}  // namespace
+}  // namespace rankjoin

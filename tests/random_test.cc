@@ -1,0 +1,130 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rankjoin {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(7);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 8000; ++i) ++seen[rng.Uniform(8)];
+  for (int count : seen) EXPECT_GT(count, 700);  // ~1000 expected
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), orig.begin()));
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfSampler zipf(100, 0.9);
+  double sum = 0;
+  for (uint64_t r = 1; r <= 100; ++r) sum += zipf.Probability(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, ProbabilityDecreasesWithRank) {
+  ZipfSampler zipf(50, 1.0);
+  for (uint64_t r = 1; r < 50; ++r) {
+    EXPECT_GT(zipf.Probability(r), zipf.Probability(r + 1));
+  }
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (uint64_t r = 1; r <= 10; ++r) {
+    EXPECT_NEAR(zipf.Probability(r), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfTest, SamplesMatchDistribution) {
+  ZipfSampler zipf(10, 1.0);
+  Rng rng(19);
+  std::vector<int> counts(11, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (uint64_t r = 1; r <= 10; ++r) {
+    EXPECT_NEAR(counts[r] / static_cast<double>(n), zipf.Probability(r),
+                0.01);
+  }
+}
+
+TEST(ZipfTest, HigherSkewConcentratesMass) {
+  ZipfSampler flat(100, 0.5);
+  ZipfSampler steep(100, 1.5);
+  EXPECT_LT(flat.Probability(1), steep.Probability(1));
+}
+
+}  // namespace
+}  // namespace rankjoin

@@ -1,0 +1,86 @@
+#include "data/scale.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "data/generator.h"
+#include "join/brute_force.h"
+
+namespace rankjoin {
+namespace {
+
+RankingDataset SmallDataset() {
+  GeneratorOptions options;
+  options.k = 10;
+  options.num_rankings = 150;
+  options.domain_size = 200;
+  options.seed = 31;
+  return GenerateDataset(options);
+}
+
+TEST(ScaleTest, FactorOneIsIdentity) {
+  RankingDataset ds = SmallDataset();
+  RankingDataset scaled = ScaleDataset(ds, 1, 200);
+  EXPECT_EQ(scaled.size(), ds.size());
+}
+
+TEST(ScaleTest, SizeGrowsByFactor) {
+  RankingDataset ds = SmallDataset();
+  RankingDataset scaled = ScaleDataset(ds, 5, 200);
+  EXPECT_EQ(scaled.size(), 5 * ds.size());
+  EXPECT_EQ(scaled.k, ds.k);
+  EXPECT_TRUE(scaled.Validate().ok());
+}
+
+TEST(ScaleTest, OriginalsPreserved) {
+  RankingDataset ds = SmallDataset();
+  RankingDataset scaled = ScaleDataset(ds, 3, 200);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(scaled.rankings[i], ds.rankings[i]);
+  }
+}
+
+TEST(ScaleTest, IdsRemainUnique) {
+  RankingDataset ds = SmallDataset();
+  RankingDataset scaled = ScaleDataset(ds, 4, 200);
+  std::unordered_set<RankingId> ids;
+  for (const Ranking& r : scaled.rankings) {
+    EXPECT_TRUE(ids.insert(r.id()).second) << "duplicate id " << r.id();
+  }
+}
+
+TEST(ScaleTest, DomainUnchanged) {
+  // The scaling method of [10, 24]: new records draw from the same item
+  // universe.
+  RankingDataset ds = SmallDataset();
+  RankingDataset scaled = ScaleDataset(ds, 3, 200);
+  for (const Ranking& r : scaled.rankings) {
+    for (ItemId item : r.items()) EXPECT_LT(item, 200u);
+  }
+}
+
+TEST(ScaleTest, ResultGrowsRoughlyLinearly) {
+  // Join result should grow approximately linearly with the factor
+  // (paper Section 7) — allow generous slack, but rule out quadratic
+  // blow-up and rule in actual growth.
+  RankingDataset ds = SmallDataset();
+  const double theta = 0.2;
+  const size_t r1 = BruteForceJoin(ds, theta).pairs.size();
+  const size_t r3 =
+      BruteForceJoin(ScaleDataset(ds, 3, 200), theta).pairs.size();
+  EXPECT_GE(r3, 2 * std::max<size_t>(r1, 1));
+  EXPECT_LE(r3, 40 * std::max<size_t>(r1, 1) + 400);
+}
+
+TEST(ScaleTest, DeterministicForSeed) {
+  RankingDataset ds = SmallDataset();
+  RankingDataset a = ScaleDataset(ds, 2, 200, 3, 99);
+  RankingDataset b = ScaleDataset(ds, 2, 200, 3, 99);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.rankings[i], b.rankings[i]);
+  }
+}
+
+}  // namespace
+}  // namespace rankjoin

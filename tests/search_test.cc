@@ -1,0 +1,175 @@
+#include "search/range_search.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "data/generator.h"
+#include "ranking/footrule.h"
+#include "tests/test_util.h"
+
+namespace rankjoin {
+namespace {
+
+/// Linear-scan ground truth for a range query.
+std::set<RankingId> ScanTruth(const RankingDataset& ds, const Ranking& q,
+                              double theta) {
+  const uint32_t raw = RawThreshold(theta, ds.k);
+  std::set<RankingId> out;
+  for (const Ranking& r : ds.rankings) {
+    if (r.id() == q.id()) continue;
+    if (FootruleDistance(q, r) <= raw) out.insert(r.id());
+  }
+  return out;
+}
+
+std::set<RankingId> AsSet(const std::vector<RankingId>& ids) {
+  return std::set<RankingId>(ids.begin(), ids.end());
+}
+
+class RangeSearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = testutil::SmallSkewedDataset(1000, 500);
+  }
+
+  RankingDataset dataset_;
+};
+
+TEST_F(RangeSearchTest, PrefixIndexMatchesScan) {
+  auto index = PrefixRangeIndex::Build(dataset_, 0.4);
+  ASSERT_TRUE(index.ok()) << index.status();
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Ranking& q = dataset_.rankings[rng.Uniform(dataset_.size())];
+    for (double theta : {0.05, 0.2, 0.4}) {
+      auto result = index->Query(q, theta);
+      ASSERT_TRUE(result.ok()) << result.status();
+      EXPECT_EQ(AsSet(*result), ScanTruth(dataset_, q, theta))
+          << "query " << q.id() << " theta " << theta;
+    }
+  }
+}
+
+TEST_F(RangeSearchTest, PrefixIndexExternalQueries) {
+  // Queries that are not part of the indexed dataset.
+  auto index = PrefixRangeIndex::Build(dataset_, 0.3);
+  ASSERT_TRUE(index.ok());
+  GeneratorOptions options;
+  options.k = dataset_.k;
+  options.num_rankings = 20;
+  options.domain_size = 300;
+  options.seed = 1001;
+  RankingDataset queries = GenerateDataset(options);
+  for (const Ranking& raw_query : queries.rankings) {
+    // Give external queries ids outside the dataset's range.
+    Ranking q(raw_query.id() + 1000000, raw_query.items());
+    auto result = index->Query(q, 0.3);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(AsSet(*result), ScanTruth(dataset_, q, 0.3));
+  }
+}
+
+TEST_F(RangeSearchTest, PrefixIndexRejectsOverBudgetTheta) {
+  auto index = PrefixRangeIndex::Build(dataset_, 0.2);
+  ASSERT_TRUE(index.ok());
+  auto result = index->Query(dataset_.rankings[0], 0.3);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RangeSearchTest, PrefixIndexRejectsWrongK) {
+  auto index = PrefixRangeIndex::Build(dataset_, 0.3);
+  ASSERT_TRUE(index.ok());
+  Ranking bad(0, {1, 2, 3});
+  EXPECT_FALSE(index->Query(bad, 0.2).ok());
+}
+
+TEST_F(RangeSearchTest, PrefixIndexStatsAccumulate) {
+  auto index = PrefixRangeIndex::Build(dataset_, 0.3);
+  ASSERT_TRUE(index.ok());
+  JoinStats stats;
+  auto result = index->Query(dataset_.rankings[0], 0.1, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(stats.candidates, 0u);
+  EXPECT_EQ(stats.result_pairs, result->size());
+}
+
+TEST_F(RangeSearchTest, CoarseIndexMatchesScan) {
+  for (int pivots : {1, 8, 64}) {
+    auto index = CoarseRangeIndex::Build(dataset_, pivots);
+    ASSERT_TRUE(index.ok()) << index.status();
+    Rng rng(5);
+    for (int trial = 0; trial < 20; ++trial) {
+      const Ranking& q = dataset_.rankings[rng.Uniform(dataset_.size())];
+      for (double theta : {0.05, 0.3, 0.6}) {
+        auto result = index->Query(q, theta);
+        ASSERT_TRUE(result.ok());
+        EXPECT_EQ(AsSet(*result), ScanTruth(dataset_, q, theta))
+            << "pivots " << pivots << " theta " << theta;
+      }
+    }
+  }
+}
+
+TEST_F(RangeSearchTest, CoarseIndexPrunes) {
+  auto index = CoarseRangeIndex::Build(dataset_, 32);
+  ASSERT_TRUE(index.ok());
+  JoinStats stats;
+  auto result = index->Query(dataset_.rankings[0], 0.05, &stats);
+  ASSERT_TRUE(result.ok());
+  // At a tiny threshold, the triangle filters must remove most of the
+  // dataset without verification.
+  EXPECT_GT(stats.triangle_filtered, dataset_.size() / 2);
+  EXPECT_LT(stats.verified, dataset_.size());
+}
+
+TEST_F(RangeSearchTest, CoarseIndexMorePivotsThanPoints) {
+  RankingDataset tiny;
+  tiny.k = 3;
+  tiny.rankings = {Ranking(0, {1, 2, 3}), Ranking(1, {2, 3, 4})};
+  auto index = CoarseRangeIndex::Build(tiny, 50);
+  ASSERT_TRUE(index.ok());
+  EXPECT_LE(index->num_pivots(), 2);
+  auto result = index->Query(tiny.rankings[0], 0.5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(AsSet(*result), ScanTruth(tiny, tiny.rankings[0], 0.5));
+}
+
+TEST_F(RangeSearchTest, EmptyDataset) {
+  RankingDataset empty;
+  empty.k = 5;
+  auto prefix_index = PrefixRangeIndex::Build(empty, 0.3);
+  ASSERT_TRUE(prefix_index.ok());
+  Ranking q(0, {1, 2, 3, 4, 5});
+  auto r1 = prefix_index->Query(q, 0.2);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->empty());
+
+  auto coarse_index = CoarseRangeIndex::Build(empty, 4);
+  ASSERT_TRUE(coarse_index.ok());
+  auto r2 = coarse_index->Query(q, 0.2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->empty());
+}
+
+TEST_F(RangeSearchTest, IndicesAgreeWithEachOther) {
+  auto prefix_index = PrefixRangeIndex::Build(dataset_, 0.4);
+  auto coarse_index = CoarseRangeIndex::Build(dataset_, 16);
+  ASSERT_TRUE(prefix_index.ok());
+  ASSERT_TRUE(coarse_index.ok());
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Ranking& q = dataset_.rankings[rng.Uniform(dataset_.size())];
+    auto a = prefix_index->Query(q, 0.25);
+    auto b = coarse_index->Query(q, 0.25);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(AsSet(*a), AsSet(*b));
+  }
+}
+
+}  // namespace
+}  // namespace rankjoin

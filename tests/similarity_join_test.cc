@@ -1,0 +1,104 @@
+#include "core/similarity_join.h"
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "tests/test_util.h"
+
+namespace rankjoin {
+namespace {
+
+using testutil::PairSet;
+using testutil::SmallSkewedDataset;
+using testutil::TestCluster;
+using testutil::Truth;
+
+TEST(ParseAlgorithmTest, AcceptsKnownNames) {
+  EXPECT_EQ(*ParseAlgorithm("vj"), Algorithm::kVJ);
+  EXPECT_EQ(*ParseAlgorithm("VJ-NL"), Algorithm::kVJNL);
+  EXPECT_EQ(*ParseAlgorithm("cl"), Algorithm::kCL);
+  EXPECT_EQ(*ParseAlgorithm("CL-P"), Algorithm::kCLP);
+  EXPECT_EQ(*ParseAlgorithm("brute-force"), Algorithm::kBruteForce);
+  EXPECT_EQ(*ParseAlgorithm("bf"), Algorithm::kBruteForce);
+}
+
+TEST(ParseAlgorithmTest, RejectsUnknown) {
+  auto r = ParseAlgorithm("quantum-join");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AlgorithmNameTest, RoundTrips) {
+  for (Algorithm a : {Algorithm::kBruteForce, Algorithm::kVJ,
+                      Algorithm::kVJNL, Algorithm::kCL, Algorithm::kCLP,
+                      Algorithm::kVSmart}) {
+    EXPECT_EQ(*ParseAlgorithm(AlgorithmName(a)), a);
+  }
+}
+
+TEST(ConfigValidateTest, CatchesBadValues) {
+  SimilarityJoinConfig config;
+  config.theta = 1.5;
+  EXPECT_FALSE(config.Validate(10).ok());
+
+  config = SimilarityJoinConfig{};
+  config.algorithm = Algorithm::kCL;
+  config.theta = 0.2;
+  config.theta_c = 0.5;
+  EXPECT_FALSE(config.Validate(10).ok());
+
+  config = SimilarityJoinConfig{};
+  config.algorithm = Algorithm::kCLP;
+  config.delta = 0;
+  EXPECT_FALSE(config.Validate(10).ok());
+
+  config = SimilarityJoinConfig{};
+  config.num_partitions = 0;
+  EXPECT_FALSE(config.Validate(10).ok());
+
+  config = SimilarityJoinConfig{};
+  EXPECT_TRUE(config.Validate(10).ok());
+}
+
+TEST(SimilarityJoinTest, AllAlgorithmsAgree) {
+  RankingDataset ds = SmallSkewedDataset(500);
+  minispark::Context ctx(TestCluster());
+  const double theta = 0.3;
+  std::set<ResultPair> expected = Truth(ds, theta);
+  for (Algorithm algorithm : {Algorithm::kVJ, Algorithm::kVJNL,
+                              Algorithm::kCL, Algorithm::kCLP,
+                              Algorithm::kVSmart}) {
+    SimilarityJoinConfig config;
+    config.algorithm = algorithm;
+    config.theta = theta;
+    config.delta = 50;  // used by CL-P only
+    auto result = RunSimilarityJoin(&ctx, ds, config);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm) << ": "
+                             << result.status();
+    EXPECT_EQ(PairSet(result->pairs), expected) << AlgorithmName(algorithm);
+  }
+}
+
+TEST(SimilarityJoinTest, BruteForceThroughFacade) {
+  RankingDataset ds = SmallSkewedDataset(501, 100);
+  minispark::Context ctx(TestCluster());
+  SimilarityJoinConfig config;
+  config.algorithm = Algorithm::kBruteForce;
+  config.theta = 0.2;
+  auto result = RunSimilarityJoin(&ctx, ds, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(PairSet(result->pairs), Truth(ds, 0.2));
+}
+
+TEST(SimilarityJoinTest, InvalidConfigRejectedBeforeWork) {
+  RankingDataset ds = SmallSkewedDataset(502, 10);
+  minispark::Context ctx(TestCluster());
+  SimilarityJoinConfig config;
+  config.theta = -1.0;
+  auto result = RunSimilarityJoin(&ctx, ds, config);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rankjoin

@@ -1,0 +1,95 @@
+#include "data/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generator.h"
+
+namespace rankjoin {
+namespace {
+
+TEST(EstimateZipfSkewTest, RecoversPlantedSkew) {
+  // Ideal Zipf frequencies for various s: the fit must land close.
+  for (double s : {0.5, 0.8, 1.0, 1.3}) {
+    std::vector<uint32_t> freqs;
+    for (int r = 1; r <= 2000; ++r) {
+      const double f = 1e6 * std::pow(static_cast<double>(r), -s);
+      freqs.push_back(static_cast<uint32_t>(f) + 1);
+    }
+    EXPECT_NEAR(EstimateZipfSkew(freqs), s, 0.06) << s;
+  }
+}
+
+TEST(EstimateZipfSkewTest, UniformIsZero) {
+  std::vector<uint32_t> freqs(500, 7);
+  EXPECT_NEAR(EstimateZipfSkew(freqs), 0.0, 1e-9);
+}
+
+TEST(EstimateZipfSkewTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(EstimateZipfSkew({}), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateZipfSkew({42}), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateZipfSkew({0, 0, 0}), 0.0);
+}
+
+TEST(EstimateZipfSkewTest, UnsortedInputAccepted) {
+  std::vector<uint32_t> sorted = {100, 50, 33, 25, 20, 16, 14, 12};
+  std::vector<uint32_t> shuffled = {25, 100, 14, 50, 12, 33, 16, 20};
+  EXPECT_DOUBLE_EQ(EstimateZipfSkew(sorted), EstimateZipfSkew(shuffled));
+}
+
+TEST(ComputeDatasetStatsTest, BasicShape) {
+  GeneratorOptions options;
+  options.k = 10;
+  options.num_rankings = 1000;
+  options.domain_size = 400;
+  options.zipf_skew = 0.9;
+  options.near_duplicate_rate = 0.0;
+  options.seed = 22;
+  RankingDataset ds = GenerateDataset(options);
+  DatasetStats stats = ComputeDatasetStats(ds);
+  EXPECT_EQ(stats.num_rankings, 1000u);
+  EXPECT_EQ(stats.k, 10);
+  EXPECT_LE(stats.distinct_items, 400u);
+  EXPECT_GT(stats.distinct_items, 100u);
+  EXPECT_GE(stats.max_item_frequency, stats.mean_item_frequency);
+  // Dedup-per-ranking saturates the head, so the fitted skew is a
+  // downward-biased estimate of the generator's parameter; it must
+  // still clearly separate skewed from uniform.
+  EXPECT_GT(stats.zipf_skew, 0.3);
+  EXPECT_LT(stats.zipf_skew, 1.3);
+}
+
+TEST(ComputeDatasetStatsTest, DetectsUniformData) {
+  GeneratorOptions options;
+  options.k = 10;
+  options.num_rankings = 800;
+  options.domain_size = 300;
+  options.zipf_skew = 0.0;
+  options.near_duplicate_rate = 0.0;
+  options.seed = 23;
+  RankingDataset ds = GenerateDataset(options);
+  DatasetStats stats = ComputeDatasetStats(ds);
+  EXPECT_LT(stats.zipf_skew, 0.2);
+}
+
+TEST(ComputeDatasetStatsTest, EmptyDataset) {
+  RankingDataset ds;
+  ds.k = 5;
+  DatasetStats stats = ComputeDatasetStats(ds);
+  EXPECT_EQ(stats.num_rankings, 0u);
+  EXPECT_EQ(stats.distinct_items, 0u);
+  EXPECT_DOUBLE_EQ(stats.zipf_skew, 0.0);
+}
+
+TEST(ComputeDatasetStatsTest, ToStringMentionsFields) {
+  RankingDataset ds;
+  ds.k = 3;
+  ds.rankings = {Ranking(0, {1, 2, 3})};
+  std::string s = ComputeDatasetStats(ds).ToString();
+  EXPECT_NE(s.find("1 rankings"), std::string::npos);
+  EXPECT_NE(s.find("k=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rankjoin

@@ -1,0 +1,88 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rankjoin {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad theta");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad theta");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad theta");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Status FailingStep() { return Status::IoError("disk"); }
+
+Status Propagates() {
+  RANKJOIN_RETURN_NOT_OK(FailingStep());
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnNotOkPropagates) {
+  Status s = Propagates();
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+Result<int> MakeValue(bool ok) {
+  if (ok) return 7;
+  return Status::OutOfRange("no");
+}
+
+Status UsesAssignOrReturn(bool ok, int* out) {
+  RANKJOIN_ASSIGN_OR_RETURN(int v, MakeValue(ok));
+  *out = v;
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, AssignOrReturn) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(true, &out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(UsesAssignOrReturn(false, &out).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace rankjoin

@@ -1,0 +1,50 @@
+#ifndef RANKJOIN_TESTS_TEST_UTIL_H_
+#define RANKJOIN_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "data/generator.h"
+#include "join/brute_force.h"
+#include "join/stats.h"
+#include "minispark/context.h"
+
+namespace rankjoin::testutil {
+
+/// A small skewed dataset with planted near-duplicates — large enough to
+/// exercise multi-partition paths, small enough for brute force.
+inline RankingDataset SmallSkewedDataset(uint64_t seed = 1,
+                                         size_t n = 400,
+                                         int k = 10) {
+  GeneratorOptions options;
+  options.k = k;
+  options.num_rankings = n;
+  options.domain_size = 300;
+  options.zipf_skew = 0.9;
+  options.near_duplicate_rate = 0.2;
+  options.max_perturbations = 2;
+  options.seed = seed;
+  return GenerateDataset(options);
+}
+
+inline std::set<ResultPair> PairSet(const std::vector<ResultPair>& pairs) {
+  return std::set<ResultPair>(pairs.begin(), pairs.end());
+}
+
+/// Ground truth via brute force.
+inline std::set<ResultPair> Truth(const RankingDataset& ds, double theta) {
+  return PairSet(BruteForceJoin(ds, theta).pairs);
+}
+
+inline minispark::Context::Options TestCluster(int workers = 4,
+                                               int partitions = 8) {
+  minispark::Context::Options options;
+  options.num_workers = workers;
+  options.default_partitions = partitions;
+  return options;
+}
+
+}  // namespace rankjoin::testutil
+
+#endif  // RANKJOIN_TESTS_TEST_UTIL_H_

@@ -1,0 +1,58 @@
+#include "join/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "ranking/footrule.h"
+#include "ranking/reorder.h"
+
+namespace rankjoin {
+namespace {
+
+std::vector<OrderedRanking> MakeOrderedSet() {
+  std::vector<Ranking> rankings = {
+      Ranking(3, {1, 2, 3}),
+      Ranking(7, {2, 1, 3}),
+      Ranking(12, {4, 5, 6}),
+  };
+  return MakeOrderedDataset(rankings, ItemOrder());
+}
+
+TEST(RankingTableTest, ResolvesSparseIds) {
+  auto ordered = MakeOrderedSet();
+  RankingTable table(ordered);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.Get(3).id, 3u);
+  EXPECT_EQ(table.Get(7).id, 7u);
+  EXPECT_EQ(table.Get(12).id, 12u);
+}
+
+TEST(RankingTableTest, EmptyBacking) {
+  std::vector<OrderedRanking> empty;
+  RankingTable table(empty);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(VerifyPairTest, CountsAndBounds) {
+  auto ordered = MakeOrderedSet();
+  JoinStats stats;
+  // d(3, 7) = 2 (adjacent swap).
+  auto d = VerifyPair(ordered[0], ordered[1], 2, &stats);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 2u);
+  EXPECT_EQ(stats.verified, 1u);
+
+  auto miss = VerifyPair(ordered[0], ordered[1], 1, &stats);
+  EXPECT_FALSE(miss.has_value());
+  EXPECT_EQ(stats.verified, 2u);
+}
+
+TEST(VerifyPairTest, DisjointPairAgainstMaxBound) {
+  auto ordered = MakeOrderedSet();
+  JoinStats stats;
+  auto d = VerifyPair(ordered[0], ordered[2], MaxFootrule(3), &stats);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, MaxFootrule(3));
+}
+
+}  // namespace
+}  // namespace rankjoin
