@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_estimate.dir/ablation_estimate.cc.o"
+  "CMakeFiles/ablation_estimate.dir/ablation_estimate.cc.o.d"
+  "ablation_estimate"
+  "ablation_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

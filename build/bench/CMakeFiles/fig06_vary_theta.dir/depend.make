@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_vary_theta.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_scalability.dir/fig07_scalability.cc.o"
+  "CMakeFiles/fig07_scalability.dir/fig07_scalability.cc.o.d"
+  "fig07_scalability"
+  "fig07_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_dataset_scaling.dir/fig08_dataset_scaling.cc.o"
+  "CMakeFiles/fig08_dataset_scaling.dir/fig08_dataset_scaling.cc.o.d"
+  "fig08_dataset_scaling"
+  "fig08_dataset_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_dataset_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

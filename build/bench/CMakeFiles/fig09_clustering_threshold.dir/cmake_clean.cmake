@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_clustering_threshold.dir/fig09_clustering_threshold.cc.o"
+  "CMakeFiles/fig09_clustering_threshold.dir/fig09_clustering_threshold.cc.o.d"
+  "fig09_clustering_threshold"
+  "fig09_clustering_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_clustering_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

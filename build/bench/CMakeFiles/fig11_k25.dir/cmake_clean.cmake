@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_k25.dir/fig11_k25.cc.o"
+  "CMakeFiles/fig11_k25.dir/fig11_k25.cc.o.d"
+  "fig11_k25"
+  "fig11_k25.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_k25.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

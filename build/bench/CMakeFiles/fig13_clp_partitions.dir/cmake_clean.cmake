@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_clp_partitions.dir/fig13_clp_partitions.cc.o"
+  "CMakeFiles/fig13_clp_partitions.dir/fig13_clp_partitions.cc.o.d"
+  "fig13_clp_partitions"
+  "fig13_clp_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_clp_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_minispark.dir/micro_minispark.cc.o"
+  "CMakeFiles/micro_minispark.dir/micro_minispark.cc.o.d"
+  "micro_minispark"
+  "micro_minispark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_minispark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

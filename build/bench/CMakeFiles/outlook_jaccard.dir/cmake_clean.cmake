@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outlook_jaccard.dir/outlook_jaccard.cc.o"
+  "CMakeFiles/outlook_jaccard.dir/outlook_jaccard.cc.o.d"
+  "outlook_jaccard"
+  "outlook_jaccard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outlook_jaccard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

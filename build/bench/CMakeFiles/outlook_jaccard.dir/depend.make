@@ -1,0 +1,2 @@
+# Empty dependencies file for outlook_jaccard.
+# This may be replaced when dependencies are built.

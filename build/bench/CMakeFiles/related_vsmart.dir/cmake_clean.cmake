@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_vsmart.dir/related_vsmart.cc.o"
+  "CMakeFiles/related_vsmart.dir/related_vsmart.cc.o.d"
+  "related_vsmart"
+  "related_vsmart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_vsmart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_sweet_spot.dir/search_sweet_spot.cc.o"
+  "CMakeFiles/search_sweet_spot.dir/search_sweet_spot.cc.o.d"
+  "search_sweet_spot"
+  "search_sweet_spot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_sweet_spot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

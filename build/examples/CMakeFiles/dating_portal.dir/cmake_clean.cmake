@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dating_portal.dir/dating_portal.cpp.o"
+  "CMakeFiles/dating_portal.dir/dating_portal.cpp.o.d"
+  "dating_portal"
+  "dating_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dating_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

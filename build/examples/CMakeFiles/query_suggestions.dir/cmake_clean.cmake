@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_suggestions.dir/query_suggestions.cpp.o"
+  "CMakeFiles/query_suggestions.dir/query_suggestions.cpp.o.d"
+  "query_suggestions"
+  "query_suggestions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_suggestions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rankjoin_cli.dir/rankjoin_cli.cpp.o"
+  "CMakeFiles/rankjoin_cli.dir/rankjoin_cli.cpp.o.d"
+  "rankjoin_cli"
+  "rankjoin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rankjoin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommender_dedup.dir/recommender_dedup.cpp.o"
+  "CMakeFiles/recommender_dedup.dir/recommender_dedup.cpp.o.d"
+  "recommender_dedup"
+  "recommender_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommender_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/rankjoin.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/rankjoin.dir/common/random.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/rankjoin.dir/common/status.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/rankjoin.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/rankjoin.dir/core/config.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/core/config.cc.o.d"
+  "/root/repo/src/core/similarity_join.cc" "src/CMakeFiles/rankjoin.dir/core/similarity_join.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/core/similarity_join.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/CMakeFiles/rankjoin.dir/data/generator.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/data/generator.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/CMakeFiles/rankjoin.dir/data/io.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/data/io.cc.o.d"
+  "/root/repo/src/data/scale.cc" "src/CMakeFiles/rankjoin.dir/data/scale.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/data/scale.cc.o.d"
+  "/root/repo/src/data/stats.cc" "src/CMakeFiles/rankjoin.dir/data/stats.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/data/stats.cc.o.d"
+  "/root/repo/src/jaccard/jaccard.cc" "src/CMakeFiles/rankjoin.dir/jaccard/jaccard.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/jaccard/jaccard.cc.o.d"
+  "/root/repo/src/jaccard/jaccard_join.cc" "src/CMakeFiles/rankjoin.dir/jaccard/jaccard_join.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/jaccard/jaccard_join.cc.o.d"
+  "/root/repo/src/join/brute_force.cc" "src/CMakeFiles/rankjoin.dir/join/brute_force.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/join/brute_force.cc.o.d"
+  "/root/repo/src/join/cluster.cc" "src/CMakeFiles/rankjoin.dir/join/cluster.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/join/cluster.cc.o.d"
+  "/root/repo/src/join/cluster_join.cc" "src/CMakeFiles/rankjoin.dir/join/cluster_join.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/join/cluster_join.cc.o.d"
+  "/root/repo/src/join/estimate.cc" "src/CMakeFiles/rankjoin.dir/join/estimate.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/join/estimate.cc.o.d"
+  "/root/repo/src/join/local_join.cc" "src/CMakeFiles/rankjoin.dir/join/local_join.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/join/local_join.cc.o.d"
+  "/root/repo/src/join/repartition.cc" "src/CMakeFiles/rankjoin.dir/join/repartition.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/join/repartition.cc.o.d"
+  "/root/repo/src/join/rs_join.cc" "src/CMakeFiles/rankjoin.dir/join/rs_join.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/join/rs_join.cc.o.d"
+  "/root/repo/src/join/stats.cc" "src/CMakeFiles/rankjoin.dir/join/stats.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/join/stats.cc.o.d"
+  "/root/repo/src/join/verify.cc" "src/CMakeFiles/rankjoin.dir/join/verify.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/join/verify.cc.o.d"
+  "/root/repo/src/join/vj.cc" "src/CMakeFiles/rankjoin.dir/join/vj.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/join/vj.cc.o.d"
+  "/root/repo/src/join/vj_nl.cc" "src/CMakeFiles/rankjoin.dir/join/vj_nl.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/join/vj_nl.cc.o.d"
+  "/root/repo/src/join/vsmart.cc" "src/CMakeFiles/rankjoin.dir/join/vsmart.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/join/vsmart.cc.o.d"
+  "/root/repo/src/minispark/context.cc" "src/CMakeFiles/rankjoin.dir/minispark/context.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/minispark/context.cc.o.d"
+  "/root/repo/src/minispark/metrics.cc" "src/CMakeFiles/rankjoin.dir/minispark/metrics.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/minispark/metrics.cc.o.d"
+  "/root/repo/src/minispark/partitioner.cc" "src/CMakeFiles/rankjoin.dir/minispark/partitioner.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/minispark/partitioner.cc.o.d"
+  "/root/repo/src/ranking/footrule.cc" "src/CMakeFiles/rankjoin.dir/ranking/footrule.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/ranking/footrule.cc.o.d"
+  "/root/repo/src/ranking/kendall.cc" "src/CMakeFiles/rankjoin.dir/ranking/kendall.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/ranking/kendall.cc.o.d"
+  "/root/repo/src/ranking/prefix.cc" "src/CMakeFiles/rankjoin.dir/ranking/prefix.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/ranking/prefix.cc.o.d"
+  "/root/repo/src/ranking/ranking.cc" "src/CMakeFiles/rankjoin.dir/ranking/ranking.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/ranking/ranking.cc.o.d"
+  "/root/repo/src/ranking/reorder.cc" "src/CMakeFiles/rankjoin.dir/ranking/reorder.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/ranking/reorder.cc.o.d"
+  "/root/repo/src/search/range_search.cc" "src/CMakeFiles/rankjoin.dir/search/range_search.cc.o" "gcc" "src/CMakeFiles/rankjoin.dir/search/range_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

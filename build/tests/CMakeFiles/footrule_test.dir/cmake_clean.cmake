@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/footrule_test.dir/footrule_test.cc.o"
+  "CMakeFiles/footrule_test.dir/footrule_test.cc.o.d"
+  "footrule_test"
+  "footrule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/footrule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaccard_test.dir/jaccard_test.cc.o"
+  "CMakeFiles/jaccard_test.dir/jaccard_test.cc.o.d"
+  "jaccard_test"
+  "jaccard_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaccard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kendall_test.dir/kendall_test.cc.o"
+  "CMakeFiles/kendall_test.dir/kendall_test.cc.o.d"
+  "kendall_test"
+  "kendall_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kendall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

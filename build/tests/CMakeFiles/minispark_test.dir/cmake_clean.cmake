@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minispark_test.dir/minispark_test.cc.o"
+  "CMakeFiles/minispark_test.dir/minispark_test.cc.o.d"
+  "minispark_test"
+  "minispark_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minispark_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_join_test.dir/rs_join_test.cc.o"
+  "CMakeFiles/rs_join_test.dir/rs_join_test.cc.o.d"
+  "rs_join_test"
+  "rs_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

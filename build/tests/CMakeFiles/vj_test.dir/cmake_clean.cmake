@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vj_test.dir/vj_test.cc.o"
+  "CMakeFiles/vj_test.dir/vj_test.cc.o.d"
+  "vj_test"
+  "vj_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vj_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

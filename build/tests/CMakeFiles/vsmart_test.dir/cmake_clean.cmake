@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsmart_test.dir/vsmart_test.cc.o"
+  "CMakeFiles/vsmart_test.dir/vsmart_test.cc.o.d"
+  "vsmart_test"
+  "vsmart_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsmart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
