@@ -1,6 +1,9 @@
 // google-benchmark suite for the minispark dataflow primitives: shuffle
-// throughput, groupByKey, reduceByKey, join, distinct, and sortByKey.
+// throughput, groupByKey, reduceByKey, join, distinct, sortByKey, and
+// the lazy stage-fusion engine (fused vs per-operator execution).
 // These bound the constant factors behind every distributed pipeline.
+// Lazy outputs are forced with Count() so each iteration measures the
+// full materialization, not just plan construction.
 
 #include <benchmark/benchmark.h>
 
@@ -48,7 +51,7 @@ void BM_GroupByKey(benchmark::State& state) {
   auto data = MakeKv(static_cast<size_t>(state.range(0)), 1024);
   auto ds = Parallelize(&ctx, data, 16);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(GroupByKey(ds, 16));
+    benchmark::DoNotOptimize(GroupByKey(ds, 16).Count());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
@@ -60,7 +63,8 @@ void BM_ReduceByKey(benchmark::State& state) {
   auto ds = Parallelize(&ctx, data, 16);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        ReduceByKey(ds, [](uint32_t a, uint32_t b) { return a + b; }, 16));
+        ReduceByKey(ds, [](uint32_t a, uint32_t b) { return a + b; }, 16)
+            .Count());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
@@ -87,11 +91,64 @@ void BM_Distinct(benchmark::State& state) {
   }
   auto ds = Parallelize(&ctx, data, 16);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(Distinct(ds, 16));
+    benchmark::DoNotOptimize(Distinct(ds, 16).Count());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_Distinct)->Arg(100000);
+
+// map -> filter -> flatMap -> groupByKey, the canonical narrow chain of
+// the join pipelines (prefix emission, predicate filters, re-keying).
+// With fusion the three narrow ops execute inside the shuffle-write
+// stage; without it every operator materializes its own dataset. The
+// counters report stages executed and elements materialized per
+// iteration so EXPERIMENTS.md can quote them directly.
+void ChainBenchmark(benchmark::State& state, bool fuse) {
+  Context::Options options = BenchCluster();
+  options.fuse_narrow_ops = fuse;
+  Context ctx(options);
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto ds = Parallelize(&ctx, MakeKv(n, 1024), 16);
+  ctx.metrics().Clear();
+  for (auto _ : state) {
+    auto chain =
+        ds.Map(
+              [](const std::pair<uint32_t, uint32_t>& kv) {
+                return std::pair<uint32_t, uint32_t>(kv.first,
+                                                     kv.second + 1);
+              },
+              "chain/shift")
+            .Filter(
+                [](const std::pair<uint32_t, uint32_t>& kv) {
+                  return kv.second % 2 == 0;
+                },
+                "chain/evens")
+            .FlatMap(
+                [](const std::pair<uint32_t, uint32_t>& kv) {
+                  return std::vector<std::pair<uint32_t, uint32_t>>{
+                      kv, {kv.first + 1, kv.second}};
+                },
+                "chain/mirror");
+    benchmark::DoNotOptimize(GroupByKey(chain, 16, "chain/group").Count());
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["stages"] =
+      static_cast<double>(ctx.metrics().NumStages()) / iters;
+  state.counters["materialized"] =
+      static_cast<double>(ctx.metrics().TotalMaterializedElements()) /
+      iters;
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_ChainFused(benchmark::State& state) {
+  ChainBenchmark(state, /*fuse=*/true);
+}
+BENCHMARK(BM_ChainFused)->Arg(100000);
+
+void BM_ChainUnfused(benchmark::State& state) {
+  ChainBenchmark(state, /*fuse=*/false);
+}
+BENCHMARK(BM_ChainUnfused)->Arg(100000);
 
 void BM_SortByKey(benchmark::State& state) {
   Context ctx(BenchCluster());

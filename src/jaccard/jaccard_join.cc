@@ -145,6 +145,8 @@ std::vector<ScoredPair> JaccardSelfJoin(
         return out;
       },
       "jaccard/localJoin");
+  // Force the fused group+localJoin chain before reading the stat slots.
+  pairs.Cache();
   for (const JoinStats& s : slots) stats->MergeCounters(s);
   return minispark::Distinct(pairs, num_partitions, "jaccard/distinct")
       .Collect();
@@ -358,6 +360,8 @@ Result<JoinResult> RunJaccardClusterJoin(minispark::Context* ctx,
         return out;
       },
       "jaccardCl/centroidJoin");
+  // Force the centroid join before reading the stat slots.
+  rj_scored.Cache();
   for (const JoinStats& s : slots) result.stats.MergeCounters(s);
   std::vector<ScoredPair> rj_pairs =
       minispark::Distinct(rj_scored, num_partitions, "jaccardCl/distinct")
@@ -429,6 +433,7 @@ Result<JoinResult> RunJaccardClusterJoin(minispark::Context* ctx,
         return out;
       },
       "jaccardCl/intra");
+  intra.Cache();
   for (const JoinStats& s : intra_slots) result.stats.MergeCounters(s);
 
   auto rm = rj_ds.Filter(
@@ -436,6 +441,8 @@ Result<JoinResult> RunJaccardClusterJoin(minispark::Context* ctx,
         return !(cp.ci_singleton && cp.cj_singleton);
       },
       "jaccardCl/rm");
+  // rm feeds both directional re-keyings — materialize it once.
+  rm.Cache();
   auto rm_by_ci = rm.Map(
       [](const CentroidPairJ& cp) {
         return std::pair<RankingId, CentroidPairJ>(cp.ci, cp);
@@ -468,6 +475,7 @@ Result<JoinResult> RunJaccardClusterJoin(minispark::Context* ctx,
         return out;
       },
       "jaccardCl/membersCi");
+  rm_c1.Cache();
   for (const JoinStats& s : j1_slots) result.stats.MergeCounters(s);
 
   auto j2 = minispark::Join(rm_by_cj, clusters, num_partitions,
@@ -491,6 +499,7 @@ Result<JoinResult> RunJaccardClusterJoin(minispark::Context* ctx,
         return out;
       },
       "jaccardCl/membersCj");
+  rm_c2.Cache();
   for (const JoinStats& s : j2_slots) result.stats.MergeCounters(s);
 
   auto j1_by_cj = j1.Map(
@@ -523,6 +532,7 @@ Result<JoinResult> RunJaccardClusterJoin(minispark::Context* ctx,
         return out;
       },
       "jaccardCl/membersBoth");
+  rm_m.Cache();
   for (const JoinStats& s : jmm_slots) result.stats.MergeCounters(s);
 
   auto all_pairs = minispark::Union(

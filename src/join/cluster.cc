@@ -179,6 +179,9 @@ Clustering RunRandomCentroidClustering(
         return out;
       },
       "randomClustering/assign");
+  // Force the assignment stage before reading the per-partition stat
+  // slots (lazy execution defers the lambda until materialization).
+  assignments.Cache();
   for (const JoinStats& s : slots) stats->MergeCounters(s);
 
   std::unordered_set<RankingId> centroid_ids(clustering.centroids.begin(),

@@ -136,8 +136,12 @@ std::vector<ResultPair> RunExpansion(minispark::Context* ctx,
   for (const ClusterPair& cp : clustering.pairs) {
     cluster_kv.push_back({cp.centroid, {cp.member, cp.distance}});
   }
+  // The cluster-membership dataset is consumed by three wide operations
+  // below (groupClusters and both membership joins) — pin it so it
+  // materializes exactly once.
   minispark::Dataset<std::pair<RankingId, MemberRec>> clusters =
       minispark::Parallelize(ctx, std::move(cluster_kv), num_partitions);
+  clusters.Cache();
 
   minispark::Dataset<CentroidPair> rj_ds =
       minispark::Parallelize(ctx, rj, num_partitions);
@@ -189,6 +193,8 @@ std::vector<ResultPair> RunExpansion(minispark::Context* ctx,
             return out;
           },
           "expand/intraCluster");
+  // Stat slots are filled when the chain runs — force it first.
+  intra.Cache();
   MergeSlots(intra_slots, stats);
 
   // R_m: centroid pairs with at least one non-singleton side need to be
@@ -198,6 +204,8 @@ std::vector<ResultPair> RunExpansion(minispark::Context* ctx,
         return !(cp.ci_singleton && cp.cj_singleton);
       },
       "expand/filterRm");
+  // R_m feeds both directional re-keyings — materialize the filter once.
+  rm.Cache();
 
   minispark::Dataset<std::pair<RankingId, CentroidPair>> rm_by_ci = rm.Map(
       [](const CentroidPair& cp) {
@@ -234,6 +242,7 @@ std::vector<ResultPair> RunExpansion(minispark::Context* ctx,
         return out;
       },
       "expand/membersCi");
+  rm_c1.Cache();
   MergeSlots(j1_slots, stats);
 
   // Members of cj against ci (R_m,c, second direction — the "switched
@@ -261,6 +270,7 @@ std::vector<ResultPair> RunExpansion(minispark::Context* ctx,
         return out;
       },
       "expand/membersCj");
+  rm_c2.Cache();
   MergeSlots(j2_slots, stats);
 
   // Members of ci against members of cj (R_m,m): re-key the first join
@@ -300,6 +310,7 @@ std::vector<ResultPair> RunExpansion(minispark::Context* ctx,
         return out;
       },
       "expand/membersBoth");
+  rm_m.Cache();
   MergeSlots(jmm_slots, stats);
 
   // Union everything and remove duplicates (Algorithm 2 line 9).

@@ -27,7 +27,7 @@ minispark::Dataset<ScoredPair> JoinGroups(
   std::vector<JoinStats> slots(
       static_cast<size_t>(groups.num_partitions()));
   minispark::Dataset<ScoredPair> result = groups.MapPartitionsWithIndex(
-      [&local_join, &slots](int index, const std::vector<PostingGroup>& part) {
+      [local_join, &slots](int index, const std::vector<PostingGroup>& part) {
         std::vector<ScoredPair> out;
         JoinStats& local = slots[static_cast<size_t>(index)];
         for (const PostingGroup& group : part) {
@@ -36,6 +36,10 @@ minispark::Dataset<ScoredPair> JoinGroups(
         return out;
       },
       "joinGroups");
+  // Force the fused chain before harvesting the per-partition stat
+  // slots: under lazy execution the local joins have not run until the
+  // dataset is materialized.
+  result.Cache();
   MergeSlots(slots, stats);
   return result;
 }
@@ -47,6 +51,11 @@ minispark::Dataset<ScoredPair> JoinGroupsWithRepartitioning(
   if (delta == 0) return JoinGroups(groups, std::move(local_join), stats);
 
   const int wide = std::max(1, num_partitions * 2);
+
+  // The grouped index feeds both the small and the large split below —
+  // materialize it once instead of re-running its pending chain per
+  // consumer.
+  groups.Cache();
 
   // Split the inverted index into small and large lists (I_<=delta and
   // I_>delta in Algorithm 3).
@@ -81,6 +90,9 @@ minispark::Dataset<ScoredPair> JoinGroupsWithRepartitioning(
         return out;
       },
       "repartition/split");
+  // The chunks feed three shuffles (the composite-key spread plus both
+  // sides of the chunk-pair self-join) — materialize them exactly once.
+  chunks.Cache();
 
   // Self-join every sub-partition, spread over (item, secondary key).
   minispark::Dataset<std::pair<std::pair<ItemId, uint32_t>, Chunk>>
@@ -95,7 +107,7 @@ minispark::Dataset<ScoredPair> JoinGroupsWithRepartitioning(
   std::vector<JoinStats> self_slots(static_cast<size_t>(wide));
   minispark::Dataset<ScoredPair> chunk_self_results =
       spread.MapPartitionsWithIndex(
-          [&local_join, &self_slots](
+          [local_join, &self_slots](
               int index,
               const std::vector<
                   std::pair<std::pair<ItemId, uint32_t>, Chunk>>& part) {
@@ -107,6 +119,7 @@ minispark::Dataset<ScoredPair> JoinGroupsWithRepartitioning(
             return out;
           },
           "repartition/chunkSelfJoin");
+  chunk_self_results.Cache();
   MergeSlots(self_slots, stats);
 
   // Spark-style self-join of the sub-partitions on the item id; every
@@ -123,7 +136,7 @@ minispark::Dataset<ScoredPair> JoinGroupsWithRepartitioning(
       static_cast<size_t>(ordered_pairs.num_partitions()));
   minispark::Dataset<ScoredPair> chunk_rs_results =
       ordered_pairs.MapPartitionsWithIndex(
-          [&rs_join, &rs_slots](
+          [rs_join, &rs_slots](
               int index,
               const std::vector<std::pair<ItemId, std::pair<Chunk, Chunk>>>&
                   part) {
@@ -136,6 +149,7 @@ minispark::Dataset<ScoredPair> JoinGroupsWithRepartitioning(
             return out;
           },
           "repartition/chunkRsJoin");
+  chunk_rs_results.Cache();
   MergeSlots(rs_slots, stats);
 
   return minispark::Union(

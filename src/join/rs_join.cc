@@ -162,6 +162,8 @@ Result<JoinResult> RunRsJoin(minispark::Context* ctx,
         return out;
       },
       "rsJoin/localJoin");
+  // Force the fused group+localJoin chain before reading the stat slots.
+  raw_pairs.Cache();
   for (const JoinStats& stats : slots) result.stats.MergeCounters(stats);
 
   std::vector<ScoredPair> unique =

@@ -83,6 +83,8 @@ Result<JoinResult> RunVSmartJoin(minispark::Context* ctx,
         return out;
       },
       "vsmart/emitPartials");
+  // Force the partial-emission stage before reading the stat slots.
+  partials.Cache();
   for (const JoinStats& s : slots) result.stats.MergeCounters(s);
 
   // Similarity phase, step 2: aggregate partials per pair and keep

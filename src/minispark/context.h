@@ -43,6 +43,12 @@ class Context {
     int num_workers = 4;
     /// Partition count used when an operation does not specify one.
     int default_partitions = 8;
+    /// When true (default), chains of narrow transformations build a lazy
+    /// plan and execute as one fused stage at the next wide operation or
+    /// action. When false, every transformation materializes immediately
+    /// (a barrier after every op) — the pre-fusion eager semantics, kept
+    /// as an A/B baseline for tests and benchmarks.
+    bool fuse_narrow_ops = true;
   };
 
   explicit Context(Options options);
@@ -53,6 +59,7 @@ class Context {
 
   int num_workers() const { return options_.num_workers; }
   int default_partitions() const { return options_.default_partitions; }
+  bool fusion_enabled() const { return options_.fuse_narrow_ops; }
 
   JobMetrics& metrics() { return metrics_; }
   const JobMetrics& metrics() const { return metrics_; }

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <type_traits>
@@ -30,66 +31,156 @@ struct ShuffleHasher {
 /// An immutable, partitioned, typed collection — the minispark analog of
 /// a Spark RDD.
 ///
-/// Unlike Spark, evaluation is eager: every transformation runs one stage
-/// (one task per partition) on the owning Context's thread pool and
-/// materializes its output. This keeps the engine small while preserving
-/// the properties the paper's algorithms depend on: hash-partitioned
-/// shuffles, per-partition task granularity, stragglers from skewed
-/// partitions, and shuffle-volume accounting.
+/// Evaluation is LAZY: narrow transformations (Map, Filter, FlatMap,
+/// MapPartitionsWithIndex, Union) build a lightweight logical plan — a
+/// push-based generator composed per element — instead of running a
+/// stage. The whole chain executes as ONE fused physical stage when it is
+/// forced by a stage boundary:
 ///
-/// Dataset handles are cheap to copy (shared ownership of the partition
-/// data). All driver-side calls must come from one thread.
+///  - driver actions: Collect(), Count(), MaxPartitionSize(),
+///    partitions(), Cache()/Persist();
+///  - wide operations: PartitionByKey, GroupByKey, ReduceByKey, Join,
+///    CoGroup, Distinct, Repartition. These pull any pending narrow chain
+///    of their inputs into the shuffle-write task, so the chain's
+///    intermediate results are never materialized at all.
+///
+/// Forcing memoizes: the handle (and every copy of it — handles share
+/// plan state) holds the materialized partitions afterwards, so a chain
+/// executes at most once per forcing consumer. A dataset consumed by
+/// SEVERAL wide operations re-streams its pending chain once per
+/// consumer unless it is materialized first — call Cache() when a
+/// dataset is reused across stages, and always before harvesting side
+/// effects (e.g. per-partition stat slots) of its lambdas. Lambdas in a
+/// pending chain must not capture references that die before the chain
+/// is forced.
+///
+/// Setting Context::Options::fuse_narrow_ops = false restores the old
+/// eager semantics (every op materializes immediately), which tests and
+/// benches use as the unfused baseline.
+///
+/// Dataset handles are cheap to copy (shared ownership of the plan
+/// state). All driver-side calls must come from one thread.
 template <typename T>
 class Dataset {
  public:
   using Partitions = std::vector<std::vector<T>>;
+  /// Push-based consumer of chain output elements.
+  using Sink = std::function<void(const T&)>;
+  /// Runs the fused chain for one partition, pushing every element of
+  /// the output partition into the sink. Must be safe to invoke
+  /// concurrently for distinct partition indices.
+  using Generator = std::function<void(int, const Sink&)>;
 
+  /// Wraps already-materialized partitions (no stage is run).
   Dataset(Context* ctx, std::shared_ptr<const Partitions> partitions)
-      : ctx_(ctx), partitions_(std::move(partitions)) {
-    RANKJOIN_CHECK(ctx_ != nullptr);
-    RANKJOIN_CHECK(partitions_ != nullptr);
+      : state_(std::make_shared<State>()) {
+    RANKJOIN_CHECK(ctx != nullptr);
+    RANKJOIN_CHECK(partitions != nullptr);
+    state_->ctx = ctx;
+    state_->num_partitions = static_cast<int>(partitions->size());
+    state_->materialized = std::move(partitions);
   }
 
-  Context* context() const { return ctx_; }
-  int num_partitions() const { return static_cast<int>(partitions_->size()); }
-  const Partitions& partitions() const { return *partitions_; }
+  /// Creates a lazy dataset from a generator (used by Union and by
+  /// tests). `op` is the logical op kind recorded in StageMetrics when
+  /// the chain is forced; `name` the user-facing stage label.
+  static Dataset<T> FromGenerator(Context* ctx, int num_partitions,
+                                  Generator gen, const std::string& op,
+                                  const std::string& name) {
+    RANKJOIN_CHECK(ctx != nullptr);
+    RANKJOIN_CHECK(num_partitions >= 0);
+    auto state = std::make_shared<State>();
+    state->ctx = ctx;
+    state->num_partitions = num_partitions;
+    state->gen = std::move(gen);
+    state->ops.push_back(op);
+    state->names.push_back(name);
+    Dataset<T> ds(std::move(state));
+    if (!ctx->fusion_enabled()) ds.Materialize();
+    return ds;
+  }
 
-  /// Total number of elements across partitions.
+  Context* context() const { return state_->ctx; }
+  int num_partitions() const { return state_->num_partitions; }
+
+  /// True when this handle holds materialized partitions (i.e. its chain
+  /// has been forced, or it was created from materialized data).
+  bool materialized() const { return state_->materialized != nullptr; }
+
+  /// "+"-joined logical ops pending in this handle's unforced chain
+  /// (empty when materialized). Exposed for metrics and tests.
+  std::string pending_ops() const { return JoinStrings(state_->ops); }
+
+  /// Materialized partitions; forces the pending chain.
+  const Partitions& partitions() const { return Materialize(); }
+
+  /// Total number of elements across partitions (action: forces).
   size_t Count() const {
     size_t n = 0;
-    for (const auto& p : *partitions_) n += p.size();
+    for (const auto& p : Materialize()) n += p.size();
     return n;
   }
 
-  /// Number of elements in the largest partition (skew indicator).
+  /// Number of elements in the largest partition (skew indicator;
+  /// action: forces).
   size_t MaxPartitionSize() const {
     size_t n = 0;
-    for (const auto& p : *partitions_) n = std::max(n, p.size());
+    for (const auto& p : Materialize()) n = std::max(n, p.size());
     return n;
   }
 
-  /// Gathers all elements to the driver, in partition order.
+  /// Gathers all elements to the driver, in partition order (action:
+  /// forces).
   std::vector<T> Collect() const {
+    const Partitions& parts = Materialize();
+    size_t total = 0;
+    for (const auto& p : parts) total += p.size();
     std::vector<T> out;
-    out.reserve(Count());
-    for (const auto& p : *partitions_) {
+    out.reserve(total);
+    for (const auto& p : parts) {
       out.insert(out.end(), p.begin(), p.end());
     }
     return out;
+  }
+
+  /// Forces the pending chain NOW and pins the result in this handle
+  /// (and all copies), so that every later consumer — including several
+  /// wide operations — reads the partitions instead of re-running the
+  /// chain. The minispark analog of rdd.cache(); required before
+  /// harvesting side effects of chain lambdas.
+  const Dataset<T>& Cache() const {
+    state_->cached = true;
+    Materialize();
+    return *this;
+  }
+
+  /// Spark-compatible alias for Cache().
+  const Dataset<T>& Persist() const { return Cache(); }
+
+  /// Streams partition `i` through `sink` WITHOUT materializing this
+  /// dataset: materialized partitions are iterated, pending chains are
+  /// executed in the calling task. This is the hook wide operations use
+  /// to pull a narrow chain into their shuffle-write phase.
+  template <typename Fn>
+  void StreamPartition(int i, Fn&& sink) const {
+    const State& s = *state_;
+    if (s.materialized) {
+      for (const T& t : (*s.materialized)[static_cast<size_t>(i)]) sink(t);
+    } else {
+      s.gen(i, Sink(std::forward<Fn>(sink)));
+    }
   }
 
   /// Element-wise transformation (narrow dependency, no shuffle).
   template <typename F>
   auto Map(F fn, const std::string& name = "map") const {
     using U = std::decay_t<decltype(fn(std::declval<const T&>()))>;
-    return MapPartitionsWithIndex(
-        [fn = std::move(fn)](int /*index*/, const std::vector<T>& part) {
-          std::vector<U> out;
-          out.reserve(part.size());
-          for (const T& t : part) out.push_back(fn(t));
-          return out;
+    return ChainElementwise<U>(
+        [fn = std::move(fn)](const T& t,
+                             const typename Dataset<U>::Sink& emit) {
+          emit(fn(t));
         },
-        name);
+        "map", name);
   }
 
   /// One-to-many transformation; `fn` returns a vector of outputs.
@@ -97,64 +188,63 @@ class Dataset {
   auto FlatMap(F fn, const std::string& name = "flatMap") const {
     using Vec = std::decay_t<decltype(fn(std::declval<const T&>()))>;
     using U = typename Vec::value_type;
-    return MapPartitionsWithIndex(
-        [fn = std::move(fn)](int /*index*/, const std::vector<T>& part) {
-          std::vector<U> out;
-          for (const T& t : part) {
-            Vec produced = fn(t);
-            out.insert(out.end(), std::make_move_iterator(produced.begin()),
-                       std::make_move_iterator(produced.end()));
-          }
-          return out;
+    return ChainElementwise<U>(
+        [fn = std::move(fn)](const T& t,
+                             const typename Dataset<U>::Sink& emit) {
+          for (const U& u : fn(t)) emit(u);
         },
-        name);
+        "flatMap", name);
   }
 
   /// Keeps the elements for which `pred` returns true.
   template <typename F>
   Dataset<T> Filter(F pred, const std::string& name = "filter") const {
-    return MapPartitionsWithIndex(
-        [pred = std::move(pred)](int /*index*/, const std::vector<T>& part) {
-          std::vector<T> out;
-          for (const T& t : part) {
-            if (pred(t)) out.push_back(t);
-          }
-          return out;
+    return ChainElementwise<T>(
+        [pred = std::move(pred)](const T& t, const Sink& emit) {
+          if (pred(t)) emit(t);
         },
-        name);
+        "filter", name);
   }
 
   /// Whole-partition transformation: `fn(partition_index, elements)`
   /// returns the output partition. This is the iterator-style hook the
-  /// paper's VJ-NL variant exploits (Section 4.1).
+  /// paper's VJ-NL variant exploits (Section 4.1). Still a narrow
+  /// dependency: it fuses with the surrounding chain, but needs the
+  /// whole input partition gathered before `fn` runs.
   template <typename F>
   auto MapPartitionsWithIndex(F fn,
                               const std::string& name = "mapPartitions") const {
     using Vec = std::decay_t<decltype(fn(0, std::declval<const std::vector<T>&>()))>;
     using U = typename Vec::value_type;
-    auto out = std::make_shared<typename Dataset<U>::Partitions>(
-        partitions_->size());
-    const Partitions& in = *partitions_;
-    StageMetrics stage =
-        ctx_->RunStage(name, num_partitions(), [&](int i) {
-          (*out)[static_cast<size_t>(i)] =
-              fn(i, in[static_cast<size_t>(i)]);
-        });
-    stage.max_partition_size = MaxSize(*out);
-    ctx_->AddStage(std::move(stage));
-    return Dataset<U>(ctx_, std::move(out));
+    auto src = state_;
+    typename Dataset<U>::Generator gen =
+        [src, fn = std::move(fn)](int i,
+                                  const typename Dataset<U>::Sink& emit) {
+          Vec produced;
+          if (src->materialized) {
+            produced = fn(i, (*src->materialized)[static_cast<size_t>(i)]);
+          } else {
+            std::vector<T> input;
+            src->gen(i, Sink([&input](const T& t) { input.push_back(t); }));
+            produced = fn(i, input);
+          }
+          for (const U& u : produced) emit(u);
+        };
+    return Chain<U>(std::move(gen), "mapPartitions", name);
   }
 
   /// Redistributes elements round-robin into `n` partitions (full
-  /// shuffle, like Spark's repartition()).
+  /// shuffle, like Spark's repartition()). Stage boundary: forces the
+  /// pending chain.
   Dataset<T> Repartition(int n, const std::string& name = "repartition") const {
     RANKJOIN_CHECK(n >= 1);
+    const Partitions& in = Materialize();
     auto out = std::make_shared<Partitions>(static_cast<size_t>(n));
     uint64_t records = 0;
     uint64_t bytes = 0;
     // Deterministic round-robin assignment in global element order.
     size_t next = 0;
-    for (const auto& part : *partitions_) {
+    for (const auto& part : in) {
       for (const T& t : part) {
         (*out)[next % static_cast<size_t>(n)].push_back(t);
         ++next;
@@ -162,15 +252,46 @@ class Dataset {
         bytes += ApproxSize(t);
       }
     }
-    StageMetrics stage = ctx_->RunStage(name, n, [](int) {});
+    StageMetrics stage = state_->ctx->RunStage(name, n, [](int) {});
     stage.shuffle_records = records;
     stage.shuffle_bytes = bytes;
+    stage.materialized_elements = records;
+    stage.materialized_bytes = bytes;
     stage.max_partition_size = MaxSize(*out);
-    ctx_->AddStage(std::move(stage));
-    return Dataset<T>(ctx_, std::move(out));
+    state_->ctx->AddStage(std::move(stage));
+    return Dataset<T>(state_->ctx, std::move(out));
   }
 
  private:
+  template <typename U>
+  friend class Dataset;
+
+  /// Shared plan state: either materialized partitions, or a pending
+  /// fused chain (generator + the logical ops it fuses).
+  struct State {
+    Context* ctx = nullptr;
+    int num_partitions = 0;
+    /// Set once the chain has been forced (or from the start for source
+    /// datasets); the generator is released at that point.
+    std::shared_ptr<const Partitions> materialized;
+    Generator gen;
+    /// Logical op kinds and user names of the pending chain, in order.
+    std::vector<std::string> ops;
+    std::vector<std::string> names;
+    bool cached = false;
+  };
+
+  explicit Dataset(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  static std::string JoinStrings(const std::vector<std::string>& parts) {
+    std::string out;
+    for (const auto& p : parts) {
+      if (!out.empty()) out += '+';
+      out += p;
+    }
+    return out;
+  }
+
   template <typename U>
   static uint64_t MaxSize(const std::vector<std::vector<U>>& parts) {
     uint64_t m = 0;
@@ -178,13 +299,82 @@ class Dataset {
     return m;
   }
 
-  Context* ctx_;
-  std::shared_ptr<const Partitions> partitions_;
+  /// Builds the lazy successor dataset for a narrow op, inheriting this
+  /// handle's pending chain metadata (fused op list). With fusion
+  /// disabled the successor materializes immediately, reproducing the
+  /// eager engine.
+  template <typename U>
+  Dataset<U> Chain(typename Dataset<U>::Generator gen, const std::string& op,
+                   const std::string& name) const {
+    auto state = std::make_shared<typename Dataset<U>::State>();
+    state->ctx = state_->ctx;
+    state->num_partitions = state_->num_partitions;
+    state->gen = std::move(gen);
+    if (!state_->materialized) {
+      state->ops = state_->ops;
+      state->names = state_->names;
+    }
+    state->ops.push_back(op);
+    state->names.push_back(name);
+    Dataset<U> out(std::move(state));
+    if (!state_->ctx->fusion_enabled()) out.Materialize();
+    return out;
+  }
+
+  /// Chain() for per-element steps: `step(element, emit)` pushes the
+  /// op's outputs for one input element.
+  template <typename U, typename Step>
+  Dataset<U> ChainElementwise(Step step, const std::string& op,
+                              const std::string& name) const {
+    auto src = state_;
+    typename Dataset<U>::Generator gen =
+        [src, step = std::move(step)](int i,
+                                      const typename Dataset<U>::Sink& emit) {
+          if (src->materialized) {
+            for (const T& t : (*src->materialized)[static_cast<size_t>(i)]) {
+              step(t, emit);
+            }
+          } else {
+            src->gen(i, Sink([&step, &emit](const T& t) { step(t, emit); }));
+          }
+        };
+    return Chain<U>(std::move(gen), op, name);
+  }
+
+  /// Forces the pending chain: runs ONE fused stage (a task per
+  /// partition) that streams the chain into output partitions, records
+  /// the fused ops and materialization volume, and memoizes the result.
+  const Partitions& Materialize() const {
+    State& s = *state_;
+    if (s.materialized) return *s.materialized;
+    auto out = std::make_shared<Partitions>(
+        static_cast<size_t>(s.num_partitions));
+    StageMetrics stage =
+        s.ctx->RunStage(JoinStrings(s.names), s.num_partitions, [&](int i) {
+          auto& dest = (*out)[static_cast<size_t>(i)];
+          s.gen(i, Sink([&dest](const T& t) { dest.push_back(t); }));
+        });
+    stage.fused_ops = JoinStrings(s.ops);
+    for (const auto& p : *out) {
+      stage.materialized_elements += p.size();
+      for (const T& t : p) stage.materialized_bytes += ApproxSize(t);
+    }
+    stage.max_partition_size = MaxSize(*out);
+    s.ctx->AddStage(std::move(stage));
+    s.materialized = std::move(out);
+    // Release the generator (and the upstream plan it captures).
+    s.gen = nullptr;
+    s.ops.clear();
+    s.names.clear();
+    return *s.materialized;
+  }
+
+  std::shared_ptr<State> state_;
 };
 
 /// Creates a Dataset by splitting `data` into `num_partitions` contiguous
 /// chunks (like sc.parallelize). Uses the context default when
-/// `num_partitions` <= 0.
+/// `num_partitions` <= 0. Source datasets are born materialized.
 template <typename T>
 Dataset<T> Parallelize(Context* ctx, std::vector<T> data,
                        int num_partitions = -1) {
@@ -198,8 +388,11 @@ Dataset<T> Parallelize(Context* ctx, std::vector<T> data,
     (*parts)[per == 0 ? 0 : i / per].push_back(std::move(data[i]));
   }
   StageMetrics stage = ctx->RunStage("parallelize", num_partitions, [](int) {});
+  stage.fused_ops = "parallelize";
+  stage.materialized_elements = n;
   stage.max_partition_size = 0;
   for (const auto& p : *parts) {
+    stage.materialized_bytes += ApproxSize(p);
     stage.max_partition_size =
         std::max<uint64_t>(stage.max_partition_size, p.size());
   }
@@ -209,25 +402,33 @@ Dataset<T> Parallelize(Context* ctx, std::vector<T> data,
 
 namespace internal {
 
-/// Hash-shuffles key-value records into `n` buckets by key. Returns the
-/// target partitions and accounts records/bytes into `stage`.
+/// Hash-shuffles key-value records into `n` buckets by key. The
+/// shuffle-write phase STREAMS the input — a pending narrow chain on
+/// `input` executes inside the write tasks and is never materialized.
+/// Returns the target partitions; shuffle volume is accounted on the
+/// read stage.
 template <typename K, typename V>
 std::shared_ptr<const std::vector<std::vector<std::pair<K, V>>>> ShuffleByKey(
-    Context* ctx, const std::vector<std::vector<std::pair<K, V>>>& input,
-    int n, const std::string& name, StageMetrics* out_stage) {
+    const Dataset<std::pair<K, V>>& input, int n, const std::string& name) {
+  Context* ctx = input.context();
   HashPartitioner partitioner(n);
-  // Phase 1 (map side): each input partition writes its buckets.
+  const int in_parts = input.num_partitions();
+  const std::string fused = input.pending_ops();
+  // Phase 1 (map side): each input partition streams its fused chain
+  // into per-target buckets.
   std::vector<std::vector<std::vector<std::pair<K, V>>>> buckets(
-      input.size());
-  StageMetrics write_stage = ctx->RunStage(
-      name + "/shuffle-write", static_cast<int>(input.size()), [&](int i) {
+      static_cast<size_t>(in_parts));
+  StageMetrics write_stage =
+      ctx->RunStage(name + "/shuffle-write", in_parts, [&](int i) {
         auto& local = buckets[static_cast<size_t>(i)];
         local.assign(static_cast<size_t>(n), {});
-        for (const auto& kv : input[static_cast<size_t>(i)]) {
+        input.StreamPartition(i, [&](const std::pair<K, V>& kv) {
           local[static_cast<size_t>(partitioner.PartitionOf(kv.first))]
               .push_back(kv);
-        }
+        });
       });
+  write_stage.fused_ops =
+      fused.empty() ? "shuffleWrite" : fused + "+shuffleWrite";
   ctx->AddStage(std::move(write_stage));
 
   // Phase 2 (reduce side): concatenate the buckets of every mapper.
@@ -248,6 +449,7 @@ std::shared_ptr<const std::vector<std::vector<std::pair<K, V>>>> ShuffleByKey(
                       std::make_move_iterator(src.end()));
         }
       });
+  read_stage.fused_ops = "shuffleRead";
   uint64_t records = 0;
   uint64_t bytes = 0;
   for (const auto& part : *out) {
@@ -258,11 +460,12 @@ std::shared_ptr<const std::vector<std::vector<std::pair<K, V>>>> ShuffleByKey(
   }
   read_stage.shuffle_records = records;
   read_stage.shuffle_bytes = bytes;
+  read_stage.materialized_elements = records;
+  read_stage.materialized_bytes = bytes;
   for (const auto& p : *out) {
     read_stage.max_partition_size =
         std::max<uint64_t>(read_stage.max_partition_size, p.size());
   }
-  *out_stage = read_stage;
   ctx->AddStage(std::move(read_stage));
   return out;
 }
@@ -270,7 +473,9 @@ std::shared_ptr<const std::vector<std::vector<std::pair<K, V>>>> ShuffleByKey(
 }  // namespace internal
 
 /// Hash-partitions a key-value dataset by key (Spark partitionBy).
-/// Records with equal keys land in the same output partition.
+/// Records with equal keys land in the same output partition. Wide
+/// operation: executes immediately, pulling any pending narrow chain of
+/// `ds` into the shuffle-write tasks.
 template <typename K, typename V>
 Dataset<std::pair<K, V>> PartitionByKey(const Dataset<std::pair<K, V>>& ds,
                                         int n = -1,
@@ -278,14 +483,15 @@ Dataset<std::pair<K, V>> PartitionByKey(const Dataset<std::pair<K, V>>& ds,
                                             "partitionBy") {
   Context* ctx = ds.context();
   if (n <= 0) n = ctx->default_partitions();
-  StageMetrics unused;
-  auto parts = internal::ShuffleByKey(ctx, ds.partitions(), n, name, &unused);
+  auto parts = internal::ShuffleByKey(ds, n, name);
   return Dataset<std::pair<K, V>>(ctx, std::move(parts));
 }
 
 /// Groups values by key after a hash shuffle (Spark groupByKey). Output
 /// preserves per-key arrival order of values (deterministic: mapper order
-/// then in-partition order).
+/// then in-partition order). The per-partition grouping step is a narrow
+/// op on the shuffled data and stays lazy — it fuses with whatever
+/// consumes the groups.
 template <typename K, typename V>
 Dataset<std::pair<K, std::vector<V>>> GroupByKey(
     const Dataset<std::pair<K, V>>& ds, int n = -1,
@@ -311,7 +517,8 @@ template <typename K, typename V, typename F>
 Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds, F fn,
                                      int n = -1,
                                      const std::string& name = "reduceByKey") {
-  // Map-side combine.
+  // Map-side combine; fuses with the upstream chain and the shuffle
+  // write.
   Dataset<std::pair<K, V>> combined = ds.MapPartitionsWithIndex(
       [fn](int /*index*/, const std::vector<std::pair<K, V>>& part) {
         std::unordered_map<K, size_t, ShuffleHasher> slot;
@@ -346,7 +553,10 @@ Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds, F fn,
 }
 
 /// Inner equi-join on key (Spark join). Produces one output record per
-/// matching (left, right) value pair.
+/// matching (left, right) value pair. Wide operation: both sides shuffle
+/// immediately (fusing their pending chains into the shuffle writes) and
+/// the probe output is materialized. NOTE: joining a dataset with itself
+/// streams its pending chain twice — Cache() it first.
 template <typename K, typename V, typename W>
 Dataset<std::pair<K, std::pair<V, W>>> Join(
     const Dataset<std::pair<K, V>>& left,
@@ -355,11 +565,8 @@ Dataset<std::pair<K, std::pair<V, W>>> Join(
   Context* ctx = left.context();
   RANKJOIN_CHECK(ctx == right.context());
   if (n <= 0) n = ctx->default_partitions();
-  StageMetrics unused;
-  auto lparts =
-      internal::ShuffleByKey(ctx, left.partitions(), n, name + "/L", &unused);
-  auto rparts =
-      internal::ShuffleByKey(ctx, right.partitions(), n, name + "/R", &unused);
+  auto lparts = internal::ShuffleByKey(left, n, name + "/L");
+  auto rparts = internal::ShuffleByKey(right, n, name + "/R");
   using Out = std::pair<K, std::pair<V, W>>;
   auto out = std::make_shared<typename Dataset<Out>::Partitions>(
       static_cast<size_t>(n));
@@ -377,7 +584,9 @@ Dataset<std::pair<K, std::pair<V, W>>> Join(
       }
     }
   });
+  stage.fused_ops = "joinProbe";
   for (const auto& p : *out) {
+    stage.materialized_elements += p.size();
     stage.max_partition_size =
         std::max<uint64_t>(stage.max_partition_size, p.size());
   }
@@ -395,11 +604,8 @@ Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
   Context* ctx = left.context();
   RANKJOIN_CHECK(ctx == right.context());
   if (n <= 0) n = ctx->default_partitions();
-  StageMetrics unused;
-  auto lparts =
-      internal::ShuffleByKey(ctx, left.partitions(), n, name + "/L", &unused);
-  auto rparts =
-      internal::ShuffleByKey(ctx, right.partitions(), n, name + "/R", &unused);
+  auto lparts = internal::ShuffleByKey(left, n, name + "/L");
+  auto rparts = internal::ShuffleByKey(right, n, name + "/R");
   using Out = std::pair<K, std::pair<std::vector<V>, std::vector<W>>>;
   auto out = std::make_shared<typename Dataset<Out>::Partitions>(
       static_cast<size_t>(n));
@@ -417,12 +623,20 @@ Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
       dest[it->second].second.second.push_back(kw.second);
     }
   });
+  stage.fused_ops = "cogroupMerge";
+  for (const auto& p : *out) {
+    stage.materialized_elements += p.size();
+    stage.max_partition_size =
+        std::max<uint64_t>(stage.max_partition_size, p.size());
+  }
   ctx->AddStage(std::move(stage));
   return Dataset<Out>(ctx, std::move(out));
 }
 
 /// Removes duplicate elements (Spark distinct). T must be equality
-/// comparable and hashable through ShuffleHash.
+/// comparable and hashable through ShuffleHash. The keying map fuses
+/// into the shuffle write; the dedup step stays lazy on the shuffled
+/// output.
 template <typename T>
 Dataset<T> Distinct(const Dataset<T>& ds, int n = -1,
                     const std::string& name = "distinct") {
@@ -444,20 +658,25 @@ Dataset<T> Distinct(const Dataset<T>& ds, int n = -1,
       name + "/dedup");
 }
 
-/// Concatenates two datasets partition-wise (Spark union).
+/// Concatenates two datasets partition-wise (Spark union). Narrow and
+/// lazy: partitions of `a` keep their indices, partitions of `b` follow;
+/// each side's pending chain fuses into whatever forces the union.
 template <typename T>
 Dataset<T> Union(const Dataset<T>& a, const Dataset<T>& b,
                  const std::string& name = "union") {
   Context* ctx = a.context();
   RANKJOIN_CHECK(ctx == b.context());
-  auto out = std::make_shared<typename Dataset<T>::Partitions>();
-  out->reserve(a.partitions().size() + b.partitions().size());
-  for (const auto& p : a.partitions()) out->push_back(p);
-  for (const auto& p : b.partitions()) out->push_back(p);
-  StageMetrics stage =
-      ctx->RunStage(name, static_cast<int>(out->size()), [](int) {});
-  ctx->AddStage(std::move(stage));
-  return Dataset<T>(ctx, std::move(out));
+  const int na = a.num_partitions();
+  const int total = na + b.num_partitions();
+  typename Dataset<T>::Generator gen =
+      [a, b, na](int i, const typename Dataset<T>::Sink& emit) {
+        if (i < na) {
+          a.StreamPartition(i, emit);
+        } else {
+          b.StreamPartition(i - na, emit);
+        }
+      };
+  return Dataset<T>::FromGenerator(ctx, total, std::move(gen), "union", name);
 }
 
 }  // namespace rankjoin::minispark

@@ -69,6 +69,18 @@ uint64_t JobMetrics::TotalShuffleBytes() const {
   return total;
 }
 
+uint64_t JobMetrics::TotalMaterializedElements() const {
+  uint64_t total = 0;
+  for (const auto& s : stages_) total += s.materialized_elements;
+  return total;
+}
+
+uint64_t JobMetrics::TotalMaterializedBytes() const {
+  uint64_t total = 0;
+  for (const auto& s : stages_) total += s.materialized_bytes;
+  return total;
+}
+
 std::string JobMetrics::ToString() const {
   std::ostringstream os;
   for (const auto& s : stages_) {
@@ -76,7 +88,10 @@ std::string JobMetrics::ToString() const {
        << " cpu_s=" << s.TotalTaskSeconds()
        << " max_task_s=" << s.MaxTaskSeconds()
        << " shuffle_records=" << s.shuffle_records
-       << " max_partition=" << s.max_partition_size << '\n';
+       << " max_partition=" << s.max_partition_size
+       << " materialized=" << s.materialized_elements;
+    if (!s.fused_ops.empty()) os << " fused=[" << s.fused_ops << ']';
+    os << '\n';
   }
   return os.str();
 }

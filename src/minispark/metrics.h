@@ -8,8 +8,9 @@
 
 namespace rankjoin::minispark {
 
-/// Per-stage execution record. One stage corresponds to one dataflow
-/// transformation executed over all partitions (one task per partition).
+/// Per-stage execution record. One physical stage executes a fused chain
+/// of logical transformations over all partitions (one task per
+/// partition); with fusion disabled every logical op is its own stage.
 struct StageMetrics {
   std::string name;
   /// Wall-clock seconds of each task (index = partition).
@@ -22,6 +23,15 @@ struct StageMetrics {
   /// Elements in the largest output partition — the skew signal the
   /// paper's repartitioning (Section 6) attacks.
   uint64_t max_partition_size = 0;
+  /// "+"-joined logical ops this physical stage executed (e.g.
+  /// "map+filter+flatMap", or "flatMap+shuffleWrite" when a narrow chain
+  /// was pulled into a shuffle's map side).
+  std::string fused_ops;
+  /// Elements/bytes this stage materialized into partition storage.
+  /// Elements that only stream through a fused chain are not counted —
+  /// the difference against unfused execution is the fusion win.
+  uint64_t materialized_elements = 0;
+  uint64_t materialized_bytes = 0;
 
   /// Sum of all task times (total CPU demand of the stage).
   double TotalTaskSeconds() const;
@@ -41,6 +51,7 @@ class JobMetrics {
   void Clear();
 
   const std::vector<StageMetrics>& stages() const { return stages_; }
+  size_t NumStages() const { return stages_.size(); }
 
   /// Total CPU seconds across all stages.
   double TotalTaskSeconds() const;
@@ -49,6 +60,10 @@ class JobMetrics {
   double SimulatedMakespan(int workers) const;
   uint64_t TotalShuffleRecords() const;
   uint64_t TotalShuffleBytes() const;
+  /// Total elements/bytes written to partition storage across stages —
+  /// the memory-traffic cost that stage fusion removes.
+  uint64_t TotalMaterializedElements() const;
+  uint64_t TotalMaterializedBytes() const;
 
   /// Multi-line human-readable per-stage summary.
   std::string ToString() const;

@@ -1,0 +1,157 @@
+// Property tests for the lazy stage-fused execution engine: every join
+// pipeline must produce bit-identical results with narrow-op fusion on
+// (lazy default) and off (eager per-operator baseline), and fusion must
+// actually reduce the number of stages and materialized elements.
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/similarity_join.h"
+#include "join/rs_join.h"
+#include "minispark/dataset.h"
+#include "minispark/metrics.h"
+#include "tests/test_util.h"
+
+namespace rankjoin {
+namespace {
+
+using minispark::Context;
+using testutil::PairSet;
+using testutil::SmallSkewedDataset;
+using testutil::TestCluster;
+using testutil::Truth;
+
+Context::Options FusedCluster() { return TestCluster(); }
+
+Context::Options UnfusedCluster() {
+  Context::Options options = TestCluster();
+  options.fuse_narrow_ops = false;
+  return options;
+}
+
+SimilarityJoinConfig ConfigFor(Algorithm algorithm) {
+  SimilarityJoinConfig config;
+  config.algorithm = algorithm;
+  config.theta = 0.25;
+  config.theta_c = 0.05;
+  if (algorithm == Algorithm::kCLP) config.delta = 8;
+  return config;
+}
+
+/// Every algorithm of the paper's evaluation returns the same pair set
+/// (each qualifying pair exactly once, smaller id first) whether narrow
+/// chains are fused or the engine materializes after every operator.
+TEST(FusionPropertyTest, FusedMatchesUnfusedForEveryAlgorithm) {
+  const RankingDataset dataset = SmallSkewedDataset(/*seed=*/7, /*n=*/300);
+  const std::set<ResultPair> truth = Truth(dataset, 0.25);
+  const Algorithm algorithms[] = {Algorithm::kBruteForce, Algorithm::kVJ,
+                                  Algorithm::kVJNL,       Algorithm::kCL,
+                                  Algorithm::kCLP,        Algorithm::kVSmart};
+  for (Algorithm algorithm : algorithms) {
+    SCOPED_TRACE(AlgorithmName(algorithm));
+    Context fused_ctx(FusedCluster());
+    Context unfused_ctx(UnfusedCluster());
+    auto fused =
+        RunSimilarityJoin(&fused_ctx, dataset, ConfigFor(algorithm));
+    auto unfused =
+        RunSimilarityJoin(&unfused_ctx, dataset, ConfigFor(algorithm));
+    ASSERT_TRUE(fused.ok()) << fused.status().message();
+    ASSERT_TRUE(unfused.ok()) << unfused.status().message();
+    // Each exactly once: no duplicates hiding behind the set compare.
+    EXPECT_EQ(fused->pairs.size(), PairSet(fused->pairs).size());
+    EXPECT_EQ(PairSet(fused->pairs), PairSet(unfused->pairs));
+    EXPECT_EQ(PairSet(fused->pairs), truth);
+  }
+}
+
+/// Same property for the two-dataset R-S join.
+TEST(FusionPropertyTest, RsJoinFusedMatchesUnfused) {
+  const RankingDataset r = SmallSkewedDataset(/*seed=*/11, /*n=*/150);
+  const RankingDataset s = SmallSkewedDataset(/*seed=*/13, /*n=*/150);
+  RsJoinOptions options;
+  options.theta = 0.25;
+  const std::set<ResultPair> truth =
+      PairSet(BruteForceRsJoin(r, s, options.theta).pairs);
+
+  Context fused_ctx(FusedCluster());
+  Context unfused_ctx(UnfusedCluster());
+  auto fused = RunRsJoin(&fused_ctx, r, s, options);
+  auto unfused = RunRsJoin(&unfused_ctx, r, s, options);
+  ASSERT_TRUE(fused.ok()) << fused.status().message();
+  ASSERT_TRUE(unfused.ok()) << unfused.status().message();
+  EXPECT_EQ(PairSet(fused->pairs), PairSet(unfused->pairs));
+  EXPECT_EQ(PairSet(fused->pairs), truth);
+}
+
+/// The fused and unfused runs also agree on the join statistics that are
+/// independent of stage structure (candidates inspected, result pairs).
+TEST(FusionPropertyTest, StatsAgreeAcrossModes) {
+  const RankingDataset dataset = SmallSkewedDataset(/*seed=*/3, /*n=*/200);
+  Context fused_ctx(FusedCluster());
+  Context unfused_ctx(UnfusedCluster());
+  const SimilarityJoinConfig config = ConfigFor(Algorithm::kVJ);
+  auto fused = RunSimilarityJoin(&fused_ctx, dataset, config);
+  auto unfused = RunSimilarityJoin(&unfused_ctx, dataset, config);
+  ASSERT_TRUE(fused.ok());
+  ASSERT_TRUE(unfused.ok());
+  EXPECT_EQ(fused->stats.candidates, unfused->stats.candidates);
+  EXPECT_EQ(fused->stats.verified, unfused->stats.verified);
+  EXPECT_EQ(fused->stats.result_pairs, unfused->stats.result_pairs);
+}
+
+/// Fusion collapses the CL pipeline's narrow chains (prefix flatMaps,
+/// key maps, dedup maps) into its shuffles: the fused run must execute
+/// strictly fewer stages AND materialize strictly fewer elements.
+TEST(FusionMetricsTest, ClPipelineRunsFewerStagesWhenFused) {
+  const RankingDataset dataset = SmallSkewedDataset(/*seed=*/7, /*n=*/300);
+  Context fused_ctx(FusedCluster());
+  Context unfused_ctx(UnfusedCluster());
+  const SimilarityJoinConfig config = ConfigFor(Algorithm::kCL);
+  ASSERT_TRUE(RunSimilarityJoin(&fused_ctx, dataset, config).ok());
+  ASSERT_TRUE(RunSimilarityJoin(&unfused_ctx, dataset, config).ok());
+  EXPECT_LT(fused_ctx.metrics().NumStages(),
+            unfused_ctx.metrics().NumStages());
+  EXPECT_LT(fused_ctx.metrics().TotalMaterializedElements(),
+            unfused_ctx.metrics().TotalMaterializedElements());
+}
+
+/// A narrow three-op chain executes as exactly one stage (plus the
+/// source), and the stage advertises the fused logical ops.
+TEST(FusionMetricsTest, NarrowChainFusesToSingleStage) {
+  Context ctx(FusedCluster());
+  std::vector<int> data(256);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<int>(i);
+  auto chain =
+      minispark::Parallelize(&ctx, data, 4)
+          .Map([](const int& x) { return x + 1; }, "inc")
+          .Filter([](const int& x) { return x % 2 == 0; }, "evens")
+          .FlatMap([](const int& x) { return std::vector<int>{x, -x}; },
+                   "mirror");
+  const size_t before = ctx.metrics().NumStages();
+  chain.Collect();
+  EXPECT_EQ(ctx.metrics().NumStages(), before + 1);
+  const minispark::StageMetrics& stage = ctx.metrics().stages().back();
+  EXPECT_EQ(stage.fused_ops, "map+filter+flatMap");
+  EXPECT_EQ(stage.materialized_elements, 256u);
+}
+
+/// Cache() materializes a chain exactly once: repeated actions on the
+/// cached dataset add no further stages to the job metrics.
+TEST(FusionMetricsTest, CacheMaterializesOnceViaJobMetrics) {
+  Context ctx(FusedCluster());
+  std::vector<int> data(64);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<int>(i);
+  auto chain = minispark::Parallelize(&ctx, data, 4)
+                   .Map([](const int& x) { return x * 3; }, "triple");
+  chain.Cache();
+  const size_t after_cache = ctx.metrics().NumStages();
+  chain.Collect();
+  chain.Count();
+  chain.Collect();
+  EXPECT_EQ(ctx.metrics().NumStages(), after_cache);
+}
+
+}  // namespace
+}  // namespace rankjoin

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -310,9 +311,124 @@ TEST(MetricsTest, JobMakespanAddsStages) {
 TEST(MetricsTest, ToStringMentionsStageNames) {
   Context ctx(SmallCluster());
   ctx.metrics().Clear();
-  Parallelize(&ctx, Iota(4), 2).Map([](const int& x) { return x; },
-                                    "namedStage");
+  // Transformations are lazy — the stage exists only once it is forced.
+  Parallelize(&ctx, Iota(4), 2)
+      .Map([](const int& x) { return x; }, "namedStage")
+      .Collect();
   EXPECT_NE(ctx.metrics().ToString().find("namedStage"), std::string::npos);
+}
+
+TEST(LazyTest, TransformationsDeferUntilForced) {
+  Context ctx(SmallCluster());
+  std::atomic<int> calls{0};
+  auto ds = Parallelize(&ctx, Iota(8), 2).Map([&calls](const int& x) {
+    ++calls;
+    return x + 1;
+  });
+  EXPECT_FALSE(ds.materialized());
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(ds.Collect().size(), 8u);
+  EXPECT_TRUE(ds.materialized());
+  EXPECT_EQ(calls.load(), 8);
+}
+
+TEST(LazyTest, NarrowChainFusesIntoOneStage) {
+  Context ctx(SmallCluster());
+  ctx.metrics().Clear();
+  auto out =
+      Parallelize(&ctx, Iota(100), 4)
+          .Map([](const int& x) { return x * 2; }, "double")
+          .Filter([](const int& x) { return x % 4 == 0; }, "mult4")
+          .FlatMap([](const int& x) { return std::vector<int>{x, x}; },
+                   "dup");
+  EXPECT_EQ(out.pending_ops(), "map+filter+flatMap");
+  EXPECT_EQ(out.Collect().size(), 100u);
+  // One stage for the source, ONE for the whole fused chain.
+  EXPECT_EQ(ctx.metrics().NumStages(), 2u);
+  bool found = false;
+  for (const auto& stage : ctx.metrics().stages()) {
+    found |= stage.fused_ops == "map+filter+flatMap";
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LazyTest, CacheMaterializesExactlyOnce) {
+  Context ctx(SmallCluster());
+  std::atomic<int> calls{0};
+  auto ds = Parallelize(&ctx, Iota(10), 2).Map([&calls](const int& x) {
+    ++calls;
+    return x;
+  });
+  ds.Cache();
+  EXPECT_TRUE(ds.materialized());
+  EXPECT_EQ(calls.load(), 10);
+  // Further actions reuse the materialized partitions.
+  ds.Collect();
+  ds.Count();
+  ds.Cache();
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(LazyTest, CopiedHandlesShareMaterialization) {
+  Context ctx(SmallCluster());
+  std::atomic<int> calls{0};
+  auto ds = Parallelize(&ctx, Iota(6), 2).Map([&calls](const int& x) {
+    ++calls;
+    return x;
+  });
+  auto copy = ds;  // handles share the plan state
+  copy.Collect();
+  ds.Collect();
+  EXPECT_EQ(calls.load(), 6);
+}
+
+TEST(LazyTest, FusionDisabledRunsEagerly) {
+  Context::Options options = SmallCluster();
+  options.fuse_narrow_ops = false;
+  Context ctx(options);
+  std::atomic<int> calls{0};
+  auto ds = Parallelize(&ctx, Iota(5), 2).Map([&calls](const int& x) {
+    ++calls;
+    return x;
+  });
+  // Eager mode materializes every operator immediately.
+  EXPECT_TRUE(ds.materialized());
+  EXPECT_EQ(calls.load(), 5);
+}
+
+TEST(LazyTest, NarrowChainFusesIntoShuffleWrite) {
+  Context ctx(SmallCluster());
+  ctx.metrics().Clear();
+  auto keyed = Parallelize(&ctx, Iota(20), 2).Map(
+      [](const int& x) {
+        return std::pair<int, int>(x % 3, x);
+      },
+      "key");
+  EXPECT_EQ(GroupByKey(keyed, 2, "g").Collect().size(), 3u);
+  // The pending map runs inside the shuffle-write tasks instead of
+  // materializing an intermediate dataset.
+  bool fused_into_write = false;
+  for (const auto& stage : ctx.metrics().stages()) {
+    fused_into_write |= stage.fused_ops == "map+shuffleWrite";
+  }
+  EXPECT_TRUE(fused_into_write);
+}
+
+TEST(LazyTest, MaterializedElementsCounted) {
+  Context ctx(SmallCluster());
+  ctx.metrics().Clear();
+  Parallelize(&ctx, Iota(50), 4)
+      .Filter([](const int& x) { return x < 10; }, "small")
+      .Collect();
+  uint64_t filter_stage_elements = 0;
+  for (const auto& stage : ctx.metrics().stages()) {
+    if (stage.fused_ops == "filter") {
+      filter_stage_elements = stage.materialized_elements;
+    }
+  }
+  EXPECT_EQ(filter_stage_elements, 10u);
+  // 50 from parallelize + 10 from the filter output.
+  EXPECT_EQ(ctx.metrics().TotalMaterializedElements(), 60u);
 }
 
 }  // namespace
