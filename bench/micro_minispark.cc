@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -161,7 +163,118 @@ void BM_SortByKey(benchmark::State& state) {
 }
 BENCHMARK(BM_SortByKey)->Arg(100000);
 
+// Same shuffle, resident vs disk: arg is the memory budget in bytes
+// (0 = unlimited). The spill counters quantify how much of the shuffle
+// hit the temp files.
+void ShuffleBudgetBenchmark(benchmark::State& state, uint64_t budget) {
+  Context::Options options = BenchCluster();
+  options.shuffle_memory_budget_bytes = budget;
+  Context ctx(options);
+  auto data = MakeKv(static_cast<size_t>(state.range(0)), 1 << 16);
+  auto ds = Parallelize(&ctx, data, 16);
+  ctx.metrics().Clear();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionByKey(ds, 16).Count());
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["spilled_bytes"] =
+      static_cast<double>(ctx.metrics().TotalSpilledBytes()) / iters;
+  state.counters["spilled_runs"] =
+      static_cast<double>(ctx.metrics().TotalSpilledRuns()) / iters;
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_ShuffleResident(benchmark::State& state) {
+  ShuffleBudgetBenchmark(state, /*budget=*/0);
+}
+BENCHMARK(BM_ShuffleResident)->Arg(100000);
+
+void BM_ShuffleSpill(benchmark::State& state) {
+  // 64 KB forces several spill runs per write task at 100k records.
+  ShuffleBudgetBenchmark(state, /*budget=*/64 * 1024);
+}
+BENCHMARK(BM_ShuffleSpill)->Arg(100000);
+
+// Distinct over few distinct values: most of the 64 target buckets end
+// up tiny. With a byte target the read side collapses them into a
+// handful of tasks (read_tasks/coalesced counters show the contrast).
+void DistinctCoalesceBenchmark(benchmark::State& state,
+                               uint64_t target_bytes) {
+  Context::Options options = BenchCluster();
+  options.target_partition_bytes = target_bytes;
+  Context ctx(options);
+  Rng rng(3);
+  std::vector<uint32_t> data;
+  for (int i = 0; i < state.range(0); ++i) {
+    data.push_back(static_cast<uint32_t>(rng.Uniform(1 << 10)));
+  }
+  auto ds = Parallelize(&ctx, data, 16);
+  ctx.metrics().Clear();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Distinct(ds, 64, "distinct").Count());
+  }
+  const double iters = static_cast<double>(state.iterations());
+  double read_tasks = 0;
+  for (const auto& stage : ctx.metrics().stages()) {
+    if (stage.name == "distinct/shuffle-read") {
+      read_tasks += static_cast<double>(stage.task_seconds.size());
+    }
+  }
+  state.counters["read_tasks"] = read_tasks / iters;
+  state.counters["coalesced"] =
+      static_cast<double>(ctx.metrics().TotalCoalescedPartitions()) / iters;
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_DistinctFixed(benchmark::State& state) {
+  DistinctCoalesceBenchmark(state, /*target_bytes=*/0);
+}
+BENCHMARK(BM_DistinctFixed)->Arg(100000);
+
+void BM_DistinctCoalesced(benchmark::State& state) {
+  DistinctCoalesceBenchmark(state, /*target_bytes=*/1 << 20);
+}
+BENCHMARK(BM_DistinctCoalesced)->Arg(100000);
+
+/// Prints the DOT plan of the canonical chain pipeline (the one
+/// ChainBenchmark measures) without running it — `--explain` wiring.
+void PrintExplainDot() {
+  Context ctx(BenchCluster());
+  auto ds = Parallelize(&ctx, MakeKv(1000, 64), 4);
+  auto chain =
+      ds.Map(
+            [](const std::pair<uint32_t, uint32_t>& kv) {
+              return std::pair<uint32_t, uint32_t>(kv.first, kv.second + 1);
+            },
+            "chain/shift")
+          .Filter(
+              [](const std::pair<uint32_t, uint32_t>& kv) {
+                return kv.second % 2 == 0;
+              },
+              "chain/evens")
+          .FlatMap(
+              [](const std::pair<uint32_t, uint32_t>& kv) {
+                return std::vector<std::pair<uint32_t, uint32_t>>{
+                    kv, {kv.first + 1, kv.second}};
+              },
+              "chain/mirror");
+  auto grouped = GroupByKey(chain, 16, "chain/group");
+  std::printf("%s", grouped.ExplainDot().c_str());
+}
+
 }  // namespace
 }  // namespace rankjoin::minispark
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--explain") {
+      rankjoin::minispark::PrintExplainDot();
+      return 0;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

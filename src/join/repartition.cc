@@ -21,6 +21,32 @@ void MergeSlots(const std::vector<JoinStats>& slots, JoinStats* stats) {
 
 }  // namespace
 
+// Chunk crosses two shuffles (the composite-key spread and the chunk
+// self-join) and is not trivially copyable, so it needs its own Serde
+// for the spill path (see minispark/serde.h). Field-wise delegation:
+// the postings vector takes the POD bulk path.
+namespace minispark {
+
+template <>
+struct Serde<Chunk> {
+  static size_t Size(const Chunk& c) {
+    return Serde<uint32_t>::Size(c.key) +
+           Serde<std::vector<PrefixPosting>>::Size(c.postings);
+  }
+
+  static void Write(const Chunk& c, std::string* out) {
+    Serde<uint32_t>::Write(c.key, out);
+    Serde<std::vector<PrefixPosting>>::Write(c.postings, out);
+  }
+
+  static void Read(const char** p, const char* end, Chunk* out) {
+    Serde<uint32_t>::Read(p, end, &out->key);
+    Serde<std::vector<PrefixPosting>>::Read(p, end, &out->postings);
+  }
+};
+
+}  // namespace minispark
+
 minispark::Dataset<ScoredPair> JoinGroups(
     const minispark::Dataset<PostingGroup>& groups, LocalJoinFn local_join,
     JoinStats* stats) {

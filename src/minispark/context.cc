@@ -1,15 +1,71 @@
 #include "minispark/context.h"
 
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
 #include "common/logging.h"
+#include "common/random.h"
 #include "common/stopwatch.h"
 
 namespace rankjoin::minispark {
+namespace {
+
+/// Applies environment overrides to the options (see Options docs).
+Context::Options WithEnvOverrides(Context::Options options) {
+  if (const char* budget = std::getenv("RANKJOIN_SHUFFLE_BUDGET_BYTES")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(budget, &end, 10);
+    if (end != budget) {
+      options.shuffle_memory_budget_bytes = static_cast<uint64_t>(parsed);
+    }
+  }
+  return options;
+}
+
+}  // namespace
 
 Context::Context(Options options)
-    : options_(options),
-      pool_(static_cast<size_t>(options.num_workers > 0 ? options.num_workers
-                                                        : 1)) {
+    : options_(WithEnvOverrides(std::move(options))),
+      pool_(static_cast<size_t>(options_.num_workers > 0
+                                    ? options_.num_workers
+                                    : 1)) {
   RANKJOIN_CHECK(options_.default_partitions >= 1);
+}
+
+Context::~Context() {
+  if (!spill_dir_path_.empty()) {
+    std::error_code ec;  // best effort; never throw from a destructor
+    std::filesystem::remove_all(spill_dir_path_, ec);
+  }
+}
+
+std::string Context::NewSpillFilePath() {
+  std::lock_guard<std::mutex> lock(spill_mutex_);
+  if (spill_dir_path_.empty()) {
+    namespace fs = std::filesystem;
+    const fs::path base = options_.spill_dir.empty()
+                              ? fs::temp_directory_path()
+                              : fs::path(options_.spill_dir);
+    Rng rng(static_cast<uint64_t>(
+                std::chrono::steady_clock::now().time_since_epoch().count()) ^
+            reinterpret_cast<uintptr_t>(this));
+    // Retry on the (unlikely) collision with another context's directory.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      fs::path candidate =
+          base / ("minispark-spill-" + std::to_string(rng.Uniform(1u << 30)));
+      std::error_code ec;
+      fs::create_directories(base, ec);
+      if (fs::create_directory(candidate, ec) && !ec) {
+        spill_dir_path_ = candidate.string();
+        break;
+      }
+    }
+    RANKJOIN_CHECK(!spill_dir_path_.empty());
+  }
+  return spill_dir_path_ + "/spill-" + std::to_string(next_spill_file_++) +
+         ".bin";
 }
 
 StageMetrics Context::RunStage(const std::string& name, int num_tasks,

@@ -1,8 +1,10 @@
 #ifndef RANKJOIN_MINISPARK_CONTEXT_H_
 #define RANKJOIN_MINISPARK_CONTEXT_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/thread_pool.h"
@@ -49,6 +51,28 @@ class Context {
     /// (a barrier after every op) — the pre-fusion eager semantics, kept
     /// as an A/B baseline for tests and benchmarks.
     bool fuse_narrow_ops = true;
+    /// Job-wide cap on the bytes a shuffle's map-side buckets may keep
+    /// resident. Once the (serialized-size) total across all map tasks
+    /// exceeds it, the task that crossed the line spills its buckets to
+    /// temp files and the shuffle read streams them back (see
+    /// shuffle.h). 0 (default) = unlimited, never touch disk. The
+    /// RANKJOIN_SHUFFLE_BUDGET_BYTES environment variable overrides this
+    /// value when set — CI uses it to force the disk path under the
+    /// whole test suite.
+    uint64_t shuffle_memory_budget_bytes = 0;
+    /// AQE-style adaptive partition coalescing: after a shuffle write,
+    /// adjacent target buckets whose combined serialized size stays
+    /// within this target merge into one read task (contiguous ranges
+    /// only, so key->partition contracts hold; see
+    /// PartitionRanges::Coalesce). Applies to the keyed wide operations
+    /// (PartitionByKey, GroupByKey, ReduceByKey, Join, CoGroup,
+    /// Distinct); Repartition and SortByKey keep their requested
+    /// partition count. 0 (default) = no coalescing.
+    uint64_t target_partition_bytes = 0;
+    /// Directory for shuffle spill files. Empty (default) = the system
+    /// temp directory. The context creates a unique subdirectory on
+    /// first spill and removes it on destruction.
+    std::string spill_dir = {};
   };
 
   explicit Context(Options options);
@@ -57,9 +81,24 @@ class Context {
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
 
+  ~Context();
+
   int num_workers() const { return options_.num_workers; }
   int default_partitions() const { return options_.default_partitions; }
   bool fusion_enabled() const { return options_.fuse_narrow_ops; }
+  uint64_t shuffle_memory_budget_bytes() const {
+    return options_.shuffle_memory_budget_bytes;
+  }
+  uint64_t target_partition_bytes() const {
+    return options_.target_partition_bytes;
+  }
+
+  /// Returns a fresh path for one shuffle spill file, creating the
+  /// context's unique spill subdirectory on first use. Thread-safe:
+  /// shuffle writers call this from inside map tasks. The whole
+  /// directory is removed when the context is destroyed (individual
+  /// files go earlier, when their shuffle completes).
+  std::string NewSpillFilePath();
 
   JobMetrics& metrics() { return metrics_; }
   const JobMetrics& metrics() const { return metrics_; }
@@ -84,6 +123,10 @@ class Context {
   Options options_;
   ThreadPool pool_;
   JobMetrics metrics_;
+  /// Guards lazy creation of the spill directory and the file counter.
+  std::mutex spill_mutex_;
+  std::string spill_dir_path_;
+  uint64_t next_spill_file_ = 0;
 };
 
 }  // namespace rankjoin::minispark

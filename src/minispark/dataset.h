@@ -16,6 +16,8 @@
 #include "minispark/approx_size.h"
 #include "minispark/context.h"
 #include "minispark/partitioner.h"
+#include "minispark/plan.h"
+#include "minispark/shuffle.h"
 
 namespace rankjoin::minispark {
 
@@ -44,6 +46,14 @@ struct ShuffleHasher {
 ///    of their inputs into the shuffle-write task, so the chain's
 ///    intermediate results are never materialized at all.
 ///
+/// Wide operations shuffle through the ShuffleService (shuffle.h): map
+/// tasks serialize-and-spill to temp files when the context's
+/// shuffle_memory_budget_bytes is exceeded, and small adjacent target
+/// buckets coalesce into fewer read tasks when target_partition_bytes is
+/// set. Both knobs default off, in which case the shuffle stays fully
+/// resident with one read task per bucket. Every record type that
+/// crosses a shuffle must be covered by Serde<T> (serde.h).
+///
 /// Forcing memoizes: the handle (and every copy of it — handles share
 /// plan state) holds the materialized partitions afterwards, so a chain
 /// executes at most once per forcing consumer. A dataset consumed by
@@ -53,6 +63,11 @@ struct ShuffleHasher {
 /// effects (e.g. per-partition stat slots) of its lambdas. Lambdas in a
 /// pending chain must not capture references that die before the chain
 /// is forced.
+///
+/// Alongside the executable plan, every handle carries a lineage DAG of
+/// cheap PlanNodes (plan.h); ExplainDot() renders the whole logical plan
+/// — pending narrow chains, shuffle boundaries, Cache() pins — as
+/// Graphviz DOT at any point, before or after execution.
 ///
 /// Setting Context::Options::fuse_narrow_ops = false restores the old
 /// eager semantics (every op materializes immediately), which tests and
@@ -79,6 +94,7 @@ class Dataset {
     state_->ctx = ctx;
     state_->num_partitions = static_cast<int>(partitions->size());
     state_->materialized = std::move(partitions);
+    state_->plan = MakePlanNode(PlanNode::Kind::kSource, "source", "", {});
   }
 
   /// Creates a lazy dataset from a generator (used by Union and by
@@ -95,6 +111,7 @@ class Dataset {
     state->gen = std::move(gen);
     state->ops.push_back(op);
     state->names.push_back(name);
+    state->plan = MakePlanNode(PlanNode::Kind::kSource, op, name, {});
     Dataset<T> ds(std::move(state));
     if (!ctx->fusion_enabled()) ds.Materialize();
     return ds;
@@ -110,6 +127,25 @@ class Dataset {
   /// "+"-joined logical ops pending in this handle's unforced chain
   /// (empty when materialized). Exposed for metrics and tests.
   std::string pending_ops() const { return JoinStrings(state_->ops); }
+
+  /// Root of this dataset's lineage DAG (see plan.h). Never null.
+  std::shared_ptr<const PlanNode> plan_node() const { return state_->plan; }
+
+  /// Replaces the lineage root. Internal hook for the wide operations
+  /// and dataset factories below, which construct their output from raw
+  /// partitions and then attach the real lineage; not meant for user
+  /// code. Const because lineage lives in the shared plan state.
+  void SetPlanNode(std::shared_ptr<const PlanNode> node) const {
+    state_->plan = std::move(node);
+  }
+
+  /// Renders the whole logical plan of this dataset — every ancestor op
+  /// back to the sources, including pending (not yet executed) narrow
+  /// chains, shuffle boundaries, and Cache() pins — as Graphviz DOT.
+  /// Purely driver-side: never forces the chain.
+  std::string ExplainDot() const {
+    return PlanToDot(state_->plan.get(), materialized());
+  }
 
   /// Materialized partitions; forces the pending chain.
   const Partitions& partitions() const { return Materialize(); }
@@ -149,7 +185,11 @@ class Dataset {
   /// chain. The minispark analog of rdd.cache(); required before
   /// harvesting side effects of chain lambdas.
   const Dataset<T>& Cache() const {
-    state_->cached = true;
+    if (!state_->cached) {
+      state_->cached = true;
+      state_->plan = MakePlanNode(PlanNode::Kind::kCache, "cache", "",
+                                  {state_->plan});
+    }
     Materialize();
     return *this;
   }
@@ -235,39 +275,18 @@ class Dataset {
 
   /// Redistributes elements round-robin into `n` partitions (full
   /// shuffle, like Spark's repartition()). Stage boundary: forces the
-  /// pending chain.
-  Dataset<T> Repartition(int n, const std::string& name = "repartition") const {
-    RANKJOIN_CHECK(n >= 1);
-    const Partitions& in = Materialize();
-    auto out = std::make_shared<Partitions>(static_cast<size_t>(n));
-    uint64_t records = 0;
-    uint64_t bytes = 0;
-    // Deterministic round-robin assignment in global element order.
-    size_t next = 0;
-    for (const auto& part : in) {
-      for (const T& t : part) {
-        (*out)[next % static_cast<size_t>(n)].push_back(t);
-        ++next;
-        ++records;
-        bytes += ApproxSize(t);
-      }
-    }
-    StageMetrics stage = state_->ctx->RunStage(name, n, [](int) {});
-    stage.shuffle_records = records;
-    stage.shuffle_bytes = bytes;
-    stage.materialized_elements = records;
-    stage.materialized_bytes = bytes;
-    stage.max_partition_size = MaxSize(*out);
-    state_->ctx->AddStage(std::move(stage));
-    return Dataset<T>(state_->ctx, std::move(out));
-  }
+  /// pending chain. Routes through the ShuffleService like the keyed
+  /// shuffles (so a tight memory budget spills it to disk too), but is
+  /// never coalesced — the caller asked for exactly `n` partitions.
+  Dataset<T> Repartition(int n, const std::string& name = "repartition") const;
 
  private:
   template <typename U>
   friend class Dataset;
 
   /// Shared plan state: either materialized partitions, or a pending
-  /// fused chain (generator + the logical ops it fuses).
+  /// fused chain (generator + the logical ops it fuses). The lineage
+  /// node survives materialization (ExplainDot works at any time).
   struct State {
     Context* ctx = nullptr;
     int num_partitions = 0;
@@ -279,6 +298,8 @@ class Dataset {
     std::vector<std::string> ops;
     std::vector<std::string> names;
     bool cached = false;
+    /// Lineage DAG root (plan.h). Strings and parent pointers only.
+    std::shared_ptr<const PlanNode> plan;
   };
 
   explicit Dataset(std::shared_ptr<State> state) : state_(std::move(state)) {}
@@ -316,6 +337,8 @@ class Dataset {
     }
     state->ops.push_back(op);
     state->names.push_back(name);
+    state->plan =
+        MakePlanNode(PlanNode::Kind::kNarrow, op, name, {state_->plan});
     Dataset<U> out(std::move(state));
     if (!state_->ctx->fusion_enabled()) out.Materialize();
     return out;
@@ -362,7 +385,8 @@ class Dataset {
     stage.max_partition_size = MaxSize(*out);
     s.ctx->AddStage(std::move(stage));
     s.materialized = std::move(out);
-    // Release the generator (and the upstream plan it captures).
+    // Release the generator (and the upstream plan it captures). The
+    // lineage node stays — ExplainDot still renders the full history.
     s.gen = nullptr;
     s.ops.clear();
     s.names.clear();
@@ -397,85 +421,73 @@ Dataset<T> Parallelize(Context* ctx, std::vector<T> data,
         std::max<uint64_t>(stage.max_partition_size, p.size());
   }
   ctx->AddStage(std::move(stage));
-  return Dataset<T>(ctx, std::move(parts));
+  Dataset<T> out(ctx, std::move(parts));
+  out.SetPlanNode(
+      MakePlanNode(PlanNode::Kind::kSource, "parallelize", "", {}));
+  return out;
 }
 
 namespace internal {
 
-/// Hash-shuffles key-value records into `n` buckets by key. The
-/// shuffle-write phase STREAMS the input — a pending narrow chain on
-/// `input` executes inside the write tasks and is never materialized.
-/// Returns the target partitions; shuffle volume is accounted on the
-/// read stage.
+/// Hash-shuffles key-value records into `n` buckets by key through the
+/// ShuffleService. The shuffle-write phase STREAMS the input — a pending
+/// narrow chain on `input` executes inside the write tasks and is never
+/// materialized — serializing buckets to spill files when the context's
+/// memory budget is exceeded. After the write, adjacent small buckets
+/// coalesce per Context::Options::target_partition_bytes, so the
+/// returned partition count may be LESS than `n`. Shuffle volume is
+/// accounted inside the read tasks.
 template <typename K, typename V>
 std::shared_ptr<const std::vector<std::vector<std::pair<K, V>>>> ShuffleByKey(
     const Dataset<std::pair<K, V>>& input, int n, const std::string& name) {
   Context* ctx = input.context();
   HashPartitioner partitioner(n);
-  const int in_parts = input.num_partitions();
-  const std::string fused = input.pending_ops();
-  // Phase 1 (map side): each input partition streams its fused chain
-  // into per-target buckets.
-  std::vector<std::vector<std::vector<std::pair<K, V>>>> buckets(
-      static_cast<size_t>(in_parts));
-  StageMetrics write_stage =
-      ctx->RunStage(name + "/shuffle-write", in_parts, [&](int i) {
-        auto& local = buckets[static_cast<size_t>(i)];
-        local.assign(static_cast<size_t>(n), {});
-        input.StreamPartition(i, [&](const std::pair<K, V>& kv) {
-          local[static_cast<size_t>(partitioner.PartitionOf(kv.first))]
-              .push_back(kv);
-        });
+  auto service = ShuffleWrite<std::pair<K, V>>(
+      input, n, name, [partitioner](int /*task*/, const std::pair<K, V>& kv) {
+        return partitioner.PartitionOf(kv.first);
       });
-  write_stage.fused_ops =
-      fused.empty() ? "shuffleWrite" : fused + "+shuffleWrite";
-  ctx->AddStage(std::move(write_stage));
-
-  // Phase 2 (reduce side): concatenate the buckets of every mapper.
-  auto out =
-      std::make_shared<std::vector<std::vector<std::pair<K, V>>>>(
-          static_cast<size_t>(n));
-  StageMetrics read_stage =
-      ctx->RunStage(name + "/shuffle-read", n, [&](int p) {
-        auto& dest = (*out)[static_cast<size_t>(p)];
-        size_t total = 0;
-        for (const auto& mapper : buckets) {
-          total += mapper[static_cast<size_t>(p)].size();
-        }
-        dest.reserve(total);
-        for (auto& mapper : buckets) {
-          auto& src = mapper[static_cast<size_t>(p)];
-          dest.insert(dest.end(), std::make_move_iterator(src.begin()),
-                      std::make_move_iterator(src.end()));
-        }
-      });
-  read_stage.fused_ops = "shuffleRead";
-  uint64_t records = 0;
-  uint64_t bytes = 0;
-  for (const auto& part : *out) {
-    for (const auto& kv : part) {
-      ++records;
-      bytes += ApproxSize(kv);
-    }
-  }
-  read_stage.shuffle_records = records;
-  read_stage.shuffle_bytes = bytes;
-  read_stage.materialized_elements = records;
-  read_stage.materialized_bytes = bytes;
-  for (const auto& p : *out) {
-    read_stage.max_partition_size =
-        std::max<uint64_t>(read_stage.max_partition_size, p.size());
-  }
-  ctx->AddStage(std::move(read_stage));
-  return out;
+  const PartitionRanges ranges = PartitionRanges::Coalesce(
+      service->bucket_bytes(), ctx->target_partition_bytes());
+  return ShuffleRead(ctx, service.get(), ranges, name);
 }
 
 }  // namespace internal
 
+template <typename T>
+Dataset<T> Dataset<T>::Repartition(int n, const std::string& name) const {
+  RANKJOIN_CHECK(n >= 1);
+  Context* ctx = state_->ctx;
+  // Force first: the deterministic assignment is global-element-index
+  // mod n, and a write task's starting global index is the prefix sum of
+  // the partition sizes before it — unknown while the chain is pending.
+  const Partitions& in = Materialize();
+  auto next = std::make_shared<std::vector<uint64_t>>(in.size(), 0);
+  uint64_t offset = 0;
+  for (size_t i = 0; i < in.size(); ++i) {
+    (*next)[i] = offset;
+    offset += in[i].size();
+  }
+  // Each write task advances only its own slot, so the shared vector is
+  // safe under the one-writer-per-map-task contract.
+  auto service = internal::ShuffleWrite<T>(
+      *this, n, name, [next, n](int task, const T&) {
+        return static_cast<int>((*next)[static_cast<size_t>(task)]++ %
+                                static_cast<uint64_t>(n));
+      });
+  auto parts = internal::ShuffleRead(ctx, service.get(),
+                                     PartitionRanges::Identity(n), name);
+  Dataset<T> out(ctx, std::move(parts));
+  out.SetPlanNode(MakePlanNode(PlanNode::Kind::kWide, "repartition", name,
+                               {state_->plan}));
+  return out;
+}
+
 /// Hash-partitions a key-value dataset by key (Spark partitionBy).
 /// Records with equal keys land in the same output partition. Wide
 /// operation: executes immediately, pulling any pending narrow chain of
-/// `ds` into the shuffle-write tasks.
+/// `ds` into the shuffle-write tasks. With
+/// Context::Options::target_partition_bytes set, small adjacent buckets
+/// merge and the output may have fewer than `n` partitions.
 template <typename K, typename V>
 Dataset<std::pair<K, V>> PartitionByKey(const Dataset<std::pair<K, V>>& ds,
                                         int n = -1,
@@ -484,7 +496,10 @@ Dataset<std::pair<K, V>> PartitionByKey(const Dataset<std::pair<K, V>>& ds,
   Context* ctx = ds.context();
   if (n <= 0) n = ctx->default_partitions();
   auto parts = internal::ShuffleByKey(ds, n, name);
-  return Dataset<std::pair<K, V>>(ctx, std::move(parts));
+  Dataset<std::pair<K, V>> out(ctx, std::move(parts));
+  out.SetPlanNode(MakePlanNode(PlanNode::Kind::kWide, "partitionBy", name,
+                               {ds.plan_node()}));
+  return out;
 }
 
 /// Groups values by key after a hash shuffle (Spark groupByKey). Output
@@ -555,8 +570,11 @@ Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds, F fn,
 /// Inner equi-join on key (Spark join). Produces one output record per
 /// matching (left, right) value pair. Wide operation: both sides shuffle
 /// immediately (fusing their pending chains into the shuffle writes) and
-/// the probe output is materialized. NOTE: joining a dataset with itself
-/// streams its pending chain twice — Cache() it first.
+/// the probe output is materialized. Both sides read through ONE shared
+/// set of coalesced ranges computed on the combined per-bucket sizes, so
+/// bucket b of the left and right always land in the same probe
+/// partition. NOTE: joining a dataset with itself streams its pending
+/// chain twice — Cache() it first.
 template <typename K, typename V, typename W>
 Dataset<std::pair<K, std::pair<V, W>>> Join(
     const Dataset<std::pair<K, V>>& left,
@@ -565,12 +583,30 @@ Dataset<std::pair<K, std::pair<V, W>>> Join(
   Context* ctx = left.context();
   RANKJOIN_CHECK(ctx == right.context());
   if (n <= 0) n = ctx->default_partitions();
-  auto lparts = internal::ShuffleByKey(left, n, name + "/L");
-  auto rparts = internal::ShuffleByKey(right, n, name + "/R");
+  HashPartitioner partitioner(n);
+  auto lsvc = internal::ShuffleWrite<std::pair<K, V>>(
+      left, n, name + "/L",
+      [partitioner](int /*task*/, const std::pair<K, V>& kv) {
+        return partitioner.PartitionOf(kv.first);
+      });
+  auto rsvc = internal::ShuffleWrite<std::pair<K, W>>(
+      right, n, name + "/R",
+      [partitioner](int /*task*/, const std::pair<K, W>& kw) {
+        return partitioner.PartitionOf(kw.first);
+      });
+  std::vector<uint64_t> combined = lsvc->bucket_bytes();
+  for (size_t b = 0; b < combined.size(); ++b) {
+    combined[b] += rsvc->bucket_bytes()[b];
+  }
+  const PartitionRanges ranges =
+      PartitionRanges::Coalesce(combined, ctx->target_partition_bytes());
+  auto lparts = internal::ShuffleRead(ctx, lsvc.get(), ranges, name + "/L");
+  auto rparts = internal::ShuffleRead(ctx, rsvc.get(), ranges, name + "/R");
+  const int num_out = ranges.NumPartitions();
   using Out = std::pair<K, std::pair<V, W>>;
   auto out = std::make_shared<typename Dataset<Out>::Partitions>(
-      static_cast<size_t>(n));
-  StageMetrics stage = ctx->RunStage(name + "/probe", n, [&](int p) {
+      static_cast<size_t>(num_out));
+  StageMetrics stage = ctx->RunStage(name + "/probe", num_out, [&](int p) {
     const auto& lp = (*lparts)[static_cast<size_t>(p)];
     const auto& rp = (*rparts)[static_cast<size_t>(p)];
     std::unordered_map<K, std::vector<const V*>, ShuffleHasher> table;
@@ -591,11 +627,16 @@ Dataset<std::pair<K, std::pair<V, W>>> Join(
         std::max<uint64_t>(stage.max_partition_size, p.size());
   }
   ctx->AddStage(std::move(stage));
-  return Dataset<Out>(ctx, std::move(out));
+  Dataset<Out> result(ctx, std::move(out));
+  result.SetPlanNode(MakePlanNode(PlanNode::Kind::kWide, "join", name,
+                                  {left.plan_node(), right.plan_node()}));
+  return result;
 }
 
 /// Groups both sides by key (Spark cogroup). Keys present on either side
-/// appear once, with the (possibly empty) value lists of each side.
+/// appear once, with the (possibly empty) value lists of each side. Like
+/// Join, both sides share one set of coalesced ranges computed on the
+/// combined bucket sizes.
 template <typename K, typename V, typename W>
 Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
     const Dataset<std::pair<K, V>>& left,
@@ -604,12 +645,30 @@ Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
   Context* ctx = left.context();
   RANKJOIN_CHECK(ctx == right.context());
   if (n <= 0) n = ctx->default_partitions();
-  auto lparts = internal::ShuffleByKey(left, n, name + "/L");
-  auto rparts = internal::ShuffleByKey(right, n, name + "/R");
+  HashPartitioner partitioner(n);
+  auto lsvc = internal::ShuffleWrite<std::pair<K, V>>(
+      left, n, name + "/L",
+      [partitioner](int /*task*/, const std::pair<K, V>& kv) {
+        return partitioner.PartitionOf(kv.first);
+      });
+  auto rsvc = internal::ShuffleWrite<std::pair<K, W>>(
+      right, n, name + "/R",
+      [partitioner](int /*task*/, const std::pair<K, W>& kw) {
+        return partitioner.PartitionOf(kw.first);
+      });
+  std::vector<uint64_t> combined = lsvc->bucket_bytes();
+  for (size_t b = 0; b < combined.size(); ++b) {
+    combined[b] += rsvc->bucket_bytes()[b];
+  }
+  const PartitionRanges ranges =
+      PartitionRanges::Coalesce(combined, ctx->target_partition_bytes());
+  auto lparts = internal::ShuffleRead(ctx, lsvc.get(), ranges, name + "/L");
+  auto rparts = internal::ShuffleRead(ctx, rsvc.get(), ranges, name + "/R");
+  const int num_out = ranges.NumPartitions();
   using Out = std::pair<K, std::pair<std::vector<V>, std::vector<W>>>;
   auto out = std::make_shared<typename Dataset<Out>::Partitions>(
-      static_cast<size_t>(n));
-  StageMetrics stage = ctx->RunStage(name + "/merge", n, [&](int p) {
+      static_cast<size_t>(num_out));
+  StageMetrics stage = ctx->RunStage(name + "/merge", num_out, [&](int p) {
     std::unordered_map<K, size_t, ShuffleHasher> slot;
     auto& dest = (*out)[static_cast<size_t>(p)];
     for (const auto& kv : (*lparts)[static_cast<size_t>(p)]) {
@@ -630,7 +689,10 @@ Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
         std::max<uint64_t>(stage.max_partition_size, p.size());
   }
   ctx->AddStage(std::move(stage));
-  return Dataset<Out>(ctx, std::move(out));
+  Dataset<Out> result(ctx, std::move(out));
+  result.SetPlanNode(MakePlanNode(PlanNode::Kind::kWide, "cogroup", name,
+                                  {left.plan_node(), right.plan_node()}));
+  return result;
 }
 
 /// Removes duplicate elements (Spark distinct). T must be equality
@@ -676,7 +738,11 @@ Dataset<T> Union(const Dataset<T>& a, const Dataset<T>& b,
           b.StreamPartition(i - na, emit);
         }
       };
-  return Dataset<T>::FromGenerator(ctx, total, std::move(gen), "union", name);
+  Dataset<T> out =
+      Dataset<T>::FromGenerator(ctx, total, std::move(gen), "union", name);
+  out.SetPlanNode(MakePlanNode(PlanNode::Kind::kNarrow, "union", name,
+                               {a.plan_node(), b.plan_node()}));
+  return out;
 }
 
 }  // namespace rankjoin::minispark

@@ -137,38 +137,31 @@ Dataset<std::pair<K, V>> SortByKey(const Dataset<std::pair<K, V>>& ds,
                             static_cast<size_t>(n))]);
   }
 
-  // Range shuffle: output partition p holds keys in
-  // (bounds[p-1], bounds[p]]; partition order IS key-range order, so
-  // Collect() of the sorted partitions is globally sorted.
-  auto out = std::make_shared<typename Dataset<std::pair<K, V>>::Partitions>(
-      static_cast<size_t>(n));
-  uint64_t records = 0;
-  uint64_t bytes = 0;
-  for (const auto& part : ds.partitions()) {
-    for (const auto& kv : part) {
-      const auto it =
-          std::lower_bound(bounds.begin(), bounds.end(), kv.first);
-      (*out)[static_cast<size_t>(it - bounds.begin())].push_back(kv);
-      ++records;
-      bytes += ApproxSize(kv);
-    }
-  }
-  StageMetrics sort_stage =
-      ctx->RunStage(name + "/sortLocal", n, [&out](int p) {
-        auto& dest = (*out)[static_cast<size_t>(p)];
-        std::sort(dest.begin(), dest.end(),
+  // Range shuffle through the ShuffleService: output partition p holds
+  // keys in (bounds[p-1], bounds[p]]; partition order IS key-range
+  // order, so Collect() of the sorted partitions is globally sorted.
+  // Identity ranges — the caller asked for exactly n partitions — and
+  // the per-partition local sort rides inside the read tasks.
+  auto bounds_ptr = std::make_shared<const std::vector<K>>(std::move(bounds));
+  auto service = internal::ShuffleWrite<std::pair<K, V>>(
+      ds, n, name, [bounds_ptr](int /*task*/, const std::pair<K, V>& kv) {
+        const auto it = std::lower_bound(bounds_ptr->begin(),
+                                         bounds_ptr->end(), kv.first);
+        return static_cast<int>(it - bounds_ptr->begin());
+      });
+  auto parts = internal::ShuffleRead(
+      ctx, service.get(), PartitionRanges::Identity(n), name,
+      [](int /*p*/, std::vector<std::pair<K, V>>* dest) {
+        std::sort(dest->begin(), dest->end(),
                   [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
                     return a.first < b.first;
                   });
-      });
-  sort_stage.shuffle_records = records;
-  sort_stage.shuffle_bytes = bytes;
-  for (const auto& p : *out) {
-    sort_stage.max_partition_size =
-        std::max<uint64_t>(sort_stage.max_partition_size, p.size());
-  }
-  ctx->AddStage(std::move(sort_stage));
-  return Dataset<std::pair<K, V>>(ctx, std::move(out));
+      },
+      "sortLocal");
+  Dataset<std::pair<K, V>> out(ctx, std::move(parts));
+  out.SetPlanNode(MakePlanNode(PlanNode::Kind::kWide, "sortByKey", name,
+                               {ds.plan_node()}));
+  return out;
 }
 
 }  // namespace rankjoin::minispark

@@ -81,6 +81,24 @@ uint64_t JobMetrics::TotalMaterializedBytes() const {
   return total;
 }
 
+uint64_t JobMetrics::TotalSpilledBytes() const {
+  uint64_t total = 0;
+  for (const auto& s : stages_) total += s.spilled_bytes;
+  return total;
+}
+
+uint64_t JobMetrics::TotalSpilledRuns() const {
+  uint64_t total = 0;
+  for (const auto& s : stages_) total += s.spilled_runs;
+  return total;
+}
+
+uint64_t JobMetrics::TotalCoalescedPartitions() const {
+  uint64_t total = 0;
+  for (const auto& s : stages_) total += s.coalesced_partitions;
+  return total;
+}
+
 std::string JobMetrics::ToString() const {
   std::ostringstream os;
   for (const auto& s : stages_) {
@@ -90,6 +108,13 @@ std::string JobMetrics::ToString() const {
        << " shuffle_records=" << s.shuffle_records
        << " max_partition=" << s.max_partition_size
        << " materialized=" << s.materialized_elements;
+    if (s.spilled_bytes > 0) {
+      os << " spilled_bytes=" << s.spilled_bytes
+         << " spilled_runs=" << s.spilled_runs;
+    }
+    if (s.coalesced_partitions > 0) {
+      os << " coalesced=" << s.coalesced_partitions;
+    }
     if (!s.fused_ops.empty()) os << " fused=[" << s.fused_ops << ']';
     os << '\n';
   }

@@ -32,6 +32,14 @@ struct StageMetrics {
   /// the difference against unfused execution is the fusion win.
   uint64_t materialized_elements = 0;
   uint64_t materialized_bytes = 0;
+  /// Serialized bytes this stage's shuffle writers spilled to temp files
+  /// (0 when the whole shuffle stayed resident; see shuffle.h).
+  uint64_t spilled_bytes = 0;
+  /// Spill events (one run = one flush of a map task's resident buckets).
+  uint64_t spilled_runs = 0;
+  /// Shuffle target buckets merged away by AQE-style contiguous-range
+  /// coalescing on the read side (buckets - read tasks; 0 when disabled).
+  uint64_t coalesced_partitions = 0;
 
   /// Sum of all task times (total CPU demand of the stage).
   double TotalTaskSeconds() const;
@@ -64,6 +72,11 @@ class JobMetrics {
   /// the memory-traffic cost that stage fusion removes.
   uint64_t TotalMaterializedElements() const;
   uint64_t TotalMaterializedBytes() const;
+  /// Total bytes spilled to disk / spill runs across all shuffle writes.
+  uint64_t TotalSpilledBytes() const;
+  uint64_t TotalSpilledRuns() const;
+  /// Total shuffle buckets merged away by adaptive coalescing.
+  uint64_t TotalCoalescedPartitions() const;
 
   /// Multi-line human-readable per-stage summary.
   std::string ToString() const;

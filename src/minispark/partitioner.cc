@@ -18,4 +18,32 @@ HashPartitioner::HashPartitioner(int num_partitions)
   RANKJOIN_CHECK(num_partitions >= 1);
 }
 
+PartitionRanges PartitionRanges::Identity(int num_buckets) {
+  RANKJOIN_CHECK(num_buckets >= 0);
+  std::vector<int> starts(static_cast<size_t>(num_buckets) + 1);
+  for (int b = 0; b <= num_buckets; ++b) starts[static_cast<size_t>(b)] = b;
+  return PartitionRanges(std::move(starts));
+}
+
+PartitionRanges PartitionRanges::Coalesce(
+    const std::vector<uint64_t>& bucket_bytes, uint64_t target_bytes) {
+  const int n = static_cast<int>(bucket_bytes.size());
+  if (target_bytes == 0 || n == 0) return Identity(n);
+  std::vector<int> starts = {0};
+  uint64_t current = 0;
+  for (int b = 0; b < n; ++b) {
+    const uint64_t size = bucket_bytes[static_cast<size_t>(b)];
+    // Close the open range when adding this bucket would overflow the
+    // target — unless the range is still empty (an oversized bucket
+    // stays alone in its own range).
+    if (b > starts.back() && current + size > target_bytes) {
+      starts.push_back(b);
+      current = 0;
+    }
+    current += size;
+  }
+  starts.push_back(n);
+  return PartitionRanges(std::move(starts));
+}
+
 }  // namespace rankjoin::minispark

@@ -5,6 +5,7 @@
 #include <functional>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace rankjoin::minispark {
 
@@ -42,6 +43,42 @@ class HashPartitioner {
 
  private:
   int num_partitions_;
+};
+
+/// A range-coalesced view of shuffle target buckets: output (read)
+/// partition `p` covers the CONTIGUOUS bucket range
+/// [begin(p), end(p)). Contiguity is what preserves the key->partition
+/// contract of the keyed wide operations — a key's bucket belongs to
+/// exactly one range, so all records of one key still land in one read
+/// partition — and, for range shuffles (sortByKey), keeps partition
+/// order equal to key-range order.
+class PartitionRanges {
+ public:
+  /// One range per bucket (no coalescing).
+  static PartitionRanges Identity(int num_buckets);
+
+  /// AQE-style greedy coalescing: walks the buckets in order and merges
+  /// adjacent ones while the combined serialized size stays within
+  /// `target_bytes`. A single bucket above the target keeps its own
+  /// range. `target_bytes == 0` disables coalescing (identity view).
+  static PartitionRanges Coalesce(const std::vector<uint64_t>& bucket_bytes,
+                                  uint64_t target_bytes);
+
+  int NumPartitions() const { return static_cast<int>(starts_.size()) - 1; }
+  int num_buckets() const { return starts_.back(); }
+
+  int begin(int p) const { return starts_[static_cast<size_t>(p)]; }
+  int end(int p) const { return starts_[static_cast<size_t>(p) + 1]; }
+
+  /// Number of buckets merged away (num_buckets() - NumPartitions()).
+  int CoalescedAway() const { return num_buckets() - NumPartitions(); }
+
+ private:
+  explicit PartitionRanges(std::vector<int> starts)
+      : starts_(std::move(starts)) {}
+
+  /// Monotone bucket indices: range p is [starts_[p], starts_[p+1]).
+  std::vector<int> starts_;
 };
 
 }  // namespace rankjoin::minispark

@@ -1,0 +1,92 @@
+#include "minispark/plan.h"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace rankjoin::minispark {
+namespace {
+
+const char* ShapeFor(PlanNode::Kind kind) {
+  switch (kind) {
+    case PlanNode::Kind::kSource:
+      return "ellipse";
+    case PlanNode::Kind::kNarrow:
+      return "box";
+    case PlanNode::Kind::kWide:
+      return "box";
+    case PlanNode::Kind::kCache:
+      return "folder";
+  }
+  return "box";
+}
+
+/// DOT-escapes a label chunk.
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::shared_ptr<const PlanNode> MakePlanNode(
+    PlanNode::Kind kind, std::string op, std::string name,
+    std::vector<std::shared_ptr<const PlanNode>> parents) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = kind;
+  node->op = std::move(op);
+  node->name = std::move(name);
+  node->parents = std::move(parents);
+  return node;
+}
+
+std::string PlanToDot(const PlanNode* root, bool root_materialized) {
+  std::ostringstream os;
+  os << "digraph plan {\n"
+     << "  rankdir=BT;\n"
+     << "  node [fontname=\"Helvetica\", fontsize=10];\n";
+  // DFS: assign ids in discovery order, then emit nodes and edges. The
+  // DAG is small (one node per logical op), so recursion depth is not a
+  // concern, but an explicit stack keeps it iterative anyway.
+  std::unordered_map<const PlanNode*, int> ids;
+  std::vector<const PlanNode*> stack;
+  std::vector<const PlanNode*> order;
+  if (root != nullptr) stack.push_back(root);
+  while (!stack.empty()) {
+    const PlanNode* node = stack.back();
+    stack.pop_back();
+    if (ids.count(node) > 0) continue;
+    ids[node] = static_cast<int>(ids.size());
+    order.push_back(node);
+    for (const auto& parent : node->parents) stack.push_back(parent.get());
+  }
+  for (const PlanNode* node : order) {
+    std::string label = Escape(node->op);
+    if (!node->name.empty() && node->name != node->op) {
+      label += "\\n" + Escape(node->name);
+    }
+    if (node == root && root_materialized) label += "\\n[materialized]";
+    os << "  n" << ids[node] << " [label=\"" << label
+       << "\", shape=" << ShapeFor(node->kind);
+    if (node->kind == PlanNode::Kind::kWide) {
+      // Doubled border marks the stage boundary a shuffle introduces.
+      os << ", peripheries=2, style=bold";
+    } else if (node->kind == PlanNode::Kind::kCache) {
+      os << ", style=filled, fillcolor=lightgrey";
+    }
+    os << "];\n";
+  }
+  for (const PlanNode* node : order) {
+    for (const auto& parent : node->parents) {
+      os << "  n" << ids[parent.get()] << " -> n" << ids[node] << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace rankjoin::minispark

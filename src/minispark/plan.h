@@ -1,0 +1,44 @@
+#ifndef RANKJOIN_MINISPARK_PLAN_H_
+#define RANKJOIN_MINISPARK_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rankjoin::minispark {
+
+/// One logical operator in a dataset's lineage DAG. Nodes are cheap
+/// (strings + parent pointers, no closures or data) and immutable once
+/// built, so every Dataset handle keeps a shared_ptr to its plan root
+/// and whole-plan rendering stays available after execution.
+struct PlanNode {
+  enum class Kind {
+    kSource,  ///< Parallelize / FromGenerator / shuffle-read output
+    kNarrow,  ///< map / filter / flatMap / ... (fusable)
+    kWide,    ///< shuffle boundary (partitionByKey, join, sortByKey, ...)
+    kCache,   ///< explicit Cache() pin
+  };
+
+  Kind kind = Kind::kSource;
+  /// Operator name ("map", "join", "parallelize", ...).
+  std::string op;
+  /// User-facing dataset/stage name, when one was given.
+  std::string name;
+  std::vector<std::shared_ptr<const PlanNode>> parents;
+};
+
+/// Builds a node; convenience over aggregate init at call sites.
+std::shared_ptr<const PlanNode> MakePlanNode(
+    PlanNode::Kind kind, std::string op, std::string name,
+    std::vector<std::shared_ptr<const PlanNode>> parents);
+
+/// Renders the lineage DAG rooted at `root` as Graphviz DOT: narrow ops
+/// as plain boxes, wide ops (stage boundaries) as doubled boxes, sources
+/// as ellipses, Cache() pins as folders. `root_materialized` marks the
+/// root with the "materialized" annotation (the handle holds partitions,
+/// nothing is pending).
+std::string PlanToDot(const PlanNode* root, bool root_materialized);
+
+}  // namespace rankjoin::minispark
+
+#endif  // RANKJOIN_MINISPARK_PLAN_H_

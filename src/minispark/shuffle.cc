@@ -1,0 +1,49 @@
+#include "minispark/shuffle.h"
+
+#include <filesystem>
+
+namespace rankjoin::minispark {
+
+SpillFile::SpillFile(std::string path)
+    : path_(std::move(path)),
+      out_(path_, std::ios::binary | std::ios::trunc) {
+  RANKJOIN_CHECK(out_.is_open());
+}
+
+SpillFile::~SpillFile() {
+  if (out_.is_open()) out_.close();
+  std::error_code ec;  // best effort; never throw from a destructor
+  std::filesystem::remove(path_, ec);
+}
+
+uint64_t SpillFile::Append(const char* data, size_t bytes) {
+  const uint64_t offset = bytes_written_;
+  out_.write(data, static_cast<std::streamsize>(bytes));
+  RANKJOIN_CHECK(out_.good());
+  bytes_written_ += bytes;
+  return offset;
+}
+
+void SpillFile::FinishWrites() {
+  if (out_.is_open()) {
+    out_.flush();
+    RANKJOIN_CHECK(out_.good());
+    out_.close();
+  }
+}
+
+SpillFile::Reader::Reader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  RANKJOIN_CHECK(in_.is_open());
+}
+
+void SpillFile::Reader::ReadAt(uint64_t offset, uint64_t bytes,
+                               std::string* buf) {
+  buf->resize(bytes);
+  in_.seekg(static_cast<std::streamoff>(offset));
+  in_.read(buf->data(), static_cast<std::streamsize>(bytes));
+  RANKJOIN_CHECK(in_.good() &&
+                 in_.gcount() == static_cast<std::streamsize>(bytes));
+}
+
+}  // namespace rankjoin::minispark

@@ -1,0 +1,345 @@
+#ifndef RANKJOIN_MINISPARK_SHUFFLE_H_
+#define RANKJOIN_MINISPARK_SHUFFLE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "minispark/context.h"
+#include "minispark/partitioner.h"
+#include "minispark/serde.h"
+
+namespace rankjoin::minispark {
+
+template <typename T>
+class Dataset;
+
+/// One spilled run segment: `records` serialized records of one target
+/// bucket, at [offset, offset + bytes) of the owning map task's spill
+/// file. A bucket spilled several times holds several segments, in
+/// arrival order.
+struct SpillSegment {
+  uint64_t offset = 0;
+  uint64_t bytes = 0;
+  uint64_t records = 0;
+};
+
+/// Append-only temp file holding the serialized spill runs of ONE map
+/// task. Appends happen from that task's thread during the shuffle-write
+/// stage; after FinishWrites, read tasks read concurrently, each through
+/// its own Reader (separate file handle, so no seek contention). The
+/// file is deleted when the SpillFile dies — i.e. as soon as the shuffle
+/// that produced it has been fully read.
+class SpillFile {
+ public:
+  explicit SpillFile(std::string path);
+  ~SpillFile();
+
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  /// Appends `bytes` bytes and returns the offset they start at.
+  uint64_t Append(const char* data, size_t bytes);
+
+  /// Flushes and closes the write handle; call before any Reader opens.
+  void FinishWrites();
+
+  const std::string& path() const { return path_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  /// A private read handle onto the file.
+  class Reader {
+   public:
+    explicit Reader(const std::string& path);
+
+    /// Reads [offset, offset + bytes) into `*buf` (replacing it).
+    void ReadAt(uint64_t offset, uint64_t bytes, std::string* buf);
+
+   private:
+    std::ifstream in_;
+  };
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  uint64_t bytes_written_ = 0;
+};
+
+/// The shuffle subsystem: owns the map side of one shuffle.
+///
+/// Each map task streams its records into per-target buckets
+/// (`Add(map_index, bucket, record)`). Buckets stay resident until the
+/// job-wide budget (`Context::Options::shuffle_memory_budget_bytes`,
+/// tracked as serialized size across all map tasks of this shuffle) is
+/// exceeded; the task that crosses the line then serializes its resident
+/// buckets through Serde<T> and appends them to its spill file as one
+/// run, releasing the memory. `FinishWrite()` closes the write side and
+/// folds per-task sizes into per-bucket totals — the input to AQE-style
+/// coalescing (PartitionRanges::Coalesce). `ReadRange(begin, end, fn)`
+/// then streams every record of a contiguous bucket range back: mapper
+/// order, and within one mapper the spilled runs (oldest first) followed
+/// by the resident tail — which reproduces exactly the per-bucket
+/// arrival order, so spilling never changes shuffle output.
+///
+/// Thread contract: Add() concurrently for DISTINCT map_index values
+/// (one writer per map task); FinishWrite() from the driver between the
+/// write and read stages; ReadRange() concurrently for DISJOINT bucket
+/// ranges, each bucket read at most once (resident records are moved
+/// out).
+template <typename T>
+class ShuffleService {
+ public:
+  ShuffleService(Context* ctx, int num_map_tasks, int num_buckets)
+      : ctx_(ctx),
+        num_buckets_(num_buckets),
+        budget_(ctx->shuffle_memory_budget_bytes()),
+        tasks_(static_cast<size_t>(num_map_tasks)) {
+    RANKJOIN_CHECK(num_map_tasks >= 0);
+    RANKJOIN_CHECK(num_buckets >= 1);
+    for (MapTask& mt : tasks_) {
+      mt.resident.resize(static_cast<size_t>(num_buckets_));
+      mt.segments.resize(static_cast<size_t>(num_buckets_));
+      mt.bucket_bytes.assign(static_cast<size_t>(num_buckets_), 0);
+      mt.bucket_records.assign(static_cast<size_t>(num_buckets_), 0);
+    }
+  }
+
+  int num_buckets() const { return num_buckets_; }
+
+  /// Map side: routes one record of map task `map_index` to `bucket`.
+  void Add(int map_index, int bucket, const T& record) {
+    MapTask& mt = tasks_[static_cast<size_t>(map_index)];
+    mt.resident[static_cast<size_t>(bucket)].push_back(record);
+    const uint64_t size = Serde<T>::Size(record);
+    mt.bucket_bytes[static_cast<size_t>(bucket)] += size;
+    mt.bucket_records[static_cast<size_t>(bucket)] += 1;
+    mt.resident_bytes += size;
+    // Spill when the job-wide meter crosses the budget — but only a
+    // task holding at least its fair share (budget / 2·tasks), else a
+    // task whose buckets are tiny would thrash out single records while
+    // another task owns the memory. If every task is below the share,
+    // the total is below budget/2 and nobody needs to spill.
+    if (budget_ > 0 &&
+        resident_total_.fetch_add(size, std::memory_order_relaxed) + size >
+            budget_ &&
+        mt.resident_bytes * 2 * tasks_.size() >= budget_) {
+      SpillTask(&mt);
+    }
+  }
+
+  /// Driver-side barrier after the write stage: closes spill write
+  /// handles and totals the per-bucket/per-task accounting.
+  void FinishWrite() {
+    bucket_bytes_.assign(static_cast<size_t>(num_buckets_), 0);
+    bucket_records_.assign(static_cast<size_t>(num_buckets_), 0);
+    for (MapTask& mt : tasks_) {
+      if (mt.spill) mt.spill->FinishWrites();
+      for (int b = 0; b < num_buckets_; ++b) {
+        bucket_bytes_[static_cast<size_t>(b)] +=
+            mt.bucket_bytes[static_cast<size_t>(b)];
+        bucket_records_[static_cast<size_t>(b)] +=
+            mt.bucket_records[static_cast<size_t>(b)];
+      }
+      spilled_bytes_ += mt.spilled_bytes;
+      spilled_runs_ += mt.spill_runs;
+    }
+  }
+
+  /// Serialized payload bytes per target bucket (resident + spilled) —
+  /// the sizes adaptive coalescing merges on. Valid after FinishWrite().
+  const std::vector<uint64_t>& bucket_bytes() const { return bucket_bytes_; }
+
+  /// Total records destined for buckets [begin, end).
+  uint64_t RecordsInRange(int begin, int end) const {
+    uint64_t total = 0;
+    for (int b = begin; b < end; ++b) {
+      total += bucket_records_[static_cast<size_t>(b)];
+    }
+    return total;
+  }
+
+  uint64_t spilled_bytes() const { return spilled_bytes_; }
+  uint64_t spilled_runs() const { return spilled_runs_; }
+
+  /// Read side: streams every record destined for buckets [begin, end)
+  /// into `fn(T&&)`. See the class comment for ordering and the thread
+  /// contract.
+  template <typename Fn>
+  void ReadRange(int begin, int end, Fn&& fn) {
+    std::string buf;
+    for (MapTask& mt : tasks_) {
+      std::optional<SpillFile::Reader> reader;
+      for (int b = begin; b < end; ++b) {
+        for (const SpillSegment& seg : mt.segments[static_cast<size_t>(b)]) {
+          if (!reader) reader.emplace(mt.spill->path());
+          reader->ReadAt(seg.offset, seg.bytes, &buf);
+          const char* p = buf.data();
+          const char* e = p + buf.size();
+          for (uint64_t i = 0; i < seg.records; ++i) {
+            T record;
+            Serde<T>::Read(&p, e, &record);
+            fn(std::move(record));
+          }
+          RANKJOIN_CHECK(p == e);
+        }
+        for (T& t : mt.resident[static_cast<size_t>(b)]) fn(std::move(t));
+      }
+    }
+  }
+
+ private:
+  /// Map-side state of one map task. Only its own task thread touches it
+  /// during the write stage.
+  struct MapTask {
+    /// Per-bucket resident records, in arrival order.
+    std::vector<std::vector<T>> resident;
+    /// Per-bucket spilled segments, oldest first.
+    std::vector<std::vector<SpillSegment>> segments;
+    /// Per-bucket serialized size / record count (resident + spilled).
+    std::vector<uint64_t> bucket_bytes;
+    std::vector<uint64_t> bucket_records;
+    std::unique_ptr<SpillFile> spill;
+    uint64_t resident_bytes = 0;
+    uint64_t spilled_bytes = 0;
+    uint64_t spill_runs = 0;
+  };
+
+  /// Serializes all of `mt`'s resident buckets to its spill file as one
+  /// run and releases the memory.
+  void SpillTask(MapTask* mt) {
+    if (mt->resident_bytes == 0) return;
+    if (!mt->spill) {
+      mt->spill = std::make_unique<SpillFile>(ctx_->NewSpillFilePath());
+    }
+    std::string buf;
+    for (int b = 0; b < num_buckets_; ++b) {
+      std::vector<T>& bucket = mt->resident[static_cast<size_t>(b)];
+      if (bucket.empty()) continue;
+      buf.clear();
+      for (const T& t : bucket) Serde<T>::Write(t, &buf);
+      const uint64_t offset = mt->spill->Append(buf.data(), buf.size());
+      mt->segments[static_cast<size_t>(b)].push_back(
+          SpillSegment{offset, buf.size(), bucket.size()});
+      mt->spilled_bytes += buf.size();
+      // swap, not clear(): actually give the memory back.
+      std::vector<T>().swap(bucket);
+    }
+    ++mt->spill_runs;
+    resident_total_.fetch_sub(mt->resident_bytes, std::memory_order_relaxed);
+    mt->resident_bytes = 0;
+  }
+
+  Context* ctx_;
+  int num_buckets_;
+  uint64_t budget_;
+  std::vector<MapTask> tasks_;
+  /// Resident serialized bytes across ALL map tasks (the budget meter).
+  std::atomic<uint64_t> resident_total_{0};
+  /// Filled by FinishWrite().
+  std::vector<uint64_t> bucket_bytes_;
+  std::vector<uint64_t> bucket_records_;
+  uint64_t spilled_bytes_ = 0;
+  uint64_t spilled_runs_ = 0;
+};
+
+namespace internal {
+
+/// Runs the shuffle-write stage of `input` into a fresh ShuffleService:
+/// one task per input partition streams the partition — executing any
+/// pending narrow chain inside the task — and routes each record to
+/// `partition_of(task_index, record)`. Annotates the stage record with
+/// the fused ops and the spill counters.
+template <typename T, typename PartitionFn>
+std::shared_ptr<ShuffleService<T>> ShuffleWrite(const Dataset<T>& input,
+                                                int num_buckets,
+                                                const std::string& name,
+                                                PartitionFn partition_of) {
+  Context* ctx = input.context();
+  auto service = std::make_shared<ShuffleService<T>>(
+      ctx, input.num_partitions(), num_buckets);
+  const std::string fused = input.pending_ops();
+  StageMetrics write_stage =
+      ctx->RunStage(name + "/shuffle-write", input.num_partitions(),
+                    [&](int i) {
+                      input.StreamPartition(i, [&](const T& t) {
+                        service->Add(i, partition_of(i, t), t);
+                      });
+                    });
+  service->FinishWrite();
+  write_stage.fused_ops =
+      fused.empty() ? "shuffleWrite" : fused + "+shuffleWrite";
+  write_stage.spilled_bytes = service->spilled_bytes();
+  write_stage.spilled_runs = service->spilled_runs();
+  ctx->AddStage(std::move(write_stage));
+  return service;
+}
+
+/// Runs the shuffle-read stage: one task per coalesced range streams its
+/// buckets out of the service (merging spilled runs with resident data)
+/// into an output partition. Shuffle volume is counted inside the read
+/// tasks while they consume — no post-hoc rescan of the output. An
+/// optional `post(partition_index, &partition)` runs at the end of each
+/// task (sortByKey sorts there); pass a `post_op` label to surface it in
+/// the stage's fused_ops.
+template <typename T, typename PostFn>
+std::shared_ptr<const std::vector<std::vector<T>>> ShuffleRead(
+    Context* ctx, ShuffleService<T>* service, const PartitionRanges& ranges,
+    const std::string& name, PostFn post, const char* post_op) {
+  const int num_out = ranges.NumPartitions();
+  auto out =
+      std::make_shared<std::vector<std::vector<T>>>(
+          static_cast<size_t>(num_out));
+  std::vector<uint64_t> task_records(static_cast<size_t>(num_out), 0);
+  std::vector<uint64_t> task_bytes(static_cast<size_t>(num_out), 0);
+  StageMetrics read_stage =
+      ctx->RunStage(name + "/shuffle-read", num_out, [&](int p) {
+        std::vector<T>& dest = (*out)[static_cast<size_t>(p)];
+        dest.reserve(service->RecordsInRange(ranges.begin(p), ranges.end(p)));
+        uint64_t records = 0;
+        uint64_t bytes = 0;
+        service->ReadRange(ranges.begin(p), ranges.end(p), [&](T&& record) {
+          bytes += Serde<T>::Size(record);
+          dest.push_back(std::move(record));
+          ++records;
+        });
+        post(p, &dest);
+        task_records[static_cast<size_t>(p)] = records;
+        task_bytes[static_cast<size_t>(p)] = bytes;
+      });
+  read_stage.fused_ops =
+      post_op == nullptr ? "shuffleRead"
+                         : std::string("shuffleRead+") + post_op;
+  for (int p = 0; p < num_out; ++p) {
+    read_stage.shuffle_records += task_records[static_cast<size_t>(p)];
+    read_stage.shuffle_bytes += task_bytes[static_cast<size_t>(p)];
+    read_stage.max_partition_size = std::max(
+        read_stage.max_partition_size, task_records[static_cast<size_t>(p)]);
+  }
+  read_stage.materialized_elements = read_stage.shuffle_records;
+  read_stage.materialized_bytes = read_stage.shuffle_bytes;
+  read_stage.coalesced_partitions =
+      static_cast<uint64_t>(ranges.CoalescedAway());
+  ctx->AddStage(std::move(read_stage));
+  return out;
+}
+
+template <typename T>
+std::shared_ptr<const std::vector<std::vector<T>>> ShuffleRead(
+    Context* ctx, ShuffleService<T>* service, const PartitionRanges& ranges,
+    const std::string& name) {
+  return ShuffleRead(ctx, service, ranges, name,
+                     [](int, std::vector<T>*) {}, nullptr);
+}
+
+}  // namespace internal
+
+}  // namespace rankjoin::minispark
+
+#endif  // RANKJOIN_MINISPARK_SHUFFLE_H_

@@ -431,5 +431,56 @@ TEST(LazyTest, MaterializedElementsCounted) {
   EXPECT_EQ(ctx.metrics().TotalMaterializedElements(), 60u);
 }
 
+TEST(ExplainTest, PendingChainRendersWithoutForcing) {
+  Context ctx(SmallCluster());
+  auto chained = Parallelize(&ctx, Iota(10), 2)
+                     .Map([](const int& x) { return x * 2; }, "double")
+                     .Filter([](const int& x) { return x > 5; }, "big");
+  const std::string dot = chained.ExplainDot();
+  // Rendering is driver-side only: the chain must still be pending.
+  EXPECT_FALSE(chained.materialized());
+  EXPECT_NE(dot.find("digraph plan"), std::string::npos);
+  EXPECT_NE(dot.find("parallelize"), std::string::npos);
+  EXPECT_NE(dot.find("map"), std::string::npos);
+  EXPECT_NE(dot.find("double"), std::string::npos);
+  EXPECT_NE(dot.find("filter"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(ExplainTest, WideOpsAndCacheAppearInPlan) {
+  Context ctx(SmallCluster());
+  auto keyed = Parallelize(&ctx, Iota(30), 3).Map(
+      [](const int& x) { return std::pair<int, int>(x % 5, x); }, "key");
+  auto grouped = GroupByKey(keyed, 3, "byMod");
+  grouped.Cache();
+  const std::string dot = grouped.ExplainDot();
+  // Shuffle boundary (doubled box), its user name, the group-side narrow
+  // step, and the Cache() pin all show up; the root is materialized.
+  EXPECT_NE(dot.find("partitionBy"), std::string::npos);
+  EXPECT_NE(dot.find("byMod"), std::string::npos);
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);
+  EXPECT_NE(dot.find("cache"), std::string::npos);
+  EXPECT_NE(dot.find("[materialized]"), std::string::npos);
+}
+
+TEST(ExplainTest, JoinPlanHasBothParents) {
+  Context ctx(SmallCluster());
+  auto left = Parallelize(&ctx, Iota(10), 2).Map(
+      [](const int& x) { return std::pair<int, int>(x, x); }, "leftKey");
+  auto right = Parallelize(&ctx, Iota(10), 2).Map(
+      [](const int& x) { return std::pair<int, int>(x, -x); }, "rightKey");
+  const std::string dot = Join(left, right, 2, "testJoin").ExplainDot();
+  EXPECT_NE(dot.find("join"), std::string::npos);
+  EXPECT_NE(dot.find("leftKey"), std::string::npos);
+  EXPECT_NE(dot.find("rightKey"), std::string::npos);
+  // Two distinct parallelize sources feed the DAG.
+  size_t sources = 0;
+  for (size_t pos = dot.find("parallelize"); pos != std::string::npos;
+       pos = dot.find("parallelize", pos + 1)) {
+    ++sources;
+  }
+  EXPECT_EQ(sources, 2u);
+}
+
 }  // namespace
 }  // namespace rankjoin::minispark
