@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 
 #include "common/stopwatch.h"
+#include "minispark/trace.h"
 
 namespace rankjoin::bench {
 namespace {
@@ -64,7 +66,41 @@ RunOutcome RunOnce(const std::string& dataset, SimilarityJoinConfig config,
   for (int workers : options.simulate_workers) {
     outcome.makespan[workers] = ctx.metrics().SimulatedMakespan(workers);
   }
+  if (const std::string path = MetricsJsonPath(); !path.empty()) {
+    AppendMetricsJson(
+        ctx, std::string(AlgorithmName(config.algorithm)) + "/" + dataset,
+        path);
+  }
   return outcome;
+}
+
+std::string MetricsJsonPath() {
+  const char* path = std::getenv("RANKJOIN_METRICS_JSON");
+  return path == nullptr ? std::string() : std::string(path);
+}
+
+void AppendMetricsJson(const minispark::Context& ctx,
+                       const std::string& label, const std::string& path) {
+  std::string metrics = ctx.metrics().ToJson();
+  metrics.erase(std::remove(metrics.begin(), metrics.end(), '\n'),
+                metrics.end());
+  std::ostringstream record;
+  record << "{\"label\":\"" << minispark::internal::JsonEscape(label)
+         << "\",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : ctx.counters().Snapshot()) {
+    if (!first) record << ",";
+    first = false;
+    record << "\"" << minispark::internal::JsonEscape(name)
+           << "\":" << value;
+  }
+  record << "},\"metrics\":" << metrics << "}\n";
+  std::ofstream out(path, std::ios::app);
+  out << record.str();
+  if (!out) {
+    std::fprintf(stderr, "warning: could not append metrics to %s\n",
+                 path.c_str());
+  }
 }
 
 bool BudgetTracker::ShouldRun(const std::string& key) const {

@@ -52,9 +52,25 @@ struct RunOptions {
 
 /// Runs one algorithm configuration and measures wall time plus the
 /// simulated-cluster metrics. Exits the process on configuration errors
-/// (benchmarks are developer tools).
+/// (benchmarks are developer tools). When the RANKJOIN_METRICS_JSON
+/// environment variable names a file, every run appends one JSON-lines
+/// record of its engine metrics there (see AppendMetricsJson) — set
+/// RANKJOIN_TRACE_LEVEL=counters too to include per-operator counts and
+/// the filter-effectiveness counters.
 RunOutcome RunOnce(const std::string& dataset, SimilarityJoinConfig config,
                    const RunOptions& options);
+
+/// Value of the RANKJOIN_METRICS_JSON environment variable, or "" when
+/// unset.
+std::string MetricsJsonPath();
+
+/// Appends one JSON-lines record to `path`:
+///   {"label": ..., "counters": {...}, "metrics": <JobMetrics::ToJson()>}
+/// Newlines inside the metrics dump are stripped so each run stays one
+/// line (JSON-lines; `jq` per line). Errors are reported to stderr but
+/// non-fatal — metrics dumping never fails a benchmark.
+void AppendMetricsJson(const minispark::Context& ctx,
+                       const std::string& label, const std::string& path);
 
 /// Tracks budget exhaustion across a sweep: once a (key) run blows the
 /// budget, later runs with the same key report DNF immediately.

@@ -236,11 +236,11 @@ void BM_DistinctCoalesced(benchmark::State& state) {
 }
 BENCHMARK(BM_DistinctCoalesced)->Arg(100000);
 
-/// Prints the DOT plan of the canonical chain pipeline (the one
-/// ChainBenchmark measures) without running it — `--explain` wiring.
-void PrintExplainDot() {
-  Context ctx(BenchCluster());
-  auto ds = Parallelize(&ctx, MakeKv(1000, 64), 4);
+/// Builds the canonical chain pipeline (the one ChainBenchmark
+/// measures) over `ctx` and returns the grouped result, unforced.
+Dataset<std::pair<uint32_t, std::vector<uint32_t>>> BuildChain(
+    Context* ctx) {
+  auto ds = Parallelize(ctx, MakeKv(1000, 64), 4);
   auto chain =
       ds.Map(
             [](const std::pair<uint32_t, uint32_t>& kv) {
@@ -258,8 +258,40 @@ void PrintExplainDot() {
                     kv, {kv.first + 1, kv.second}};
               },
               "chain/mirror");
-  auto grouped = GroupByKey(chain, 16, "chain/group");
+  return GroupByKey(chain, 16, "chain/group");
+}
+
+/// Prints the DOT plan of the canonical chain pipeline without running
+/// it — `--explain` wiring. With `observed` the pipeline runs first
+/// under per-operator counters, so every node carries its in/out
+/// element counts (`--explain-observed`).
+void PrintExplainDot(bool observed) {
+  Context::Options options = BenchCluster();
+  if (observed) options.trace_level = TraceLevel::kCounters;
+  Context ctx(options);
+  auto grouped = BuildChain(&ctx);
+  if (observed) grouped.Count();
   std::printf("%s", grouped.ExplainDot().c_str());
+}
+
+/// Runs the canonical chain pipeline once with per-operator counters on
+/// and writes the engine metrics as JSON to `path` — `--metrics-json`
+/// wiring (every fig* bench dumps the same shape via
+/// RANKJOIN_METRICS_JSON; this flag needs no dataset).
+int DumpMetricsJson(const std::string& path) {
+  Context::Options options = BenchCluster();
+  options.trace_level = TraceLevel::kCounters;
+  Context ctx(options);
+  BuildChain(&ctx).Count();
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "%s", ctx.metrics().ToJson().c_str());
+  std::fclose(out);
+  std::printf("metrics written to %s\n", path.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -267,9 +299,21 @@ void PrintExplainDot() {
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--explain") {
-      rankjoin::minispark::PrintExplainDot();
+    const std::string arg = argv[i];
+    if (arg == "--explain") {
+      rankjoin::minispark::PrintExplainDot(/*observed=*/false);
       return 0;
+    }
+    if (arg == "--explain-observed") {
+      rankjoin::minispark::PrintExplainDot(/*observed=*/true);
+      return 0;
+    }
+    if (arg == "--metrics-json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--metrics-json needs a path\n");
+        return 2;
+      }
+      return rankjoin::minispark::DumpMetricsJson(argv[i + 1]);
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -5,6 +5,7 @@
 //                [--algorithm vj|vj-nl|cl|cl-p|brute-force]
 //                [--theta-c 0.03] [--delta 500] [--partitions 64]
 //                [--workers 4] [--output pairs.txt] [--stats]
+//                [--metrics] [--trace-out trace.json]
 //
 // Input format: one ranking per line, "id: i0 i1 ... ik-1" (see
 // data/io.h). Output: "id1 id2" lines sorted by pair.
@@ -31,7 +32,11 @@ void Usage(const char* argv0) {
       "  --partitions N     shuffle partitions (default 64)\n"
       "  --workers N        worker threads (default 4)\n"
       "  --output FILE      write result pairs (default: count only)\n"
-      "  --stats            print work statistics\n",
+      "  --stats            print work statistics\n"
+      "  --metrics          print engine stage/operator metrics and the\n"
+      "                     filter-effectiveness counters (needs\n"
+      "                     RANKJOIN_TRACE_LEVEL=counters or timers)\n"
+      "  --trace-out FILE   write a Chrome-trace JSON of the run\n",
       argv0);
 }
 
@@ -50,6 +55,8 @@ int main(int argc, char** argv) {
   int partitions = 64;
   int workers = 4;
   bool print_stats = false;
+  bool print_metrics = false;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -79,6 +86,10 @@ int main(int argc, char** argv) {
       workers = std::atoi(next("--workers"));
     } else if (!std::strcmp(argv[i], "--stats")) {
       print_stats = true;
+    } else if (!std::strcmp(argv[i], "--metrics")) {
+      print_metrics = true;
+    } else if (!std::strcmp(argv[i], "--trace-out")) {
+      trace_out = next("--trace-out");
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       Usage(argv[0]);
@@ -119,6 +130,20 @@ int main(int argc, char** argv) {
               result->pairs.size(), result->stats.total_seconds);
   if (print_stats) {
     std::printf("%s\n", result->stats.ToString().c_str());
+  }
+  if (print_metrics) {
+    std::printf("%s", ctx.metrics().ToString().c_str());
+    for (const auto& [name, value] : ctx.counters().Snapshot()) {
+      std::printf("counter %s = %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
+  if (!trace_out.empty()) {
+    if (Status s = ctx.DumpTrace(trace_out); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace written to %s\n", trace_out.c_str());
   }
   if (!output.empty()) {
     if (Status s = WriteResultPairs(output, result->pairs); !s.ok()) {

@@ -1,6 +1,7 @@
 #include "join/cluster.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -112,6 +113,23 @@ Clustering RunClusteringPhase(minispark::Context* ctx,
   stats->clusters = clustering.centroids.size();
   stats->singletons = clustering.singletons.size();
   stats->cluster_members = clustering.pairs.size();
+  // Paper Section 5 / Table 3: cluster count and membership-size shape
+  // are the knobs that decide whether the centroid join pays off.
+  // (DistributedSelfJoin already published the theta_c join's
+  // candidate/prune counters under spec.counter_scope.)
+  minispark::CounterRegistry& registry = ctx->counters();
+  registry.Add("cl.clustering.clusters", stats->clusters);
+  registry.Add("cl.clustering.singletons", stats->singletons);
+  registry.Add("cl.clustering.members", stats->cluster_members);
+  uint64_t max_cluster = 0;
+  if (registry.enabled()) {
+    std::unordered_map<RankingId, uint64_t> sizes;
+    for (const ClusterPair& cp : clustering.pairs) ++sizes[cp.centroid];
+    for (const auto& [centroid, size] : sizes) {
+      max_cluster = std::max(max_cluster, size + 1);  // + the centroid
+    }
+  }
+  registry.Add("cl.clustering.max_cluster_size", max_cluster);
   return clustering;
 }
 
@@ -182,7 +200,10 @@ Clustering RunRandomCentroidClustering(
   // Force the assignment stage before reading the per-partition stat
   // slots (lazy execution defers the lambda until materialization).
   assignments.Cache();
-  for (const JoinStats& s : slots) stats->MergeCounters(s);
+  JoinStats assign_stats;
+  for (const JoinStats& s : slots) assign_stats.MergeCounters(s);
+  assign_stats.PublishCounters(&ctx->counters(), "cl.randomClustering");
+  stats->MergeCounters(assign_stats);
 
   std::unordered_set<RankingId> centroid_ids(clustering.centroids.begin(),
                                              clustering.centroids.end());
@@ -201,6 +222,10 @@ Clustering RunRandomCentroidClustering(
   stats->clusters = clustering.centroids.size();
   stats->singletons = clustering.singletons.size();
   stats->cluster_members = clustering.pairs.size();
+  minispark::CounterRegistry& registry = ctx->counters();
+  registry.Add("cl.clustering.clusters", stats->clusters);
+  registry.Add("cl.clustering.singletons", stats->singletons);
+  registry.Add("cl.clustering.members", stats->cluster_members);
   return clustering;
 }
 
@@ -274,9 +299,14 @@ std::vector<CentroidPair> RunCentroidJoin(
     MixedNestedLoopRS(left, right, thresholds, position_filter, out, s);
   };
 
+  // Phase-local stats, published under the centroid join's own scope:
+  // these are the candidates examined under the ENLARGED theta_o
+  // thresholds of Lemma 5.1/5.3, the number the paper uses to argue the
+  // cluster-level join is cheap relative to expansion.
+  JoinStats phase_stats;
   minispark::Dataset<ScoredPair> raw_pairs = JoinGroupsWithRepartitioning(
       groups, spec.repartition_delta, spec.num_partitions, local_join,
-      rs_join, stats);
+      rs_join, &phase_stats);
   minispark::Dataset<ScoredPair> unique = minispark::Distinct(
       raw_pairs, spec.num_partitions, "centroidJoin/distinct");
 
@@ -292,6 +322,9 @@ std::vector<CentroidPair> RunCentroidJoin(
     cp.cj_singleton = singleton_set.count(cp.cj) > 0;
     result.push_back(cp);
   }
+  phase_stats.PublishCounters(&ctx->counters(), "cl.centroidJoin");
+  ctx->counters().Add("cl.centroidJoin.pairs", result.size());
+  stats->MergeCounters(phase_stats);
   return result;
 }
 

@@ -129,6 +129,13 @@ std::vector<ResultPair> RunExpansion(minispark::Context* ctx,
                                      uint32_t raw_theta, int num_partitions,
                                      bool upper_shortcut, JoinStats* stats) {
   ExpansionContext ectx{&table, raw_theta, upper_shortcut};
+  // All expansion kernels below tally into this phase-local accumulator
+  // (via per-partition slot vectors merged after each Cache() barrier);
+  // it is merged into the caller's stats AND published to the counter
+  // registry under "cl.expansion" at the end, so traces show the
+  // triangle-inequality prune/shortcut effectiveness of Section 5.3 in
+  // isolation.
+  JoinStats expansion_stats;
 
   // R_c keyed by centroid.
   std::vector<std::pair<RankingId, MemberRec>> cluster_kv;
@@ -195,7 +202,7 @@ std::vector<ResultPair> RunExpansion(minispark::Context* ctx,
           "expand/intraCluster");
   // Stat slots are filled when the chain runs — force it first.
   intra.Cache();
-  MergeSlots(intra_slots, stats);
+  MergeSlots(intra_slots, &expansion_stats);
 
   // R_m: centroid pairs with at least one non-singleton side need to be
   // joined with the clusters (Algorithm 2 lines 3-8).
@@ -243,7 +250,7 @@ std::vector<ResultPair> RunExpansion(minispark::Context* ctx,
       },
       "expand/membersCi");
   rm_c1.Cache();
-  MergeSlots(j1_slots, stats);
+  MergeSlots(j1_slots, &expansion_stats);
 
   // Members of cj against ci (R_m,c, second direction — the "switched
   // centroids" join of Example 5.4).
@@ -271,7 +278,7 @@ std::vector<ResultPair> RunExpansion(minispark::Context* ctx,
       },
       "expand/membersCj");
   rm_c2.Cache();
-  MergeSlots(j2_slots, stats);
+  MergeSlots(j2_slots, &expansion_stats);
 
   // Members of ci against members of cj (R_m,m): re-key the first join
   // by the second centroid and join with the clusters again.
@@ -311,7 +318,7 @@ std::vector<ResultPair> RunExpansion(minispark::Context* ctx,
       },
       "expand/membersBoth");
   rm_m.Cache();
-  MergeSlots(jmm_slots, stats);
+  MergeSlots(jmm_slots, &expansion_stats);
 
   // Union everything and remove duplicates (Algorithm 2 line 9).
   minispark::Dataset<ResultPair> all = minispark::Union(
@@ -319,8 +326,12 @@ std::vector<ResultPair> RunExpansion(minispark::Context* ctx,
                        minispark::Union(rm_c1, rm_c2, "expand/u2"),
                        "expand/u3"),
       rm_m, "expand/u4");
-  return minispark::Distinct(all, num_partitions, "expand/distinct")
-      .Collect();
+  std::vector<ResultPair> collected =
+      minispark::Distinct(all, num_partitions, "expand/distinct").Collect();
+  expansion_stats.PublishCounters(&ctx->counters(), "cl.expansion");
+  ctx->counters().Add("cl.expansion.result_pairs", collected.size());
+  stats->MergeCounters(expansion_stats);
+  return collected;
 }
 
 }  // namespace
@@ -358,6 +369,7 @@ Result<JoinResult> RunClusterJoin(minispark::Context* ctx,
   cluster_spec.position_filter = options.position_filter;
   cluster_spec.prefix_mode = PrefixMode::kOverlap;
   cluster_spec.local_algorithm = options.clustering_algorithm;
+  cluster_spec.counter_scope = "cl.clustering";
   Clustering clustering;
   if (options.clustering_strategy == ClusteringStrategy::kJoinBased) {
     clustering = RunClusteringPhase(ctx, all, cluster_spec, &result.stats);
@@ -401,6 +413,7 @@ Result<JoinResult> RunClusterJoin(minispark::Context* ctx,
 
   result.stats.result_pairs = result.pairs.size();
   result.stats.total_seconds = total.ElapsedSeconds();
+  ctx->counters().Add("cl.result_pairs", result.stats.result_pairs);
   return result;
 }
 

@@ -91,7 +91,12 @@ minispark::Dataset<ScoredPair> JoinGroupsWithRepartitioning(
   minispark::Dataset<PostingGroup> large = groups.Filter(
       [delta](const PostingGroup& g) { return g.second.size() > delta; },
       "repartition/large");
-  stats->lists_repartitioned += large.Count();
+  const uint64_t lists_split = large.Count();
+  stats->lists_repartitioned += lists_split;
+  // The CL-P / repartitioning knobs of Algorithm 3, published globally
+  // (not per scope): how many oversized posting lists were split and how
+  // many chunk-pair R-S joins that cost (below).
+  groups.context()->counters().Add("repartition.lists_split", lists_split);
 
   minispark::Dataset<ScoredPair> small_results =
       JoinGroups(small, local_join, stats);
@@ -157,7 +162,10 @@ minispark::Dataset<ScoredPair> JoinGroupsWithRepartitioning(
         return jp.second.first.key < jp.second.second.key;
       },
       "repartition/orderPairs");
-  stats->chunk_pair_joins += ordered_pairs.Count();
+  const uint64_t pair_joins = ordered_pairs.Count();
+  stats->chunk_pair_joins += pair_joins;
+  groups.context()->counters().Add("repartition.chunk_pair_joins",
+                                   pair_joins);
   std::vector<JoinStats> rs_slots(
       static_cast<size_t>(ordered_pairs.num_partitions()));
   minispark::Dataset<ScoredPair> chunk_rs_results =

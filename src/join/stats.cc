@@ -10,6 +10,7 @@ void JoinStats::MergeCounters(const JoinStats& other) {
   position_filtered += other.position_filtered;
   triangle_filtered += other.triangle_filtered;
   verified += other.verified;
+  verify_passed += other.verify_passed;
   emitted_unverified += other.emitted_unverified;
   result_pairs += other.result_pairs;
   clusters += other.clusters;
@@ -19,12 +20,24 @@ void JoinStats::MergeCounters(const JoinStats& other) {
   chunk_pair_joins += other.chunk_pair_joins;
 }
 
+void JoinStats::PublishCounters(minispark::CounterRegistry* registry,
+                                const std::string& prefix) const {
+  if (registry == nullptr || !registry->enabled()) return;
+  registry->Add(prefix + ".candidates", candidates);
+  registry->Add(prefix + ".position_filtered", position_filtered);
+  registry->Add(prefix + ".triangle_filtered", triangle_filtered);
+  registry->Add(prefix + ".verified", verified);
+  registry->Add(prefix + ".verify_passed", verify_passed);
+  registry->Add(prefix + ".emitted_unverified", emitted_unverified);
+}
+
 std::string JoinStats::ToString() const {
   std::ostringstream os;
   os << "candidates=" << candidates
      << " position_filtered=" << position_filtered
      << " triangle_filtered=" << triangle_filtered
      << " verified=" << verified
+     << " verify_passed=" << verify_passed
      << " emitted_unverified=" << emitted_unverified
      << " result_pairs=" << result_pairs;
   if (clusters > 0 || singletons > 0) {

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "minispark/trace.h"
 #include "ranking/ranking.h"
 
 namespace rankjoin {
@@ -36,6 +37,11 @@ struct JoinStats {
   uint64_t triangle_filtered = 0;
   /// Pairs whose distance was actually computed (verification calls).
   uint64_t verified = 0;
+  /// Verification calls whose distance qualified (<= theta). The
+  /// difference verified - verify_passed is the price of imperfect
+  /// filtering; verify_passed + emitted_unverified ~ result pairs
+  /// before dedup.
+  uint64_t verify_passed = 0;
   /// Pairs emitted without a distance computation because a metric upper
   /// bound already guaranteed qualification (CL expansion shortcut).
   uint64_t emitted_unverified = 0;
@@ -61,6 +67,15 @@ struct JoinStats {
 
   /// Adds the counters (not the timings) of `other` into this object.
   void MergeCounters(const JoinStats& other);
+
+  /// Publishes the (nonzero-semantics: all, including zeros, for
+  /// structurally stable snapshots) filter-effectiveness counters into
+  /// `registry` under `<prefix>.<counter>`. No-op when the registry is
+  /// null or disabled (trace_level kOff). The pipelines call this once
+  /// per phase with phase-local stats — counters are atomics, but the
+  /// hot loops only ever touch per-partition JoinStats slots.
+  void PublishCounters(minispark::CounterRegistry* registry,
+                       const std::string& prefix) const;
 
   /// Multi-line human-readable dump.
   std::string ToString() const;

@@ -12,7 +12,9 @@ std::optional<uint32_t> VerifyPair(const OrderedRanking& a,
                                    const OrderedRanking& b,
                                    uint32_t raw_theta, JoinStats* stats) {
   ++stats->verified;
-  return FootruleDistanceBounded(a, b, raw_theta);
+  std::optional<uint32_t> distance = FootruleDistanceBounded(a, b, raw_theta);
+  if (distance.has_value()) ++stats->verify_passed;
+  return distance;
 }
 
 RankingTable::RankingTable(const std::vector<OrderedRanking>& rankings)

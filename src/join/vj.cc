@@ -151,14 +151,25 @@ std::vector<ScoredPair> DistributedSelfJoin(
     LocalNestedLoopJoinRS(left, right, local_options, out, s);
   };
 
+  // Phase-local stats: the local joins accumulate into per-partition
+  // slots inside JoinGroupsWithRepartitioning; collecting them into a
+  // fresh JoinStats (merged into the caller's afterwards) lets this
+  // phase publish ITS filter-effectiveness counters under its own
+  // scope, no matter who embeds the self-join (VJ driver, CL
+  // clustering).
+  JoinStats phase_stats;
   minispark::Dataset<ScoredPair> raw_pairs = JoinGroupsWithRepartitioning(
       groups, spec.repartition_delta, spec.num_partitions, local_join,
-      rs_join, stats);
+      rs_join, &phase_stats);
   // Final phase of VJ: remove the duplicates produced by rankings that
   // share several prefix items.
   minispark::Dataset<ScoredPair> unique =
       minispark::Distinct(raw_pairs, spec.num_partitions, "selfJoin/distinct");
-  return unique.Collect();
+  std::vector<ScoredPair> collected = unique.Collect();
+  phase_stats.PublishCounters(&ctx->counters(), spec.counter_scope);
+  ctx->counters().Add(spec.counter_scope + ".pairs", collected.size());
+  stats->MergeCounters(phase_stats);
+  return collected;
 }
 
 }  // namespace internal
@@ -192,6 +203,7 @@ Result<JoinResult> RunVjJoin(minispark::Context* ctx,
   spec.prefix_mode = options.prefix_mode;
   spec.local_algorithm = options.local_algorithm;
   spec.repartition_delta = options.repartition_delta;
+  spec.counter_scope = options.counter_scope;
   std::vector<ScoredPair> scored =
       internal::DistributedSelfJoin(ctx, all, spec, &result.stats);
   result.stats.joining_seconds = phase.ElapsedSeconds();
@@ -200,6 +212,8 @@ Result<JoinResult> RunVjJoin(minispark::Context* ctx,
   for (const ScoredPair& sp : scored) result.pairs.push_back(sp.first);
   result.stats.result_pairs = result.pairs.size();
   result.stats.total_seconds = total.ElapsedSeconds();
+  ctx->counters().Add(options.counter_scope + ".result_pairs",
+                      result.stats.result_pairs);
   return result;
 }
 

@@ -2,6 +2,7 @@
 #define RANKJOIN_JOIN_VJ_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -45,6 +46,11 @@ struct VjOptions {
   /// Partitioning threshold delta of Algorithm 3; 0 disables
   /// repartitioning of oversized posting lists.
   uint64_t repartition_delta = 0;
+  /// Namespace for the filter-effectiveness counters the pipeline
+  /// publishes into Context::counters() (trace_level >= kCounters):
+  /// "<scope>.candidates", "<scope>.verified", ... VJ-NL overrides this
+  /// to "vj_nl" so the two variants stay distinguishable in one trace.
+  std::string counter_scope = "vj";
 };
 
 /// Runs the Vernica-Join adaptation for top-k rankings (paper Section 4)
@@ -78,6 +84,9 @@ struct SelfJoinSpec {
   PrefixMode prefix_mode = PrefixMode::kOverlap;
   LocalAlgorithm local_algorithm = LocalAlgorithm::kPrefixIndex;
   uint64_t repartition_delta = 0;
+  /// Counter namespace (see VjOptions::counter_scope); the CL clustering
+  /// phase sets its own scope here.
+  std::string counter_scope = "selfJoin";
 };
 
 /// Distributed self-join over `subset` (pointers must stay valid for the

@@ -6,6 +6,10 @@ Result<JoinResult> RunVjNlJoin(minispark::Context* ctx,
                                const RankingDataset& dataset,
                                VjOptions options) {
   options.local_algorithm = LocalAlgorithm::kNestedLoop;
+  // Publish filter-effectiveness counters under the variant's own scope
+  // ("vj_nl.candidates", ...) so a trace that runs both VJ flavors keeps
+  // them apart; an explicitly customized scope is left alone.
+  if (options.counter_scope == "vj") options.counter_scope = "vj_nl";
   return RunVjJoin(ctx, dataset, options);
 }
 

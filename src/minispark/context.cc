@@ -3,7 +3,11 @@
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/random.h"
@@ -21,6 +25,9 @@ Context::Options WithEnvOverrides(Context::Options options) {
       options.shuffle_memory_budget_bytes = static_cast<uint64_t>(parsed);
     }
   }
+  if (const char* level = std::getenv("RANKJOIN_TRACE_LEVEL")) {
+    options.trace_level = ParseTraceLevel(level);
+  }
   return options;
 }
 
@@ -30,7 +37,9 @@ Context::Context(Options options)
     : options_(WithEnvOverrides(std::move(options))),
       pool_(static_cast<size_t>(options_.num_workers > 0
                                     ? options_.num_workers
-                                    : 1)) {
+                                    : 1)),
+      counters_(TraceCountersEnabled(options_.trace_level)),
+      tracer_(TraceCountersEnabled(options_.trace_level)) {
   RANKJOIN_CHECK(options_.default_partitions >= 1);
 }
 
@@ -73,15 +82,70 @@ StageMetrics Context::RunStage(const std::string& name, int num_tasks,
   StageMetrics stage;
   stage.name = name;
   stage.task_seconds.assign(static_cast<size_t>(num_tasks), 0.0);
+  // Tracing uses strictly per-task-local scratch (one TaskTrace per
+  // task, installed via a thread_local), merged on the driver after the
+  // pool barrier below — tasks never write a shared counter.
+  const bool traced = trace_enabled();
+  std::vector<TaskTrace> traces;
+  if (traced) {
+    traces.assign(static_cast<size_t>(num_tasks),
+                  TaskTrace(TraceTimersEnabled(options_.trace_level)));
+  }
+  TraceSink* sink = tracer_.enabled() ? &tracer_ : nullptr;
+  const int64_t stage_start_us = sink ? sink->NowMicros() : 0;
   for (int i = 0; i < num_tasks; ++i) {
-    pool_.Submit([&stage, &task, i] {
+    pool_.Submit([&stage, &task, &traces, sink, traced, i] {
+      ScopedTaskTrace scoped(traced ? &traces[static_cast<size_t>(i)]
+                                    : nullptr);
+      const int64_t start_us = sink ? sink->NowMicros() : 0;
       Stopwatch watch;
       task(i);
       stage.task_seconds[static_cast<size_t>(i)] = watch.ElapsedSeconds();
+      if (sink != nullptr) {
+        sink->Record({stage.name, "task", CurrentTraceTid(), start_us,
+                      sink->NowMicros() - start_us, i});
+      }
     });
   }
   pool_.Wait();
+  if (sink != nullptr) {
+    sink->Record({stage.name, "stage", CurrentTraceTid(), stage_start_us,
+                  sink->NowMicros() - stage_start_us, -1});
+  }
+  if (traced) {
+    // Aggregate by op id; ids increase in plan-construction order, so a
+    // straight chain reports in pipeline order.
+    std::map<uint64_t, OpMetrics> agg;
+    for (const TaskTrace& trace : traces) {
+      for (const auto& [tag, counts] : trace.slots()) {
+        OpMetrics& m = agg[tag->id];
+        if (m.op.empty()) {
+          m.op_id = tag->id;
+          m.op = tag->op;
+          m.name = tag->name;
+        }
+        m.records_in += counts.records_in;
+        m.records_out += counts.records_out;
+        m.seconds += static_cast<double>(counts.nanos) * 1e-9;
+      }
+    }
+    stage.op_metrics.reserve(agg.size());
+    for (auto& [id, m] : agg) stage.op_metrics.push_back(std::move(m));
+  }
   return stage;
+}
+
+Status Context::DumpTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open trace file: " + path);
+  }
+  out << tracer_.ToChromeTraceJson(counters_.Snapshot());
+  out.flush();
+  if (!out) {
+    return Status::IoError("failed writing trace file: " + path);
+  }
+  return Status::OK();
 }
 
 }  // namespace rankjoin::minispark

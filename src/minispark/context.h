@@ -1,14 +1,17 @@
 #ifndef RANKJOIN_MINISPARK_CONTEXT_H_
 #define RANKJOIN_MINISPARK_CONTEXT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "minispark/metrics.h"
+#include "minispark/trace.h"
 
 namespace rankjoin::minispark {
 
@@ -73,6 +76,14 @@ class Context {
     /// temp directory. The context creates a unique subdirectory on
     /// first spill and removes it on destruction.
     std::string spill_dir = {};
+    /// Runtime observability (trace.h): kOff (default) records nothing
+    /// beyond the existing StageMetrics; kCounters adds per-operator
+    /// in/out element counts inside fused chains, the counter registry,
+    /// and task/spill/shuffle-read trace spans; kTimers adds per-element
+    /// op timing. The RANKJOIN_TRACE_LEVEL environment variable
+    /// ("off"/"counters"/"timers" or 0/1/2) overrides this value when
+    /// set — CI uses it to run the whole suite at maximum verbosity.
+    TraceLevel trace_level = TraceLevel::kOff;
   };
 
   explicit Context(Options options);
@@ -92,6 +103,10 @@ class Context {
   uint64_t target_partition_bytes() const {
     return options_.target_partition_bytes;
   }
+  TraceLevel trace_level() const { return options_.trace_level; }
+  bool trace_enabled() const {
+    return TraceCountersEnabled(options_.trace_level);
+  }
 
   /// Returns a fresh path for one shuffle spill file, creating the
   /// context's unique spill subdirectory on first use. Thread-safe:
@@ -102,6 +117,38 @@ class Context {
 
   JobMetrics& metrics() { return metrics_; }
   const JobMetrics& metrics() const { return metrics_; }
+
+  /// Named filter-effectiveness counters published by the algorithm
+  /// layer (trace.h). Disabled (all writes ignored) unless trace_level
+  /// is at least kCounters.
+  CounterRegistry& counters() { return counters_; }
+  const CounterRegistry& counters() const { return counters_; }
+
+  /// Span collector for the Chrome-trace export. Enabled iff
+  /// trace_enabled(); instrumentation sites check enabled() and skip
+  /// recording otherwise.
+  TraceSink& tracer() { return tracer_; }
+  const TraceSink& tracer() const { return tracer_; }
+
+  /// Writes every recorded span plus the counter snapshot as Chrome
+  /// trace format JSON to `path` (open in Perfetto / chrome://tracing).
+  /// Works at any trace level; with tracing off the file just has no
+  /// spans.
+  Status DumpTrace(const std::string& path) const;
+
+  /// Creates the identity tag a traced narrow op's generator captures,
+  /// or null when tracing is off (the null tag IS the off-path gate in
+  /// dataset.h: one pointer check per generator invocation). Ids are
+  /// unique per context, increasing in plan-construction order.
+  std::shared_ptr<const OpTag> MakeOpTag(const std::string& op,
+                                         const std::string& name) {
+    if (!trace_enabled()) return nullptr;
+    auto tag = std::make_shared<OpTag>();
+    tag->id = next_op_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+    tag->op = op;
+    tag->name = name;
+    return tag;
+  }
 
   /// Executes `num_tasks` tasks of a named stage on the pool, blocking
   /// until all complete. `task(i)` runs for every i in [0, num_tasks).
@@ -123,6 +170,9 @@ class Context {
   Options options_;
   ThreadPool pool_;
   JobMetrics metrics_;
+  CounterRegistry counters_;
+  TraceSink tracer_;
+  std::atomic<uint64_t> next_op_id_{0};
   /// Guards lazy creation of the spill directory and the file counter.
   std::mutex spill_mutex_;
   std::string spill_dir_path_;

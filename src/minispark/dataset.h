@@ -2,6 +2,7 @@
 #define RANKJOIN_MINISPARK_DATASET_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -142,8 +143,16 @@ class Dataset {
   /// Renders the whole logical plan of this dataset — every ancestor op
   /// back to the sources, including pending (not yet executed) narrow
   /// chains, shuffle boundaries, and Cache() pins — as Graphviz DOT.
-  /// Purely driver-side: never forces the chain.
+  /// Purely driver-side: never forces the chain. With tracing on
+  /// (Context::Options::trace_level >= kCounters), nodes whose ops have
+  /// already executed are annotated with the observed in/out record
+  /// counts from the job metrics; otherwise (or before any run) the
+  /// rendering is the static one.
   std::string ExplainDot() const {
+    if (state_->ctx->trace_enabled()) {
+      return PlanToDot(state_->plan.get(), materialized(),
+                       state_->ctx->metrics().AggregatedOpMetrics());
+    }
     return PlanToDot(state_->plan.get(), materialized());
   }
 
@@ -257,20 +266,42 @@ class Dataset {
     using Vec = std::decay_t<decltype(fn(0, std::declval<const std::vector<T>&>()))>;
     using U = typename Vec::value_type;
     auto src = state_;
+    std::shared_ptr<const OpTag> tag =
+        state_->ctx->MakeOpTag("mapPartitions", name);
     typename Dataset<U>::Generator gen =
-        [src, fn = std::move(fn)](int i,
-                                  const typename Dataset<U>::Sink& emit) {
+        [src, fn = std::move(fn), tag](int i,
+                                       const typename Dataset<U>::Sink& emit) {
+          TaskTrace* trace = tag == nullptr ? nullptr : CurrentTaskTrace();
+          OpCounts* counts = trace == nullptr ? nullptr : trace->Slot(tag.get());
           Vec produced;
+          const auto apply = [&](const std::vector<T>& input) {
+            if (counts != nullptr) {
+              counts->records_in += input.size();
+              if (trace->timers_enabled()) {
+                const auto start = std::chrono::steady_clock::now();
+                produced = fn(i, input);
+                counts->nanos +=
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+              } else {
+                produced = fn(i, input);
+              }
+              counts->records_out += produced.size();
+            } else {
+              produced = fn(i, input);
+            }
+          };
           if (src->materialized) {
-            produced = fn(i, (*src->materialized)[static_cast<size_t>(i)]);
+            apply((*src->materialized)[static_cast<size_t>(i)]);
           } else {
             std::vector<T> input;
             src->gen(i, Sink([&input](const T& t) { input.push_back(t); }));
-            produced = fn(i, input);
+            apply(input);
           }
           for (const U& u : produced) emit(u);
         };
-    return Chain<U>(std::move(gen), "mapPartitions", name);
+    return Chain<U>(std::move(gen), "mapPartitions", name, tag);
   }
 
   /// Redistributes elements round-robin into `n` partitions (full
@@ -326,7 +357,8 @@ class Dataset {
   /// eager engine.
   template <typename U>
   Dataset<U> Chain(typename Dataset<U>::Generator gen, const std::string& op,
-                   const std::string& name) const {
+                   const std::string& name,
+                   const std::shared_ptr<const OpTag>& tag = nullptr) const {
     auto state = std::make_shared<typename Dataset<U>::State>();
     state->ctx = state_->ctx;
     state->num_partitions = state_->num_partitions;
@@ -337,8 +369,8 @@ class Dataset {
     }
     state->ops.push_back(op);
     state->names.push_back(name);
-    state->plan =
-        MakePlanNode(PlanNode::Kind::kNarrow, op, name, {state_->plan});
+    state->plan = MakePlanNode(PlanNode::Kind::kNarrow, op, name,
+                               {state_->plan}, tag != nullptr ? tag->id : 0);
     Dataset<U> out(std::move(state));
     if (!state_->ctx->fusion_enabled()) out.Materialize();
     return out;
@@ -346,22 +378,64 @@ class Dataset {
 
   /// Chain() for per-element steps: `step(element, emit)` pushes the
   /// op's outputs for one input element.
+  ///
+  /// Tracing: with trace_level >= kCounters the Context hands the op a
+  /// tag, and the generator tallies in/out elements (and, at kTimers,
+  /// inclusive step time) into the CURRENT TASK's TaskTrace — strictly
+  /// task-local scratch installed by RunStage and merged on the driver
+  /// after the stage barrier, so the hot loop writes no shared state.
+  /// With tracing off the tag is null and the untraced branch below is
+  /// exactly the pre-tracing code: the only added cost is one null check
+  /// per generator invocation per partition, nothing per element.
   template <typename U, typename Step>
   Dataset<U> ChainElementwise(Step step, const std::string& op,
                               const std::string& name) const {
     auto src = state_;
+    std::shared_ptr<const OpTag> tag = state_->ctx->MakeOpTag(op, name);
     typename Dataset<U>::Generator gen =
-        [src, step = std::move(step)](int i,
-                                      const typename Dataset<U>::Sink& emit) {
+        [src, step = std::move(step), tag](
+            int i, const typename Dataset<U>::Sink& emit) {
+          TaskTrace* trace = tag == nullptr ? nullptr : CurrentTaskTrace();
+          if (trace == nullptr) {
+            if (src->materialized) {
+              for (const T& t :
+                   (*src->materialized)[static_cast<size_t>(i)]) {
+                step(t, emit);
+              }
+            } else {
+              src->gen(i, Sink([&step, &emit](const T& t) { step(t, emit); }));
+            }
+            return;
+          }
+          OpCounts* counts = trace->Slot(tag.get());
+          const bool timed = trace->timers_enabled();
+          typename Dataset<U>::Sink counted_emit = [&emit,
+                                                    counts](const U& u) {
+            ++counts->records_out;
+            emit(u);
+          };
+          auto run_step = [&step, &counted_emit, counts, timed](const T& t) {
+            ++counts->records_in;
+            if (timed) {
+              const auto start = std::chrono::steady_clock::now();
+              step(t, counted_emit);
+              counts->nanos +=
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+            } else {
+              step(t, counted_emit);
+            }
+          };
           if (src->materialized) {
             for (const T& t : (*src->materialized)[static_cast<size_t>(i)]) {
-              step(t, emit);
+              run_step(t);
             }
           } else {
-            src->gen(i, Sink([&step, &emit](const T& t) { step(t, emit); }));
+            src->gen(i, Sink([&run_step](const T& t) { run_step(t); }));
           }
         };
-    return Chain<U>(std::move(gen), op, name);
+    return Chain<U>(std::move(gen), op, name, tag);
   }
 
   /// Forces the pending chain: runs ONE fused stage (a task per

@@ -4,6 +4,8 @@
 #include <queue>
 #include <sstream>
 
+#include "minispark/trace.h"
+
 namespace rankjoin::minispark {
 
 double StageMetrics::TotalTaskSeconds() const {
@@ -99,6 +101,25 @@ uint64_t JobMetrics::TotalCoalescedPartitions() const {
   return total;
 }
 
+std::unordered_map<uint64_t, OpMetrics> JobMetrics::AggregatedOpMetrics()
+    const {
+  std::unordered_map<uint64_t, OpMetrics> agg;
+  for (const auto& s : stages_) {
+    for (const auto& m : s.op_metrics) {
+      OpMetrics& slot = agg[m.op_id];
+      if (slot.op.empty()) {
+        slot.op_id = m.op_id;
+        slot.op = m.op;
+        slot.name = m.name;
+      }
+      slot.records_in += m.records_in;
+      slot.records_out += m.records_out;
+      slot.seconds += m.seconds;
+    }
+  }
+  return agg;
+}
+
 std::string JobMetrics::ToString() const {
   std::ostringstream os;
   for (const auto& s : stages_) {
@@ -117,7 +138,60 @@ std::string JobMetrics::ToString() const {
     }
     if (!s.fused_ops.empty()) os << " fused=[" << s.fused_ops << ']';
     os << '\n';
+    for (const auto& m : s.op_metrics) {
+      os << "    op " << m.op;
+      if (!m.name.empty() && m.name != m.op) os << '[' << m.name << ']';
+      os << ": in=" << m.records_in << " out=" << m.records_out;
+      if (m.seconds > 0.0) os << " incl_s=" << m.seconds;
+      os << '\n';
+    }
   }
+  return os.str();
+}
+
+std::string JobMetrics::ToJson() const {
+  using internal::JsonEscape;
+  std::ostringstream os;
+  os << "{\"stages\":[";
+  bool first_stage = true;
+  for (const auto& s : stages_) {
+    if (!first_stage) os << ",";
+    first_stage = false;
+    os << "\n{\"name\":\"" << JsonEscape(s.name)
+       << "\",\"tasks\":" << s.task_seconds.size()
+       << ",\"cpu_seconds\":" << s.TotalTaskSeconds()
+       << ",\"max_task_seconds\":" << s.MaxTaskSeconds()
+       << ",\"shuffle_records\":" << s.shuffle_records
+       << ",\"shuffle_bytes\":" << s.shuffle_bytes
+       << ",\"max_partition_size\":" << s.max_partition_size
+       << ",\"materialized_elements\":" << s.materialized_elements
+       << ",\"materialized_bytes\":" << s.materialized_bytes
+       << ",\"spilled_bytes\":" << s.spilled_bytes
+       << ",\"spilled_runs\":" << s.spilled_runs
+       << ",\"coalesced_partitions\":" << s.coalesced_partitions
+       << ",\"fused_ops\":\"" << JsonEscape(s.fused_ops) << "\"";
+    os << ",\"op_metrics\":[";
+    bool first_op = true;
+    for (const auto& m : s.op_metrics) {
+      if (!first_op) os << ",";
+      first_op = false;
+      os << "{\"id\":" << m.op_id << ",\"op\":\"" << JsonEscape(m.op)
+         << "\",\"name\":\"" << JsonEscape(m.name)
+         << "\",\"records_in\":" << m.records_in
+         << ",\"records_out\":" << m.records_out
+         << ",\"inclusive_seconds\":" << m.seconds << "}";
+    }
+    os << "]}";
+  }
+  os << "\n],\"totals\":{\"stages\":" << stages_.size()
+     << ",\"task_seconds\":" << TotalTaskSeconds()
+     << ",\"shuffle_records\":" << TotalShuffleRecords()
+     << ",\"shuffle_bytes\":" << TotalShuffleBytes()
+     << ",\"materialized_elements\":" << TotalMaterializedElements()
+     << ",\"materialized_bytes\":" << TotalMaterializedBytes()
+     << ",\"spilled_bytes\":" << TotalSpilledBytes()
+     << ",\"spilled_runs\":" << TotalSpilledRuns()
+     << ",\"coalesced_partitions\":" << TotalCoalescedPartitions() << "}}\n";
   return os.str();
 }
 

@@ -4,9 +4,30 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace rankjoin::minispark {
+
+/// Per-operator tallies inside one physical stage, aggregated across the
+/// stage's tasks. Populated when Context::Options::trace_level is at
+/// least kCounters: every narrow op fused into the stage (including ops
+/// pulled into a shuffle write) reports how many elements entered and
+/// left it, attributing the chain's filtering/fan-out behavior op by op.
+struct OpMetrics {
+  /// Context-unique id of the logical op (OpTag::id; also stamped on the
+  /// op's PlanNode so ExplainDot can annotate observed counts).
+  uint64_t op_id = 0;
+  std::string op;    ///< logical op kind ("map", "filter", ...)
+  std::string name;  ///< user-facing label
+  uint64_t records_in = 0;
+  uint64_t records_out = 0;
+  /// Wall-clock seconds spent inside the op's per-element step, summed
+  /// across tasks (0 unless trace_level = kTimers). INCLUSIVE of
+  /// downstream fused ops — push-based sinks nest, so an upstream op's
+  /// time contains its consumers'.
+  double seconds = 0.0;
+};
 
 /// Per-stage execution record. One physical stage executes a fused chain
 /// of logical transformations over all partitions (one task per
@@ -40,6 +61,10 @@ struct StageMetrics {
   /// Shuffle target buckets merged away by AQE-style contiguous-range
   /// coalescing on the read side (buckets - read tasks; 0 when disabled).
   uint64_t coalesced_partitions = 0;
+  /// Per-operator breakdown of the fused chain this stage executed, in
+  /// plan-construction (= pipeline) order. Empty when tracing is off or
+  /// the stage ran no traced narrow ops.
+  std::vector<OpMetrics> op_metrics;
 
   /// Sum of all task times (total CPU demand of the stage).
   double TotalTaskSeconds() const;
@@ -78,8 +103,19 @@ class JobMetrics {
   /// Total shuffle buckets merged away by adaptive coalescing.
   uint64_t TotalCoalescedPartitions() const;
 
-  /// Multi-line human-readable per-stage summary.
+  /// Sums each traced operator's counts across all stages (an op that
+  /// executed in several stages — e.g. a chain forked by Union — reports
+  /// its total). Key = OpMetrics::op_id. Used by Dataset::ExplainDot to
+  /// annotate plan nodes with observed record counts after a run.
+  std::unordered_map<uint64_t, OpMetrics> AggregatedOpMetrics() const;
+
+  /// Multi-line human-readable per-stage summary; with tracing on, each
+  /// stage line is followed by an indented per-operator breakdown.
   std::string ToString() const;
+
+  /// Machine-readable dump of every stage (including op_metrics) plus
+  /// job totals, for benches: {"stages":[...],"totals":{...}}.
+  std::string ToJson() const;
 
  private:
   std::vector<StageMetrics> stages_;

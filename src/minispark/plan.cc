@@ -35,16 +35,24 @@ std::string Escape(const std::string& s) {
 
 std::shared_ptr<const PlanNode> MakePlanNode(
     PlanNode::Kind kind, std::string op, std::string name,
-    std::vector<std::shared_ptr<const PlanNode>> parents) {
+    std::vector<std::shared_ptr<const PlanNode>> parents, uint64_t op_id) {
   auto node = std::make_shared<PlanNode>();
   node->kind = kind;
   node->op = std::move(op);
   node->name = std::move(name);
+  node->op_id = op_id;
   node->parents = std::move(parents);
   return node;
 }
 
 std::string PlanToDot(const PlanNode* root, bool root_materialized) {
+  static const std::unordered_map<uint64_t, OpMetrics> kNoObservations;
+  return PlanToDot(root, root_materialized, kNoObservations);
+}
+
+std::string PlanToDot(
+    const PlanNode* root, bool root_materialized,
+    const std::unordered_map<uint64_t, OpMetrics>& observed) {
   std::ostringstream os;
   os << "digraph plan {\n"
      << "  rankdir=BT;\n"
@@ -68,6 +76,18 @@ std::string PlanToDot(const PlanNode* root, bool root_materialized) {
     std::string label = Escape(node->op);
     if (!node->name.empty() && node->name != node->op) {
       label += "\\n" + Escape(node->name);
+    }
+    if (node->op_id != 0) {
+      auto it = observed.find(node->op_id);
+      if (it != observed.end()) {
+        label += "\\nin=" + std::to_string(it->second.records_in) +
+                 " out=" + std::to_string(it->second.records_out);
+        if (it->second.seconds > 0.0) {
+          std::ostringstream secs;
+          secs << it->second.seconds;
+          label += "\\nincl_s=" + secs.str();
+        }
+      }
     }
     if (node == root && root_materialized) label += "\\n[materialized]";
     os << "  n" << ids[node] << " [label=\"" << label

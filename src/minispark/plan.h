@@ -1,9 +1,13 @@
 #ifndef RANKJOIN_MINISPARK_PLAN_H_
 #define RANKJOIN_MINISPARK_PLAN_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
+
+#include "minispark/metrics.h"
 
 namespace rankjoin::minispark {
 
@@ -24,13 +28,19 @@ struct PlanNode {
   std::string op;
   /// User-facing dataset/stage name, when one was given.
   std::string name;
+  /// Trace identity of the op (OpTag::id) when the node was built with
+  /// tracing enabled, 0 otherwise. Links the lineage DAG to the
+  /// per-operator counts in StageMetrics::op_metrics so ExplainDot can
+  /// annotate nodes with observed record flow after a run.
+  uint64_t op_id = 0;
   std::vector<std::shared_ptr<const PlanNode>> parents;
 };
 
 /// Builds a node; convenience over aggregate init at call sites.
 std::shared_ptr<const PlanNode> MakePlanNode(
     PlanNode::Kind kind, std::string op, std::string name,
-    std::vector<std::shared_ptr<const PlanNode>> parents);
+    std::vector<std::shared_ptr<const PlanNode>> parents,
+    uint64_t op_id = 0);
 
 /// Renders the lineage DAG rooted at `root` as Graphviz DOT: narrow ops
 /// as plain boxes, wide ops (stage boundaries) as doubled boxes, sources
@@ -38,6 +48,16 @@ std::shared_ptr<const PlanNode> MakePlanNode(
 /// root with the "materialized" annotation (the handle holds partitions,
 /// nothing is pending).
 std::string PlanToDot(const PlanNode* root, bool root_materialized);
+
+/// Like PlanToDot, but additionally annotates every node whose op_id
+/// appears in `observed` (keyed by OpTag id — see
+/// JobMetrics::AggregatedOpMetrics) with the recorded in/out element
+/// counts and, when timed, inclusive seconds. Nodes without observations
+/// render exactly as in the static form, so a pre-run or untraced plan
+/// degrades gracefully.
+std::string PlanToDot(
+    const PlanNode* root, bool root_materialized,
+    const std::unordered_map<uint64_t, OpMetrics>& observed);
 
 }  // namespace rankjoin::minispark
 

@@ -212,9 +212,13 @@ class ShuffleService {
   };
 
   /// Serializes all of `mt`'s resident buckets to its spill file as one
-  /// run and releases the memory.
+  /// run and releases the memory. Runs on the map task's own thread, so
+  /// the spill span lands on that worker's trace track, nested inside
+  /// the task span.
   void SpillTask(MapTask* mt) {
     if (mt->resident_bytes == 0) return;
+    TraceSink* sink = ctx_->tracer().enabled() ? &ctx_->tracer() : nullptr;
+    const int64_t start_us = sink != nullptr ? sink->NowMicros() : 0;
     if (!mt->spill) {
       mt->spill = std::make_unique<SpillFile>(ctx_->NewSpillFilePath());
     }
@@ -234,6 +238,10 @@ class ShuffleService {
     ++mt->spill_runs;
     resident_total_.fetch_sub(mt->resident_bytes, std::memory_order_relaxed);
     mt->resident_bytes = 0;
+    if (sink != nullptr) {
+      sink->Record({"spill run", "spill", CurrentTraceTid(), start_us,
+                    sink->NowMicros() - start_us, -1});
+    }
   }
 
   Context* ctx_;
@@ -298,18 +306,32 @@ std::shared_ptr<const std::vector<std::vector<T>>> ShuffleRead(
           static_cast<size_t>(num_out));
   std::vector<uint64_t> task_records(static_cast<size_t>(num_out), 0);
   std::vector<uint64_t> task_bytes(static_cast<size_t>(num_out), 0);
+  TraceSink* sink = ctx->tracer().enabled() ? &ctx->tracer() : nullptr;
   StageMetrics read_stage =
       ctx->RunStage(name + "/shuffle-read", num_out, [&](int p) {
         std::vector<T>& dest = (*out)[static_cast<size_t>(p)];
         dest.reserve(service->RecordsInRange(ranges.begin(p), ranges.end(p)));
         uint64_t records = 0;
         uint64_t bytes = 0;
+        const int64_t start_us = sink != nullptr ? sink->NowMicros() : 0;
         service->ReadRange(ranges.begin(p), ranges.end(p), [&](T&& record) {
           bytes += Serde<T>::Size(record);
           dest.push_back(std::move(record));
           ++records;
         });
+        if (sink != nullptr) {
+          sink->Record({name + "/read-range", "shuffle-read",
+                        CurrentTraceTid(), start_us,
+                        sink->NowMicros() - start_us, p});
+        }
         post(p, &dest);
+        // Per-task accounting goes into slots of driver-owned vectors
+        // indexed by the task's own partition — no two tasks share a
+        // slot, and the stage barrier publishes them to the driver,
+        // which folds them into the StageMetrics below. Metric
+        // accumulation here (and everywhere in the engine) follows this
+        // task-local-then-merge pattern; nothing increments a shared
+        // counter from inside a task loop.
         task_records[static_cast<size_t>(p)] = records;
         task_bytes[static_cast<size_t>(p)] = bytes;
       });
