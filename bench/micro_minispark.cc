@@ -294,6 +294,50 @@ int DumpMetricsJson(const std::string& path) {
   return 0;
 }
 
+/// `--lint` wiring: runs the plan linter (lint.h) over the canonical
+/// chain pipeline (expected clean) and over a deliberately bad plan —
+/// a pending narrow chain feeding two consumers without Cache() (MS001)
+/// and a repartition whose placement the next shuffle discards (MS002)
+/// — and prints both reports, demonstrating the diagnostic format
+/// without needing a dataset file.
+int RunLintDemo() {
+  Context::Options options = BenchCluster();
+  options.lint_level = LintLevel::kWarn;
+  Context ctx(options);
+
+  const std::vector<LintDiagnostic> clean = BuildChain(&ctx).Lint();
+  std::printf("chain pipeline: %s", clean.empty()
+                                        ? "clean\n"
+                                        : FormatLintDiagnostics(clean).c_str());
+
+  auto ds = Parallelize(&ctx, MakeKv(1000, 64), 4);
+  auto shifted = ds.Map(
+      [](const std::pair<uint32_t, uint32_t>& kv) {
+        return std::pair<uint32_t, uint32_t>(kv.first, kv.second + 1);
+      },
+      "demo/shift");
+  // Two consumers of the pending chain, never cached: MS001.
+  auto evens = shifted.Filter(
+      [](const std::pair<uint32_t, uint32_t>& kv) {
+        return kv.second % 2 == 0;
+      },
+      "demo/evens");
+  auto odds = shifted.Filter(
+      [](const std::pair<uint32_t, uint32_t>& kv) {
+        return kv.second % 2 == 1;
+      },
+      "demo/odds");
+  // A repartition feeding only another shuffle, which discards its
+  // placement: MS002.
+  auto placed = Union(evens, odds, "demo/union").Repartition(8, "demo/place");
+  auto grouped = GroupByKey(placed, 16, "demo/group");
+  const std::vector<LintDiagnostic> bad = grouped.Lint();
+  std::printf("demo bad plan:  %s", bad.empty()
+                                        ? "clean\n"
+                                        : FormatLintDiagnostics(bad).c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace rankjoin::minispark
 
@@ -307,6 +351,9 @@ int main(int argc, char** argv) {
     if (arg == "--explain-observed") {
       rankjoin::minispark::PrintExplainDot(/*observed=*/true);
       return 0;
+    }
+    if (arg == "--lint") {
+      return rankjoin::minispark::RunLintDemo();
     }
     if (arg == "--metrics-json") {
       if (i + 1 >= argc) {

@@ -5,7 +5,7 @@
 //                [--algorithm vj|vj-nl|cl|cl-p|brute-force]
 //                [--theta-c 0.03] [--delta 500] [--partitions 64]
 //                [--workers 4] [--output pairs.txt] [--stats]
-//                [--metrics] [--trace-out trace.json]
+//                [--metrics] [--trace-out trace.json] [--lint]
 //
 // Input format: one ranking per line, "id: i0 i1 ... ik-1" (see
 // data/io.h). Output: "id1 id2" lines sorted by pair.
@@ -36,7 +36,11 @@ void Usage(const char* argv0) {
       "  --metrics          print engine stage/operator metrics and the\n"
       "                     filter-effectiveness counters (needs\n"
       "                     RANKJOIN_TRACE_LEVEL=counters or timers)\n"
-      "  --trace-out FILE   write a Chrome-trace JSON of the run\n",
+      "  --trace-out FILE   write a Chrome-trace JSON of the run\n"
+      "  --lint             lint every plan the run collects (MS001..MS005,\n"
+      "                     see docs/MINISPARK.md) and print the report;\n"
+      "                     RANKJOIN_LINT_LEVEL=error additionally rejects\n"
+      "                     bad plans before any task runs\n",
       argv0);
 }
 
@@ -56,6 +60,7 @@ int main(int argc, char** argv) {
   int workers = 4;
   bool print_stats = false;
   bool print_metrics = false;
+  bool lint = false;
   std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
@@ -90,6 +95,8 @@ int main(int argc, char** argv) {
       print_metrics = true;
     } else if (!std::strcmp(argv[i], "--trace-out")) {
       trace_out = next("--trace-out");
+    } else if (!std::strcmp(argv[i], "--lint")) {
+      lint = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       Usage(argv[0]);
@@ -112,8 +119,16 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  minispark::Context ctx(
-      {.num_workers = workers, .default_partitions = partitions});
+  minispark::Context::Options cluster;
+  cluster.num_workers = workers;
+  cluster.default_partitions = partitions;
+  // --lint turns on Collect()-time linting (at least warn level); the
+  // RANKJOIN_LINT_LEVEL env override still wins inside Context, so
+  // `--lint` + `RANKJOIN_LINT_LEVEL=error` rejects bad plans outright.
+  if (lint && cluster.lint_level == minispark::LintLevel::kOff) {
+    cluster.lint_level = minispark::LintLevel::kWarn;
+  }
+  minispark::Context ctx(cluster);
   SimilarityJoinConfig config;
   config.algorithm = *parsed;
   config.theta = theta;
@@ -136,6 +151,16 @@ int main(int argc, char** argv) {
     for (const auto& [name, value] : ctx.counters().Snapshot()) {
       std::printf("counter %s = %llu\n", name.c_str(),
                   static_cast<unsigned long long>(value));
+    }
+  }
+  if (lint) {
+    const auto& report = ctx.lint_report();
+    if (report.empty()) {
+      std::printf("plan lint: clean (%s level)\n",
+                  minispark::LintLevelName(ctx.lint_level()));
+    } else {
+      std::printf("plan lint: %zu issue(s)\n%s", report.size(),
+                  minispark::FormatLintDiagnostics(report).c_str());
     }
   }
   if (!trace_out.empty()) {

@@ -160,7 +160,7 @@ Clustering RunRandomCentroidClustering(
   // Assign every non-centroid to its closest centroid within theta_c —
   // the [27]-style assignment, broadcast + map over the dataset.
   minispark::Broadcast<std::vector<const OrderedRanking*>> centroids_bc =
-      ctx->MakeBroadcast(std::move(centroid_rankings));
+      ctx->MakeBroadcast(std::move(centroid_rankings), "cl/centroids");
   minispark::Dataset<const OrderedRanking*> rankings =
       minispark::Parallelize(ctx, all, ctx->default_partitions());
   std::vector<JoinStats> slots(

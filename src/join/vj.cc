@@ -67,7 +67,7 @@ std::vector<OrderedRanking> OrderDataset(minispark::Context* ctx,
   }
 
   minispark::Broadcast<ItemOrder> order_bc =
-      ctx->MakeBroadcast(std::move(order));
+      ctx->MakeBroadcast(std::move(order), "vj/itemOrder");
   minispark::Dataset<OrderedRanking> ordered = rankings.Map(
       [order_bc](const Ranking& r) { return MakeOrdered(r, *order_bc); },
       "vj/canonicalize");

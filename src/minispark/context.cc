@@ -28,6 +28,9 @@ Context::Options WithEnvOverrides(Context::Options options) {
   if (const char* level = std::getenv("RANKJOIN_TRACE_LEVEL")) {
     options.trace_level = ParseTraceLevel(level);
   }
+  if (const char* level = std::getenv("RANKJOIN_LINT_LEVEL")) {
+    options.lint_level = ParseLintLevel(level);
+  }
   return options;
 }
 
@@ -133,6 +136,22 @@ StageMetrics Context::RunStage(const std::string& name, int num_tasks,
     for (auto& [id, m] : agg) stage.op_metrics.push_back(std::move(m));
   }
   return stage;
+}
+
+void Context::RecordLintDiagnostics(
+    std::vector<LintDiagnostic> diagnostics) {
+  for (LintDiagnostic& d : diagnostics) {
+    std::string key = d.code;
+    key += '\n';
+    key += d.location;
+    key += '\n';
+    key += d.message;
+    if (!lint_seen_.insert(std::move(key)).second) continue;
+    // The node pointer is only valid while the linted plan is alive;
+    // the archived report outlives individual datasets.
+    d.node = nullptr;
+    lint_report_.push_back(std::move(d));
+  }
 }
 
 Status Context::DumpTrace(const std::string& path) const {

@@ -7,9 +7,13 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
+#include <vector>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "minispark/approx_size.h"
+#include "minispark/lint.h"
 #include "minispark/metrics.h"
 #include "minispark/trace.h"
 
@@ -84,6 +88,21 @@ class Context {
     /// ("off"/"counters"/"timers" or 0/1/2) overrides this value when
     /// set — CI uses it to run the whole suite at maximum verbosity.
     TraceLevel trace_level = TraceLevel::kOff;
+    /// Plan linting (lint.h): kOff (default) never lints automatically;
+    /// kWarn lints every plan at Collect()-time, logging and recording
+    /// diagnostics (Context::lint_report()); kError additionally aborts
+    /// before any task runs when an error-severity diagnostic (MS001,
+    /// MS004) is present — a bad plan is rejected cheaply instead of
+    /// being discovered mid-job. The RANKJOIN_LINT_LEVEL environment
+    /// variable ("off"/"warn"/"error" or 0/1/2) overrides this value
+    /// when set — CI uses it to run the whole suite in error mode.
+    LintLevel lint_level = LintLevel::kOff;
+    /// MS003 threshold: broadcasts with a driver-side size estimate
+    /// above this many bytes are flagged.
+    uint64_t lint_broadcast_max_bytes = 64ull << 20;
+    /// MS005 threshold: a lineage path with at least this many
+    /// same-signature wide nodes is flagged as a barrier-inside-loop.
+    int lint_loop_repeat_threshold = 3;
   };
 
   explicit Context(Options options);
@@ -107,6 +126,32 @@ class Context {
   bool trace_enabled() const {
     return TraceCountersEnabled(options_.trace_level);
   }
+  LintLevel lint_level() const { return options_.lint_level; }
+
+  /// Snapshot of the lint-relevant execution environment (thresholds +
+  /// registered broadcasts) that LintPlan needs beyond the DAG itself.
+  LintSettings lint_settings() const {
+    LintSettings settings;
+    settings.shuffle_memory_budget_bytes =
+        options_.shuffle_memory_budget_bytes;
+    settings.broadcast_max_bytes = options_.lint_broadcast_max_bytes;
+    settings.loop_repeat_threshold = options_.lint_loop_repeat_threshold;
+    settings.broadcasts = broadcasts_;
+    return settings;
+  }
+
+  /// Diagnostics accumulated by automatic Collect()-time lints (and
+  /// explicit Dataset::Lint() calls at lint_level >= kWarn), deduped
+  /// across plans. Node pointers are nulled on archive — plans may not
+  /// outlive the datasets that built them; locations remain.
+  const std::vector<LintDiagnostic>& lint_report() const {
+    return lint_report_;
+  }
+
+  /// Archives diagnostics into lint_report(), deduping repeats (the
+  /// same plan is often collected more than once). Driver-thread only,
+  /// like all Context plan-side entry points.
+  void RecordLintDiagnostics(std::vector<LintDiagnostic> diagnostics);
 
   /// Returns a fresh path for one shuffle spill file, creating the
   /// context's unique spill subdirectory on first use. Thread-safe:
@@ -160,9 +205,14 @@ class Context {
   /// Stores a completed stage record in the job metrics.
   void AddStage(StageMetrics stage) { metrics_.AddStage(std::move(stage)); }
 
-  /// Creates a broadcast variable.
+  /// Creates a broadcast variable and registers its driver-side size
+  /// estimate (ApproxSize) with the plan linter: broadcasts above
+  /// Options::lint_broadcast_max_bytes raise MS003. `name` labels the
+  /// broadcast in diagnostics.
   template <typename T>
-  Broadcast<T> MakeBroadcast(T value) {
+  Broadcast<T> MakeBroadcast(T value, const std::string& name = "broadcast") {
+    broadcasts_.push_back(
+        {name, static_cast<uint64_t>(ApproxSize(value))});
     return Broadcast<T>(std::move(value));
   }
 
@@ -177,6 +227,11 @@ class Context {
   std::mutex spill_mutex_;
   std::string spill_dir_path_;
   uint64_t next_spill_file_ = 0;
+  /// Broadcast registry (driver thread only) feeding MS003.
+  std::vector<BroadcastRecord> broadcasts_;
+  /// Archived diagnostics (node pointers nulled) + dedup keys.
+  std::vector<LintDiagnostic> lint_report_;
+  std::unordered_set<std::string> lint_seen_;
 };
 
 }  // namespace rankjoin::minispark

@@ -16,8 +16,10 @@
 #include "common/logging.h"
 #include "minispark/approx_size.h"
 #include "minispark/context.h"
+#include "minispark/lint.h"
 #include "minispark/partitioner.h"
 #include "minispark/plan.h"
+#include "minispark/serde.h"
 #include "minispark/shuffle.h"
 
 namespace rankjoin::minispark {
@@ -52,8 +54,10 @@ struct ShuffleHasher {
 /// shuffle_memory_budget_bytes is exceeded, and small adjacent target
 /// buckets coalesce into fewer read tasks when target_partition_bytes is
 /// set. Both knobs default off, in which case the shuffle stays fully
-/// resident with one read task per bucket. Every record type that
-/// crosses a shuffle must be covered by Serde<T> (serde.h).
+/// resident with one read task per bucket. Record types with a usable
+/// Serde<T> (serde.h) can spill; a type without one shuffles
+/// resident-only, which the plan linter flags (MS004, lint.h) whenever
+/// a spill budget is set.
 ///
 /// Forcing memoizes: the handle (and every copy of it — handles share
 /// plan state) holds the materialized partitions afterwards, so a chain
@@ -95,7 +99,9 @@ class Dataset {
     state_->ctx = ctx;
     state_->num_partitions = static_cast<int>(partitions->size());
     state_->materialized = std::move(partitions);
-    state_->plan = MakePlanNode(PlanNode::Kind::kSource, "source", "", {});
+    state_->plan =
+        MakePlanNode(PlanNode::Kind::kSource, "source", "", {},
+                     {.num_partitions = state_->num_partitions});
   }
 
   /// Creates a lazy dataset from a generator (used by Union and by
@@ -112,7 +118,9 @@ class Dataset {
     state->gen = std::move(gen);
     state->ops.push_back(op);
     state->names.push_back(name);
-    state->plan = MakePlanNode(PlanNode::Kind::kSource, op, name, {});
+    state->plan = MakePlanNode(PlanNode::Kind::kSource, op, name, {},
+                               {.num_partitions = num_partitions,
+                                .lazy = ctx->fusion_enabled()});
     Dataset<T> ds(std::move(state));
     if (!ctx->fusion_enabled()) ds.Materialize();
     return ds;
@@ -149,11 +157,28 @@ class Dataset {
   /// counts from the job metrics; otherwise (or before any run) the
   /// rendering is the static one.
   std::string ExplainDot() const {
-    if (state_->ctx->trace_enabled()) {
-      return PlanToDot(state_->plan.get(), materialized(),
-                       state_->ctx->metrics().AggregatedOpMetrics());
+    // With linting enabled, flagged nodes are highlighted in red and
+    // their labels carry the diagnostic codes.
+    std::unordered_map<const PlanNode*, std::vector<std::string>> notes;
+    if (state_->ctx->lint_level() != LintLevel::kOff) {
+      for (const LintDiagnostic& d : Lint()) {
+        if (d.node != nullptr) notes[d.node].push_back(d.code);
+      }
     }
-    return PlanToDot(state_->plan.get(), materialized());
+    std::unordered_map<uint64_t, OpMetrics> observed;
+    if (state_->ctx->trace_enabled()) {
+      observed = state_->ctx->metrics().AggregatedOpMetrics();
+    }
+    return PlanToDot(state_->plan.get(), materialized(), observed, notes);
+  }
+
+  /// Runs the plan linter (lint.h) over this dataset's whole lineage DAG
+  /// with the context's current settings (thresholds, spill budget,
+  /// registered broadcasts), regardless of lint_level. Purely
+  /// driver-side: never forces the chain. Diagnostics' node pointers
+  /// point into this plan and stay valid while the dataset is alive.
+  std::vector<LintDiagnostic> Lint() const {
+    return LintPlan(state_->plan.get(), state_->ctx->lint_settings());
   }
 
   /// Materialized partitions; forces the pending chain.
@@ -175,8 +200,11 @@ class Dataset {
   }
 
   /// Gathers all elements to the driver, in partition order (action:
-  /// forces).
+  /// forces). At Context::Options::lint_level >= kWarn the plan is
+  /// linted first; in kError mode an error-severity diagnostic aborts
+  /// the job here, before any task runs.
   std::vector<T> Collect() const {
+    MaybeAutoLint();
     const Partitions& parts = Materialize();
     size_t total = 0;
     for (const auto& p : parts) total += p.size();
@@ -196,8 +224,9 @@ class Dataset {
   const Dataset<T>& Cache() const {
     if (!state_->cached) {
       state_->cached = true;
-      state_->plan = MakePlanNode(PlanNode::Kind::kCache, "cache", "",
-                                  {state_->plan});
+      state_->plan =
+          MakePlanNode(PlanNode::Kind::kCache, "cache", "", {state_->plan},
+                       {.num_partitions = state_->num_partitions});
     }
     Materialize();
     return *this;
@@ -335,6 +364,34 @@ class Dataset {
 
   explicit Dataset(std::shared_ptr<State> state) : state_(std::move(state)) {}
 
+  /// Collect()-time lint hook. At kWarn: log + archive diagnostics in
+  /// Context::lint_report(). At kError: additionally reject the plan
+  /// (abort) when any diagnostic has error severity — a bad plan dies
+  /// cheaply on the driver instead of mid-job.
+  void MaybeAutoLint() const {
+    Context* ctx = state_->ctx;
+    const LintLevel level = ctx->lint_level();
+    if (level == LintLevel::kOff) return;
+    std::vector<LintDiagnostic> diags = Lint();
+    if (diags.empty()) return;
+    bool fatal = false;
+    if (level == LintLevel::kError) {
+      for (const LintDiagnostic& d : diags) {
+        fatal = fatal || d.severity == LintSeverity::kError;
+      }
+    }
+    RANKJOIN_LOG(Warning) << "plan lint found " << diags.size()
+                          << " issue(s):\n"
+                          << FormatLintDiagnostics(diags);
+    const std::string rendered = fatal ? FormatLintDiagnostics(diags) : "";
+    ctx->RecordLintDiagnostics(std::move(diags));
+    if (fatal) {
+      RANKJOIN_CHECK(false) << "plan rejected by lint "
+                               "(RANKJOIN_LINT_LEVEL=error):\n"
+                            << rendered;
+    }
+  }
+
   static std::string JoinStrings(const std::vector<std::string>& parts) {
     std::string out;
     for (const auto& p : parts) {
@@ -369,8 +426,11 @@ class Dataset {
     }
     state->ops.push_back(op);
     state->names.push_back(name);
-    state->plan = MakePlanNode(PlanNode::Kind::kNarrow, op, name,
-                               {state_->plan}, tag != nullptr ? tag->id : 0);
+    state->plan =
+        MakePlanNode(PlanNode::Kind::kNarrow, op, name, {state_->plan},
+                     {.op_id = tag != nullptr ? tag->id : 0,
+                      .num_partitions = state_->num_partitions,
+                      .lazy = state_->ctx->fusion_enabled()});
     Dataset<U> out(std::move(state));
     if (!state_->ctx->fusion_enabled()) out.Materialize();
     return out;
@@ -464,6 +524,20 @@ class Dataset {
     s.gen = nullptr;
     s.ops.clear();
     s.names.clear();
+    // The handle now memoizes its partitions: consumers attached from
+    // here on read them instead of re-running the chain. Swap in a
+    // non-lazy copy of the lineage node so those later consumers don't
+    // trip the linter's recompute check (MS001); consumers attached
+    // while the chain was still pending keep edges to the old (lazy)
+    // node and are still flagged — they really did re-execute it.
+    if (s.plan->lazy) {
+      s.plan = MakePlanNode(s.plan->kind, s.plan->op, s.plan->name,
+                            s.plan->parents,
+                            {.op_id = s.plan->op_id,
+                             .num_partitions = s.plan->num_partitions,
+                             .lazy = false,
+                             .serde_ok = s.plan->serde_ok});
+    }
     return *s.materialized;
   }
 
@@ -496,8 +570,8 @@ Dataset<T> Parallelize(Context* ctx, std::vector<T> data,
   }
   ctx->AddStage(std::move(stage));
   Dataset<T> out(ctx, std::move(parts));
-  out.SetPlanNode(
-      MakePlanNode(PlanNode::Kind::kSource, "parallelize", "", {}));
+  out.SetPlanNode(MakePlanNode(PlanNode::Kind::kSource, "parallelize", "", {},
+                               {.num_partitions = num_partitions}));
   return out;
 }
 
@@ -552,7 +626,9 @@ Dataset<T> Dataset<T>::Repartition(int n, const std::string& name) const {
                                      PartitionRanges::Identity(n), name);
   Dataset<T> out(ctx, std::move(parts));
   out.SetPlanNode(MakePlanNode(PlanNode::Kind::kWide, "repartition", name,
-                               {state_->plan}));
+                               {state_->plan},
+                               {.num_partitions = n,
+                                .serde_ok = has_serde_v<T>}));
   return out;
 }
 
@@ -571,8 +647,11 @@ Dataset<std::pair<K, V>> PartitionByKey(const Dataset<std::pair<K, V>>& ds,
   if (n <= 0) n = ctx->default_partitions();
   auto parts = internal::ShuffleByKey(ds, n, name);
   Dataset<std::pair<K, V>> out(ctx, std::move(parts));
-  out.SetPlanNode(MakePlanNode(PlanNode::Kind::kWide, "partitionBy", name,
-                               {ds.plan_node()}));
+  out.SetPlanNode(
+      MakePlanNode(PlanNode::Kind::kWide, "partitionBy", name,
+                   {ds.plan_node()},
+                   {.num_partitions = out.num_partitions(),
+                    .serde_ok = has_serde_v<std::pair<K, V>>}));
   return out;
 }
 
@@ -702,8 +781,12 @@ Dataset<std::pair<K, std::pair<V, W>>> Join(
   }
   ctx->AddStage(std::move(stage));
   Dataset<Out> result(ctx, std::move(out));
-  result.SetPlanNode(MakePlanNode(PlanNode::Kind::kWide, "join", name,
-                                  {left.plan_node(), right.plan_node()}));
+  result.SetPlanNode(
+      MakePlanNode(PlanNode::Kind::kWide, "join", name,
+                   {left.plan_node(), right.plan_node()},
+                   {.num_partitions = num_out,
+                    .serde_ok = has_serde_v<std::pair<K, V>> &&
+                                has_serde_v<std::pair<K, W>>}));
   return result;
 }
 
@@ -764,8 +847,12 @@ Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
   }
   ctx->AddStage(std::move(stage));
   Dataset<Out> result(ctx, std::move(out));
-  result.SetPlanNode(MakePlanNode(PlanNode::Kind::kWide, "cogroup", name,
-                                  {left.plan_node(), right.plan_node()}));
+  result.SetPlanNode(
+      MakePlanNode(PlanNode::Kind::kWide, "cogroup", name,
+                   {left.plan_node(), right.plan_node()},
+                   {.num_partitions = num_out,
+                    .serde_ok = has_serde_v<std::pair<K, V>> &&
+                                has_serde_v<std::pair<K, W>>}));
   return result;
 }
 
@@ -815,7 +902,9 @@ Dataset<T> Union(const Dataset<T>& a, const Dataset<T>& b,
   Dataset<T> out =
       Dataset<T>::FromGenerator(ctx, total, std::move(gen), "union", name);
   out.SetPlanNode(MakePlanNode(PlanNode::Kind::kNarrow, "union", name,
-                               {a.plan_node(), b.plan_node()}));
+                               {a.plan_node(), b.plan_node()},
+                               {.num_partitions = total,
+                                .lazy = ctx->fusion_enabled()}));
   return out;
 }
 

@@ -159,8 +159,11 @@ Dataset<std::pair<K, V>> SortByKey(const Dataset<std::pair<K, V>>& ds,
       },
       "sortLocal");
   Dataset<std::pair<K, V>> out(ctx, std::move(parts));
-  out.SetPlanNode(MakePlanNode(PlanNode::Kind::kWide, "sortByKey", name,
-                               {ds.plan_node()}));
+  out.SetPlanNode(
+      MakePlanNode(PlanNode::Kind::kWide, "sortByKey", name,
+                   {ds.plan_node()},
+                   {.num_partitions = out.num_partitions(),
+                    .serde_ok = has_serde_v<std::pair<K, V>>}));
   return out;
 }
 

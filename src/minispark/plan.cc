@@ -35,24 +35,51 @@ std::string Escape(const std::string& s) {
 
 std::shared_ptr<const PlanNode> MakePlanNode(
     PlanNode::Kind kind, std::string op, std::string name,
-    std::vector<std::shared_ptr<const PlanNode>> parents, uint64_t op_id) {
+    std::vector<std::shared_ptr<const PlanNode>> parents,
+    PlanNodeAttrs attrs) {
   auto node = std::make_shared<PlanNode>();
   node->kind = kind;
   node->op = std::move(op);
   node->name = std::move(name);
-  node->op_id = op_id;
+  node->op_id = attrs.op_id;
+  node->num_partitions = attrs.num_partitions;
+  node->lazy = attrs.lazy;
+  node->serde_ok = attrs.serde_ok;
   node->parents = std::move(parents);
   return node;
 }
 
+namespace {
+
+const std::unordered_map<uint64_t, OpMetrics>& NoObservations() {
+  static const std::unordered_map<uint64_t, OpMetrics> kEmpty;
+  return kEmpty;
+}
+
+const std::unordered_map<const PlanNode*, std::vector<std::string>>&
+NoNotes() {
+  static const std::unordered_map<const PlanNode*, std::vector<std::string>>
+      kEmpty;
+  return kEmpty;
+}
+
+}  // namespace
+
 std::string PlanToDot(const PlanNode* root, bool root_materialized) {
-  static const std::unordered_map<uint64_t, OpMetrics> kNoObservations;
-  return PlanToDot(root, root_materialized, kNoObservations);
+  return PlanToDot(root, root_materialized, NoObservations(), NoNotes());
 }
 
 std::string PlanToDot(
     const PlanNode* root, bool root_materialized,
     const std::unordered_map<uint64_t, OpMetrics>& observed) {
+  return PlanToDot(root, root_materialized, observed, NoNotes());
+}
+
+std::string PlanToDot(
+    const PlanNode* root, bool root_materialized,
+    const std::unordered_map<uint64_t, OpMetrics>& observed,
+    const std::unordered_map<const PlanNode*, std::vector<std::string>>&
+        notes) {
   std::ostringstream os;
   os << "digraph plan {\n"
      << "  rankdir=BT;\n"
@@ -90,6 +117,12 @@ std::string PlanToDot(
       }
     }
     if (node == root && root_materialized) label += "\\n[materialized]";
+    auto note_it = notes.find(node);
+    if (note_it != notes.end()) {
+      for (const std::string& note : note_it->second) {
+        label += "\\n[" + Escape(note) + "]";
+      }
+    }
     os << "  n" << ids[node] << " [label=\"" << label
        << "\", shape=" << ShapeFor(node->kind);
     if (node->kind == PlanNode::Kind::kWide) {
@@ -97,6 +130,11 @@ std::string PlanToDot(
       os << ", peripheries=2, style=bold";
     } else if (node->kind == PlanNode::Kind::kCache) {
       os << ", style=filled, fillcolor=lightgrey";
+    }
+    if (note_it != notes.end()) {
+      // Flagged by the plan linter: draw border and text in red so the
+      // offending node stands out in a rendered graph.
+      os << ", color=red, fontcolor=red";
     }
     os << "];\n";
   }

@@ -33,14 +33,38 @@ struct PlanNode {
   /// per-operator counts in StageMetrics::op_metrics so ExplainDot can
   /// annotate nodes with observed record flow after a run.
   uint64_t op_id = 0;
+  /// Output partition count at this node when known, 0 otherwise. Lets
+  /// the plan linter reason about adjacent shuffles (MS002) without
+  /// touching the physical layer.
+  int num_partitions = 0;
+  /// True when the producing handle was still PENDING (an unfused or
+  /// fused-but-unmaterialized narrow chain) at node-construction time:
+  /// every downstream consumer re-executes the chain. False for
+  /// materialized sources, wide outputs, and Cache() pins. This is the
+  /// recompute hazard MS001 looks for on multi-consumer nodes.
+  bool lazy = false;
+  /// For wide (shuffle) nodes: whether the shuffled record type has a
+  /// usable Serde (has_serde_v<T>), i.e. whether this shuffle could
+  /// spill to disk if a budget forces it. MS004 flags wide nodes where
+  /// this is false while a spill budget is configured.
+  bool serde_ok = true;
   std::vector<std::shared_ptr<const PlanNode>> parents;
+};
+
+/// Optional per-node attributes for MakePlanNode; designated-initializer
+/// friendly so call sites name only what they know.
+struct PlanNodeAttrs {
+  uint64_t op_id = 0;
+  int num_partitions = 0;
+  bool lazy = false;
+  bool serde_ok = true;
 };
 
 /// Builds a node; convenience over aggregate init at call sites.
 std::shared_ptr<const PlanNode> MakePlanNode(
     PlanNode::Kind kind, std::string op, std::string name,
     std::vector<std::shared_ptr<const PlanNode>> parents,
-    uint64_t op_id = 0);
+    PlanNodeAttrs attrs = {});
 
 /// Renders the lineage DAG rooted at `root` as Graphviz DOT: narrow ops
 /// as plain boxes, wide ops (stage boundaries) as doubled boxes, sources
@@ -58,6 +82,17 @@ std::string PlanToDot(const PlanNode* root, bool root_materialized);
 std::string PlanToDot(
     const PlanNode* root, bool root_materialized,
     const std::unordered_map<uint64_t, OpMetrics>& observed);
+
+/// Like the observed form, but additionally highlights every node with
+/// an entry in `notes` (keyed by node pointer): the note strings —
+/// typically lint diagnostic codes such as "MS001" — are appended to the
+/// node label in brackets and the node is drawn in red. Nodes without
+/// notes render exactly as before, and the output stays valid DOT.
+std::string PlanToDot(
+    const PlanNode* root, bool root_materialized,
+    const std::unordered_map<uint64_t, OpMetrics>& observed,
+    const std::unordered_map<const PlanNode*, std::vector<std::string>>&
+        notes);
 
 }  // namespace rankjoin::minispark
 

@@ -21,24 +21,30 @@ namespace rankjoin::minispark {
 ///   Write(v, &buffer)  — append the encoding of `v` to `buffer`
 ///   Read(&p, end, &v)  — decode one record at `*p`, advancing `*p`
 ///
-/// The primary template is the fast path: trivially copyable records are
-/// memcpy'd verbatim. Specializations below cover std::string,
-/// std::pair, and std::vector recursively, which together encode every
-/// record type the join pipelines shuffle (postings, posting groups,
-/// scored pairs, centroid records). A record type that is neither
-/// trivially copyable nor composed of these needs its own specialization
-/// next to the type definition (see Chunk in join/repartition.cc).
+/// Specializations below cover trivially copyable types (memcpy'd
+/// verbatim), std::string, std::pair, and std::vector recursively,
+/// which together encode every record type the join pipelines shuffle
+/// (postings, posting groups, scored pairs, centroid records).
 ///
 /// The encoding is IN-PROCESS only: spill files never outlive the
 /// process, so raw pointers inside records (e.g. PrefixPosting::ranking,
 /// which points into a driver-held table) round-trip as plain values.
 /// Nothing here handles endianness or versioning on purpose.
+///
+/// The primary template is deliberately DECLARED but not defined: a
+/// record type that is neither trivially copyable nor composed of the
+/// covered shapes has no Serde, which `has_serde_v<T>` (below) detects.
+/// Such a type can still cross a RESIDENT shuffle — the engine gates
+/// every spill/serialize path on the trait — but it cannot spill, and
+/// the plan linter flags it (diagnostic MS004) whenever a spill budget
+/// is configured. Define a specialization next to the type to make it
+/// spillable (see Chunk in join/repartition.cc).
 template <typename T, typename Enable = void>
-struct Serde {
-  static_assert(std::is_trivially_copyable_v<T>,
-                "no Serde<T> specialization for this shuffle record type; "
-                "define one next to the type (see minispark/serde.h)");
+struct Serde;
 
+/// Fast path: trivially copyable records are memcpy'd verbatim.
+template <typename T>
+struct Serde<T, std::enable_if_t<std::is_trivially_copyable_v<T>>> {
   static size_t Size(const T& /*v*/) { return sizeof(T); }
 
   static void Write(const T& v, std::string* out) {
@@ -158,6 +164,44 @@ struct Serde<std::vector<U>> {
     }
   }
 };
+
+namespace serde_internal {
+
+/// Completeness probe: `sizeof(Serde<T>)` is a substitution failure
+/// exactly when no definition (partial or full specialization) matches
+/// T, because the primary template is declared but never defined.
+/// Like every is-complete-style trait, the answer is cached at the
+/// first point of instantiation — declare custom Serde specializations
+/// before the first shuffle of that record type (the natural place is
+/// right next to the type definition; see Chunk in join/repartition.cc).
+template <typename T, typename Enable = void>
+struct SerdeDefined : std::false_type {};
+
+template <typename T>
+struct SerdeDefined<T, std::void_t<decltype(sizeof(Serde<T>))>>
+    : std::true_type {};
+
+}  // namespace serde_internal
+
+/// Whether `Serde<T>` can actually serialize a T. Not the same as
+/// `SerdeDefined`: the pair/vector specializations above are *defined*
+/// for every element type but only *work* when the element types
+/// recursively have a Serde, so this trait recurses through them.
+template <typename T>
+struct HasSerde : serde_internal::SerdeDefined<T> {};
+
+template <typename A, typename B>
+struct HasSerde<std::pair<A, B>>
+    : std::bool_constant<HasSerde<A>::value && HasSerde<B>::value> {};
+
+template <typename U>
+struct HasSerde<std::vector<U>> : HasSerde<U> {};
+
+/// True when the shuffle spill path can serialize T. Shuffles of types
+/// where this is false run resident-only (they never spill), and the
+/// plan linter raises MS004 for them whenever a spill budget is set.
+template <typename T>
+inline constexpr bool has_serde_v = HasSerde<T>::value;
 
 }  // namespace rankjoin::minispark
 

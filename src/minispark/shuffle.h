@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "minispark/approx_size.h"
 #include "minispark/context.h"
 #include "minispark/partitioner.h"
 #include "minispark/serde.h"
@@ -20,6 +21,20 @@ namespace rankjoin::minispark {
 
 template <typename T>
 class Dataset;
+
+/// Bytes one shuffle record contributes to the budget/volume meters:
+/// the exact serialized size when a usable Serde<T> exists, the
+/// ApproxSize estimate otherwise. Record types without a Serde shuffle
+/// resident-only — every spill/serialize path below is compiled out for
+/// them (and the plan linter raises MS004 when a spill budget is set).
+template <typename T>
+uint64_t ShuffleRecordBytes(const T& record) {
+  if constexpr (has_serde_v<T>) {
+    return Serde<T>::Size(record);
+  } else {
+    return ApproxSize(record);
+  }
+}
 
 /// One spilled run segment: `records` serialized records of one target
 /// bucket, at [offset, offset + bytes) of the owning map task's spill
@@ -117,7 +132,7 @@ class ShuffleService {
   void Add(int map_index, int bucket, const T& record) {
     MapTask& mt = tasks_[static_cast<size_t>(map_index)];
     mt.resident[static_cast<size_t>(bucket)].push_back(record);
-    const uint64_t size = Serde<T>::Size(record);
+    const uint64_t size = ShuffleRecordBytes(record);
     mt.bucket_bytes[static_cast<size_t>(bucket)] += size;
     mt.bucket_records[static_cast<size_t>(bucket)] += 1;
     mt.resident_bytes += size;
@@ -125,12 +140,16 @@ class ShuffleService {
     // task holding at least its fair share (budget / 2·tasks), else a
     // task whose buckets are tiny would thrash out single records while
     // another task owns the memory. If every task is below the share,
-    // the total is below budget/2 and nobody needs to spill.
-    if (budget_ > 0 &&
-        resident_total_.fetch_add(size, std::memory_order_relaxed) + size >
-            budget_ &&
-        mt.resident_bytes * 2 * tasks_.size() >= budget_) {
-      SpillTask(&mt);
+    // the total is below budget/2 and nobody needs to spill. A record
+    // type without a usable Serde cannot spill at all; its shuffles
+    // stay resident regardless of the budget (lint diagnostic MS004).
+    if constexpr (has_serde_v<T>) {
+      if (budget_ > 0 &&
+          resident_total_.fetch_add(size, std::memory_order_relaxed) + size >
+              budget_ &&
+          mt.resident_bytes * 2 * tasks_.size() >= budget_) {
+        SpillTask(&mt);
+      }
     }
   }
 
@@ -177,17 +196,22 @@ class ShuffleService {
     for (MapTask& mt : tasks_) {
       std::optional<SpillFile::Reader> reader;
       for (int b = begin; b < end; ++b) {
-        for (const SpillSegment& seg : mt.segments[static_cast<size_t>(b)]) {
-          if (!reader) reader.emplace(mt.spill->path());
-          reader->ReadAt(seg.offset, seg.bytes, &buf);
-          const char* p = buf.data();
-          const char* e = p + buf.size();
-          for (uint64_t i = 0; i < seg.records; ++i) {
-            T record;
-            Serde<T>::Read(&p, e, &record);
-            fn(std::move(record));
+        // Serde-less types never spill, so their segment lists stay
+        // empty; the decode loop is compiled out for them.
+        if constexpr (has_serde_v<T>) {
+          for (const SpillSegment& seg :
+               mt.segments[static_cast<size_t>(b)]) {
+            if (!reader) reader.emplace(mt.spill->path());
+            reader->ReadAt(seg.offset, seg.bytes, &buf);
+            const char* p = buf.data();
+            const char* e = p + buf.size();
+            for (uint64_t i = 0; i < seg.records; ++i) {
+              T record;
+              Serde<T>::Read(&p, e, &record);
+              fn(std::move(record));
+            }
+            RANKJOIN_CHECK(p == e);
           }
-          RANKJOIN_CHECK(p == e);
         }
         for (T& t : mt.resident[static_cast<size_t>(b)]) fn(std::move(t));
       }
@@ -315,7 +339,7 @@ std::shared_ptr<const std::vector<std::vector<T>>> ShuffleRead(
         uint64_t bytes = 0;
         const int64_t start_us = sink != nullptr ? sink->NowMicros() : 0;
         service->ReadRange(ranges.begin(p), ranges.end(p), [&](T&& record) {
-          bytes += Serde<T>::Size(record);
+          bytes += ShuffleRecordBytes(record);
           dest.push_back(std::move(record));
           ++records;
         });
