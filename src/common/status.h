@@ -17,6 +17,7 @@ enum class StatusCode {
   kIoError,
   kOutOfRange,
   kInternal,
+  kCancelled,
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -49,6 +50,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,9 @@
 #include "common/thread_pool.h"
 
+#include <exception>
 #include <utility>
+
+#include "common/logging.h"
 
 namespace rankjoin {
 
@@ -46,7 +49,18 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    // A closure must not tear down the pool: minispark's retry loop
+    // catches task exceptions itself, but a stray throwing closure
+    // submitted directly would otherwise std::terminate the worker.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      RANKJOIN_LOG(Error) << "uncaught exception in pool task (dropped): "
+                          << e.what();
+    } catch (...) {
+      RANKJOIN_LOG(Error) << "uncaught non-std exception in pool task "
+                             "(dropped)";
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

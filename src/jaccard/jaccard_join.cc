@@ -139,6 +139,8 @@ std::vector<ScoredPair> JaccardSelfJoin(
               part) {
         std::vector<ScoredPair> out;
         JoinStats& local = slots[static_cast<size_t>(index)];
+        // Retry hygiene: a re-run attempt starts its stat slot from zero.
+        local = JoinStats();
         for (const auto& group : part) {
           JaccardNestedLoop(group.second, k, theta, &out, &local);
         }
@@ -354,6 +356,8 @@ Result<JoinResult> RunJaccardClusterJoin(minispark::Context* ctx,
               part) {
         std::vector<ScoredPair> out;
         JoinStats& local = slots[static_cast<size_t>(index)];
+        // Retry hygiene: a re-run attempt starts its stat slot from zero.
+        local = JoinStats();
         for (const auto& group : part) {
           JaccardMixedNestedLoop(group.second, k, thresholds, &out, &local);
         }
@@ -417,6 +421,8 @@ Result<JoinResult> RunJaccardClusterJoin(minispark::Context* ctx,
               part) {
         std::vector<ResultPair> out;
         JoinStats& local = intra_slots[static_cast<size_t>(index)];
+        // Retry hygiene: a re-run attempt starts its stat slot from zero.
+        local = JoinStats();
         for (const auto& [centroid, members] : part) {
           for (const MemberRec& m : members) {
             out.push_back(MakeResultPair(centroid, m.first));
@@ -465,6 +471,8 @@ Result<JoinResult> RunJaccardClusterJoin(minispark::Context* ctx,
               part) {
         std::vector<ResultPair> out;
         JoinStats& local = j1_slots[static_cast<size_t>(index)];
+        // Retry hygiene: a re-run attempt starts its stat slot from zero.
+        local = JoinStats();
         for (const auto& [ci, rec] : part) {
           const CentroidPairJ& cp = rec.first;
           const MemberRec& m = rec.second;
@@ -489,6 +497,8 @@ Result<JoinResult> RunJaccardClusterJoin(minispark::Context* ctx,
               part) {
         std::vector<ResultPair> out;
         JoinStats& local = j2_slots[static_cast<size_t>(index)];
+        // Retry hygiene: a re-run attempt starts its stat slot from zero.
+        local = JoinStats();
         for (const auto& [cj, rec] : part) {
           const CentroidPairJ& cp = rec.first;
           const MemberRec& m = rec.second;
@@ -521,6 +531,8 @@ Result<JoinResult> RunJaccardClusterJoin(minispark::Context* ctx,
                                    MemberRec>>>& part) {
         std::vector<ResultPair> out;
         JoinStats& local = jmm_slots[static_cast<size_t>(index)];
+        // Retry hygiene: a re-run attempt starts its stat slot from zero.
+        local = JoinStats();
         for (const auto& [cj, rec] : part) {
           const CentroidPairJ& cp = rec.first.first;
           const MemberRec& mi = rec.first.second;

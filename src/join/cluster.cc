@@ -169,6 +169,8 @@ Clustering RunRandomCentroidClustering(
       [centroids_bc, raw_theta_c, &slots](
           int index, const std::vector<const OrderedRanking*>& part) {
         JoinStats& local = slots[static_cast<size_t>(index)];
+        // Retry hygiene: a re-run attempt starts its stat slot from zero.
+        local = JoinStats();
         // (centroid id, member id, distance); centroid id == member id
         // encodes "no centroid in range".
         std::vector<ClusterPair> out;

@@ -182,6 +182,8 @@ std::vector<ResultPair> RunExpansion(minispark::Context* ctx,
                   part) {
             std::vector<ResultPair> out;
             JoinStats& local = intra_slots[static_cast<size_t>(index)];
+            // Retry hygiene: a re-run attempt starts its stat slot from zero.
+            local = JoinStats();
             for (const auto& [centroid, members] : part) {
               for (const MemberRec& m : members) {
                 out.push_back(MakeResultPair(centroid, m.first));
@@ -237,6 +239,8 @@ std::vector<ResultPair> RunExpansion(minispark::Context* ctx,
               part) {
         std::vector<ResultPair> out;
         JoinStats& local = j1_slots[static_cast<size_t>(index)];
+        // Retry hygiene: a re-run attempt starts its stat slot from zero.
+        local = JoinStats();
         for (const auto& [ci, rec] : part) {
           const CentroidPair& cp = rec.first;
           const MemberRec& m = rec.second;
@@ -265,6 +269,8 @@ std::vector<ResultPair> RunExpansion(minispark::Context* ctx,
               part) {
         std::vector<ResultPair> out;
         JoinStats& local = j2_slots[static_cast<size_t>(index)];
+        // Retry hygiene: a re-run attempt starts its stat slot from zero.
+        local = JoinStats();
         for (const auto& [cj, rec] : part) {
           const CentroidPair& cp = rec.first;
           const MemberRec& m = rec.second;
@@ -302,6 +308,8 @@ std::vector<ResultPair> RunExpansion(minispark::Context* ctx,
                                    MemberRec>>>& part) {
         std::vector<ResultPair> out;
         JoinStats& local = jmm_slots[static_cast<size_t>(index)];
+        // Retry hygiene: a re-run attempt starts its stat slot from zero.
+        local = JoinStats();
         for (const auto& [cj, rec] : part) {
           const CentroidPair& cp = rec.first.first;
           const MemberRec& mi = rec.first.second;  // member of ci

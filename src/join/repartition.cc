@@ -56,6 +56,8 @@ minispark::Dataset<ScoredPair> JoinGroups(
       [local_join, &slots](int index, const std::vector<PostingGroup>& part) {
         std::vector<ScoredPair> out;
         JoinStats& local = slots[static_cast<size_t>(index)];
+        // Retry hygiene: a re-run attempt starts its stat slot from zero.
+        local = JoinStats();
         for (const PostingGroup& group : part) {
           local_join(group.second, &out, &local);
         }
@@ -144,6 +146,8 @@ minispark::Dataset<ScoredPair> JoinGroupsWithRepartitioning(
                   std::pair<std::pair<ItemId, uint32_t>, Chunk>>& part) {
             std::vector<ScoredPair> out;
             JoinStats& local = self_slots[static_cast<size_t>(index)];
+            // Retry hygiene: a re-run attempt starts its stat slot from zero.
+            local = JoinStats();
             for (const auto& kv : part) {
               local_join(kv.second.postings, &out, &local);
             }
@@ -176,6 +180,8 @@ minispark::Dataset<ScoredPair> JoinGroupsWithRepartitioning(
                   part) {
             std::vector<ScoredPair> out;
             JoinStats& local = rs_slots[static_cast<size_t>(index)];
+            // Retry hygiene: a re-run attempt starts its stat slot from zero.
+            local = JoinStats();
             for (const auto& jp : part) {
               rs_join(jp.second.first.postings, jp.second.second.postings,
                       &out, &local);

@@ -155,6 +155,8 @@ Result<JoinResult> RunRsJoin(minispark::Context* ctx,
               part) {
         std::vector<ScoredPair> out;
         JoinStats& local = slots[static_cast<size_t>(index)];
+        // Retry hygiene: a re-run attempt starts its stat slot from zero.
+        local = JoinStats();
         for (const auto& group : part) {
           RsGroupJoin(group.second, raw_theta, position_filter, &out,
                       &local);

@@ -68,6 +68,8 @@ Result<JoinResult> RunVSmartJoin(minispark::Context* ctx,
           const std::vector<std::pair<
               ItemId, std::vector<std::pair<RankingId, uint16_t>>>>& part) {
         JoinStats& local = slots[static_cast<size_t>(index)];
+        // Retry hygiene: a re-run attempt starts its stat slot from zero.
+        local = JoinStats();
         std::vector<std::pair<ResultPair, uint32_t>> out;
         for (const auto& [item, postings_list] : part) {
           for (size_t i = 0; i + 1 < postings_list.size(); ++i) {

@@ -1,11 +1,16 @@
 #include "minispark/context.h"
 
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <deque>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -15,6 +20,12 @@
 
 namespace rankjoin::minispark {
 namespace {
+
+/// Exponential retry backoff never sleeps longer than this per attempt.
+constexpr int64_t kMaxBackoffMs = 100;
+/// Tasks faster than this never speculate — duplicating them costs more
+/// than the tail they could save.
+constexpr int64_t kSpeculationFloorMicros = 10000;
 
 /// Applies environment overrides to the options (see Options docs).
 Context::Options WithEnvOverrides(Context::Options options) {
@@ -31,29 +42,94 @@ Context::Options WithEnvOverrides(Context::Options options) {
   if (const char* level = std::getenv("RANKJOIN_LINT_LEVEL")) {
     options.lint_level = ParseLintLevel(level);
   }
+  if (const char* spec = std::getenv("RANKJOIN_FAULT_SPEC")) {
+    options.fault_spec = spec;
+  }
   return options;
+}
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Sleeps up to `ms` milliseconds, one slice at a time, returning early
+/// once `abandon()` turns true (stage cancelled / a rival committed).
+template <typename AbandonFn>
+void InterruptibleSleepMs(int64_t ms, const AbandonFn& abandon) {
+  const int64_t deadline = SteadyNowMicros() + ms * 1000;
+  while (!abandon() && SteadyNowMicros() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 }
 
 }  // namespace
 
+/// Shared state of one executing stage. Attempts run on pool workers;
+/// the driver blocks on `cv` until every slot is resolved (committed,
+/// permanently failed, or cancelled).
+struct Context::StageExec {
+  /// One task's slot. `won` is the commit claim (first successful
+  /// attempt CASes it and runs its commit thunk); the fields below the
+  /// marker are written only by that winner, under `mu`.
+  struct TaskSlot {
+    std::atomic<bool> won{false};
+    std::atomic<bool> speculated{false};
+    /// Steady-clock micros when the primary attempt began user code
+    /// (-1 while still queued). Feeds the straggler scan.
+    std::atomic<int64_t> first_start_us{-1};
+    // -- guarded by StageExec::mu --
+    bool resolved = false;
+    double seconds = 0.0;
+    TaskTrace trace;
+    bool traced = false;
+  };
+
+  std::string name;
+  IsolatedTaskFn task;
+  /// deque: TaskSlot holds atomics and must never move.
+  std::deque<TaskSlot> slots;
+  std::mutex mu;
+  std::condition_variable cv;
+  int resolved_count = 0;
+  /// First task failure that exhausted its retries; wins over later ones.
+  Status first_error;
+  std::atomic<bool> cancelled{false};
+  std::atomic<uint64_t> retries{0};
+  uint64_t speculative_launches = 0;  // driver-only, under mu
+};
+
 Context::Context(Options options)
     : options_(WithEnvOverrides(std::move(options))),
+      counters_(TraceCountersEnabled(options_.trace_level)),
+      tracer_(TraceCountersEnabled(options_.trace_level)),
       pool_(static_cast<size_t>(options_.num_workers > 0
                                     ? options_.num_workers
-                                    : 1)),
-      counters_(TraceCountersEnabled(options_.trace_level)),
-      tracer_(TraceCountersEnabled(options_.trace_level)) {
+                                    : 1)) {
   RANKJOIN_CHECK(options_.default_partitions >= 1);
+  if (!options_.fault_spec.empty()) {
+    Result<FaultSpec> spec = ParseFaultSpec(options_.fault_spec);
+    RANKJOIN_CHECK(spec.ok())
+        << "bad fault spec (Options::fault_spec / RANKJOIN_FAULT_SPEC): "
+        << spec.status().ToString();
+    fault_injector_ = FaultInjector(*spec, &counters_);
+  }
 }
 
 Context::~Context() {
+  // Speculative losers may still be draining on the pool; wait for them
+  // before removing the spill directory (the pool member itself is
+  // declared last, so its own destructor joins the workers while every
+  // other member is still alive).
+  pool_.Wait();
   if (!spill_dir_path_.empty()) {
     std::error_code ec;  // best effort; never throw from a destructor
     std::filesystem::remove_all(spill_dir_path_, ec);
   }
 }
 
-std::string Context::NewSpillFilePath() {
+Result<std::string> Context::NewSpillFilePath() {
   std::lock_guard<std::mutex> lock(spill_mutex_);
   if (spill_dir_path_.empty()) {
     namespace fs = std::filesystem;
@@ -63,7 +139,8 @@ std::string Context::NewSpillFilePath() {
     Rng rng(static_cast<uint64_t>(
                 std::chrono::steady_clock::now().time_since_epoch().count()) ^
             reinterpret_cast<uintptr_t>(this));
-    // Retry on the (unlikely) collision with another context's directory.
+    // Bounded retry on the (unlikely) collision with another context's
+    // directory — never loop forever on a broken spill_dir.
     for (int attempt = 0; attempt < 16; ++attempt) {
       fs::path candidate =
           base / ("minispark-spill-" + std::to_string(rng.Uniform(1u << 30)));
@@ -74,67 +151,264 @@ std::string Context::NewSpillFilePath() {
         break;
       }
     }
-    RANKJOIN_CHECK(!spill_dir_path_.empty());
+    if (spill_dir_path_.empty()) {
+      return Status::IoError("cannot create spill directory under '" +
+                             base.string() + "'");
+    }
   }
   return spill_dir_path_ + "/spill-" + std::to_string(next_spill_file_++) +
          ".bin";
 }
 
+void Context::MarkSpillDegraded(const Status& cause) {
+  if (spill_degraded_.exchange(true, std::memory_order_relaxed)) return;
+  counters_.Add("fault.spill.degraded", 1);
+  RANKJOIN_LOG(Warning) << "spill path unusable (" << cause.ToString()
+                        << "); shuffles degrade to resident-only buffering";
+}
+
 StageMetrics Context::RunStage(const std::string& name, int num_tasks,
-                               const std::function<void(int)>& task) {
+                               const TaskFn& task) {
+  // Wrapping by reference is safe here: without speculation every
+  // attempt finishes before the stage barrier releases the driver.
+  return RunStageImpl(
+      name, num_tasks,
+      [&task](int i) -> std::function<void()> {
+        task(i);
+        return nullptr;
+      },
+      /*speculatable=*/false);
+}
+
+StageMetrics Context::RunStageIsolated(const std::string& name, int num_tasks,
+                                       const IsolatedTaskFn& task) {
+  return RunStageImpl(name, num_tasks, task, /*speculatable=*/true);
+}
+
+void Context::RunTaskAttempts(const std::shared_ptr<StageExec>& ex, int index,
+                              bool speculative) {
+  StageExec::TaskSlot& slot = ex->slots[static_cast<size_t>(index)];
+  TraceSink* sink = tracer_.enabled() ? &tracer_ : nullptr;
+  const bool traced = trace_enabled();
+  const bool timers = TraceTimersEnabled(options_.trace_level);
+  const int max_retries = std::max(0, options_.max_task_retries);
+  const int64_t backoff_ms = std::max(0, options_.retry_backoff_ms);
+  const auto abandoned = [&ex, &slot] {
+    return ex->cancelled.load(std::memory_order_relaxed) ||
+           slot.won.load(std::memory_order_acquire);
+  };
+  for (int attempt = 0;; ++attempt) {
+    if (abandoned()) break;
+    // Speculative attempts draw from a disjoint key range, keeping their
+    // fault schedule independent of the primary's.
+    const uint64_t attempt_key =
+        static_cast<uint64_t>(attempt) + (speculative ? (1ull << 32) : 0ull);
+    if (fault_injector_.enabled()) {
+      const int64_t delay_ms =
+          fault_injector_.TaskDelayMs(ex->name, index, attempt_key);
+      if (delay_ms > 0) InterruptibleSleepMs(delay_ms, abandoned);
+      if (abandoned()) break;
+    }
+    if (!speculative && attempt == 0) {
+      slot.first_start_us.store(SteadyNowMicros(), std::memory_order_relaxed);
+    }
+    const int64_t start_us = sink != nullptr ? sink->NowMicros() : 0;
+    Stopwatch watch;
+    // Fresh per-attempt trace: only the winning attempt's op counts are
+    // merged, so a retried chain never double-reports.
+    TaskTrace trace(timers);
+    Status failure;
+    bool retryable = true;
+    std::function<void()> commit;
+    try {
+      // Injected throws fire at the very start of the attempt — before
+      // the body consumes anything — so a retry always sees pristine
+      // inputs even for destructive readers (shuffle merge-back).
+      if (fault_injector_.enabled() &&
+          fault_injector_.TaskThrow(ex->name, index, attempt_key)) {
+        throw InjectedFault("injected task fault (" + ex->name + " task " +
+                            std::to_string(index) + " attempt " +
+                            std::to_string(attempt) + ")");
+      }
+      ScopedTaskTrace scoped(traced ? &trace : nullptr);
+      commit = ex->task(index);
+    } catch (const NonRetryableError& e) {
+      failure = e.status();
+      retryable = false;
+    } catch (const std::exception& e) {
+      failure = Status::Internal(ex->name + ": task " +
+                                 std::to_string(index) + " attempt " +
+                                 std::to_string(attempt) +
+                                 " failed: " + e.what());
+    } catch (...) {
+      failure = Status::Internal(ex->name + ": task " +
+                                 std::to_string(index) + " attempt " +
+                                 std::to_string(attempt) +
+                                 " failed: unknown exception");
+    }
+    const double seconds = watch.ElapsedSeconds();
+    const char* category = speculative     ? "task-speculative"
+                           : attempt > 0   ? "task-retry"
+                                           : "task";
+    if (sink != nullptr) {
+      sink->Record({ex->name, category, CurrentTraceTid(), start_us,
+                    sink->NowMicros() - start_us, index, attempt});
+    }
+    if (failure.ok()) {
+      bool expected = false;
+      const bool winner = slot.won.compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel);
+      if (winner) {
+        // First finisher claims the slot and publishes its writes; a
+        // losing duplicate's commit thunk is simply dropped.
+        if (commit) commit();
+        if (attempt > 0 || speculative) {
+          counters_.Add("fault.task.recovered", 1);
+        }
+        std::lock_guard<std::mutex> lock(ex->mu);
+        if (!slot.resolved) {
+          slot.resolved = true;
+          slot.seconds = seconds;
+          slot.trace = std::move(trace);
+          slot.traced = traced;
+          ++ex->resolved_count;
+          ex->cv.notify_all();
+        }
+      }
+      break;
+    }
+    if (retryable && attempt < max_retries && !abandoned()) {
+      ex->retries.fetch_add(1, std::memory_order_relaxed);
+      counters_.Add("fault.task.retried", 1);
+      if (backoff_ms > 0) {
+        const int64_t ms = std::min<int64_t>(
+            backoff_ms << std::min(attempt, 16), kMaxBackoffMs);
+        InterruptibleSleepMs(ms, abandoned);
+      }
+      continue;
+    }
+    // Out of retries, or non-retryable. A speculative loser never fails
+    // the stage — its primary is still running and owns the outcome.
+    if (!speculative) {
+      std::lock_guard<std::mutex> lock(ex->mu);
+      if (ex->first_error.ok()) ex->first_error = std::move(failure);
+      ex->cancelled.store(true, std::memory_order_relaxed);
+    }
+    break;
+  }
+  // Whatever path exited the loop — commit, permanent failure, or
+  // cancellation before ever starting — the primary must resolve its
+  // slot so the driver's barrier completes. (A speculative duplicate
+  // never resolves on failure paths; the primary does.)
+  if (!speculative) {
+    std::lock_guard<std::mutex> lock(ex->mu);
+    if (!slot.resolved) {
+      slot.resolved = true;
+      ++ex->resolved_count;
+      ex->cv.notify_all();
+    }
+  }
+}
+
+void Context::MaybeLaunchSpeculative(const std::shared_ptr<StageExec>& ex,
+                                     int num_tasks) {
+  // ex->mu held. Wait for a trustworthy median: at least half the tasks
+  // must have finished (Spark's spark.speculation.quantile).
+  if (2 * ex->resolved_count < num_tasks) return;
+  std::vector<double> done;
+  done.reserve(static_cast<size_t>(ex->resolved_count));
+  for (const StageExec::TaskSlot& s : ex->slots) {
+    if (s.resolved) done.push_back(s.seconds);
+  }
+  if (done.empty()) return;
+  std::nth_element(done.begin(), done.begin() + done.size() / 2, done.end());
+  const double median = done[done.size() / 2];
+  const double threshold_us =
+      std::max(median * options_.speculation_multiplier * 1e6,
+               static_cast<double>(kSpeculationFloorMicros));
+  const int64_t now = SteadyNowMicros();
+  for (int i = 0; i < num_tasks; ++i) {
+    StageExec::TaskSlot& slot = ex->slots[static_cast<size_t>(i)];
+    if (slot.resolved) continue;
+    if (slot.speculated.load(std::memory_order_relaxed)) continue;
+    const int64_t started =
+        slot.first_start_us.load(std::memory_order_relaxed);
+    if (started < 0) continue;  // primary still queued, not straggling
+    if (static_cast<double>(now - started) < threshold_us) continue;
+    slot.speculated.store(true, std::memory_order_relaxed);
+    ++ex->speculative_launches;
+    counters_.Add("fault.speculation.launched", 1);
+    pool_.Submit([this, ex, i] { RunTaskAttempts(ex, i, true); });
+  }
+}
+
+StageMetrics Context::RunStageImpl(const std::string& name, int num_tasks,
+                                   const IsolatedTaskFn& task,
+                                   bool speculatable) {
   StageMetrics stage;
   stage.name = name;
+  // An empty (or negative-count) stage is an explicit no-op: empty
+  // metrics, no pool dispatch.
+  if (num_tasks <= 0) return stage;
   stage.task_seconds.assign(static_cast<size_t>(num_tasks), 0.0);
-  // Tracing uses strictly per-task-local scratch (one TaskTrace per
-  // task, installed via a thread_local), merged on the driver after the
-  // pool barrier below — tasks never write a shared counter.
-  const bool traced = trace_enabled();
-  std::vector<TaskTrace> traces;
-  if (traced) {
-    traces.assign(static_cast<size_t>(num_tasks),
-                  TaskTrace(TraceTimersEnabled(options_.trace_level)));
-  }
+  auto ex = std::make_shared<StageExec>();
+  ex->name = name;
+  ex->task = task;  // one copy, shared by every attempt
+  for (int i = 0; i < num_tasks; ++i) ex->slots.emplace_back();
   TraceSink* sink = tracer_.enabled() ? &tracer_ : nullptr;
-  const int64_t stage_start_us = sink ? sink->NowMicros() : 0;
+  const int64_t stage_start_us = sink != nullptr ? sink->NowMicros() : 0;
   for (int i = 0; i < num_tasks; ++i) {
-    pool_.Submit([&stage, &task, &traces, sink, traced, i] {
-      ScopedTaskTrace scoped(traced ? &traces[static_cast<size_t>(i)]
-                                    : nullptr);
-      const int64_t start_us = sink ? sink->NowMicros() : 0;
-      Stopwatch watch;
-      task(i);
-      stage.task_seconds[static_cast<size_t>(i)] = watch.ElapsedSeconds();
-      if (sink != nullptr) {
-        sink->Record({stage.name, "task", CurrentTraceTid(), start_us,
-                      sink->NowMicros() - start_us, i});
-      }
-    });
+    pool_.Submit([this, ex, i] { RunTaskAttempts(ex, i, false); });
   }
-  pool_.Wait();
+  const bool speculation = speculatable &&
+                           options_.speculation_multiplier > 0.0 &&
+                           num_tasks > 1;
+  {
+    std::unique_lock<std::mutex> lock(ex->mu);
+    while (ex->resolved_count < num_tasks) {
+      if (!speculation) {
+        ex->cv.wait(lock);
+        continue;
+      }
+      ex->cv.wait_for(lock, std::chrono::milliseconds(2));
+      MaybeLaunchSpeculative(ex, num_tasks);
+    }
+  }
   if (sink != nullptr) {
     sink->Record({stage.name, "stage", CurrentTraceTid(), stage_start_us,
-                  sink->NowMicros() - stage_start_us, -1});
+                  sink->NowMicros() - stage_start_us, -1, 0});
   }
-  if (traced) {
-    // Aggregate by op id; ids increase in plan-construction order, so a
-    // straight chain reports in pipeline order.
-    std::map<uint64_t, OpMetrics> agg;
-    for (const TaskTrace& trace : traces) {
-      for (const auto& [tag, counts] : trace.slots()) {
-        OpMetrics& m = agg[tag->id];
-        if (m.op.empty()) {
-          m.op_id = tag->id;
-          m.op = tag->op;
-          m.name = tag->name;
-        }
-        m.records_in += counts.records_in;
-        m.records_out += counts.records_out;
-        m.seconds += static_cast<double>(counts.nanos) * 1e-9;
+  // Barrier passed: every slot is resolved, and only resolved-slot
+  // fields below are read (a still-draining speculative loser can no
+  // longer win, so it never writes them).
+  std::lock_guard<std::mutex> lock(ex->mu);
+  stage.status = ex->first_error;
+  stage.task_retries = ex->retries.load(std::memory_order_relaxed);
+  stage.speculative_launches = ex->speculative_launches;
+  for (int i = 0; i < num_tasks; ++i) {
+    stage.task_seconds[static_cast<size_t>(i)] =
+        ex->slots[static_cast<size_t>(i)].seconds;
+  }
+  // Aggregate the winning attempts' op traces by op id; ids increase in
+  // plan-construction order, so a straight chain reports in pipeline
+  // order.
+  std::map<uint64_t, OpMetrics> agg;
+  for (const StageExec::TaskSlot& slot : ex->slots) {
+    if (!slot.traced) continue;
+    for (const auto& [tag, counts] : slot.trace.slots()) {
+      OpMetrics& m = agg[tag->id];
+      if (m.op.empty()) {
+        m.op_id = tag->id;
+        m.op = tag->op;
+        m.name = tag->name;
       }
+      m.records_in += counts.records_in;
+      m.records_out += counts.records_out;
+      m.seconds += static_cast<double>(counts.nanos) * 1e-9;
     }
-    stage.op_metrics.reserve(agg.size());
-    for (auto& [id, m] : agg) stage.op_metrics.push_back(std::move(m));
   }
+  stage.op_metrics.reserve(agg.size());
+  for (auto& [id, m] : agg) stage.op_metrics.push_back(std::move(m));
   return stage;
 }
 

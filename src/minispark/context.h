@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "minispark/approx_size.h"
+#include "minispark/fault.h"
 #include "minispark/lint.h"
 #include "minispark/metrics.h"
 #include "minispark/trace.h"
@@ -103,6 +104,33 @@ class Context {
     /// MS005 threshold: a lineage path with at least this many
     /// same-signature wide nodes is flagged as a barrier-inside-loop.
     int lint_loop_repeat_threshold = 3;
+    /// Fault tolerance (fault.h): how many times one task is RE-run
+    /// after a retryable failure (a throwing user lambda or an injected
+    /// fault) before the stage fails. 0 = fail on the first error, like
+    /// the pre-fault engine. A task that exhausts its retries fails the
+    /// stage with the FIRST error; the remaining tasks are cancelled and
+    /// the Status surfaces from the action (Dataset::TryCollect) instead
+    /// of aborting the process.
+    int max_task_retries = 4;
+    /// Base of the exponential retry backoff: attempt k sleeps
+    /// retry_backoff_ms << k milliseconds (capped at 100 ms) before
+    /// re-running. 0 = retry immediately.
+    int retry_backoff_ms = 2;
+    /// Opt-in straggler mitigation: when > 0 and at least half of a
+    /// stage's tasks have finished, any task still running after
+    /// speculation_multiplier × (median completed attempt time) gets a
+    /// speculative duplicate launch — first finisher wins, the loser's
+    /// result is discarded. Only stages submitted through
+    /// RunStageIsolated (whose tasks buffer into attempt-local state and
+    /// commit atomically) speculate; 0 (default) disables. Spark's
+    /// spark.speculation.multiplier.
+    double speculation_multiplier = 0.0;
+    /// Deterministic fault-injection spec (grammar in fault.h), e.g.
+    /// "task_throw:p=0.05;spill_corrupt:p=0.1;seed=42". Empty (default)
+    /// = no injection. The RANKJOIN_FAULT_SPEC environment variable
+    /// overrides this value when set — CI uses it to run the whole suite
+    /// under chaos. A malformed spec aborts at Context construction.
+    std::string fault_spec = {};
   };
 
   explicit Context(Options options);
@@ -157,8 +185,32 @@ class Context {
   /// context's unique spill subdirectory on first use. Thread-safe:
   /// shuffle writers call this from inside map tasks. The whole
   /// directory is removed when the context is destroyed (individual
-  /// files go earlier, when their shuffle completes).
-  std::string NewSpillFilePath();
+  /// files go earlier, when their shuffle completes). Fails with
+  /// IoError when the directory cannot be created (bounded retries, no
+  /// infinite loop) — the shuffle then degrades to resident-only
+  /// buffering (MarkSpillDegraded) instead of aborting.
+  Result<std::string> NewSpillFilePath();
+
+  /// The context's deterministic fault injector (disabled unless
+  /// Options::fault_spec / RANKJOIN_FAULT_SPEC configured one).
+  FaultInjector& fault_injector() { return fault_injector_; }
+
+  /// Context-unique id for one shuffle (1, 2, ...), stamped into the
+  /// fault injector's spill-corruption coordinates so the schedule is
+  /// stable per shuffle regardless of thread timing.
+  uint64_t NextShuffleId() {
+    return next_shuffle_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// True once a spill write failed and shuffles fell back to
+  /// resident-only buffering (budget overruns stay in memory).
+  bool spill_degraded() const {
+    return spill_degraded_.load(std::memory_order_relaxed);
+  }
+
+  /// Records that the spill path is unusable (`cause` says why). Logged
+  /// once; subsequent shuffles keep their buckets resident.
+  void MarkSpillDegraded(const Status& cause);
 
   JobMetrics& metrics() { return metrics_; }
   const JobMetrics& metrics() const { return metrics_; }
@@ -195,12 +247,43 @@ class Context {
     return tag;
   }
 
+  using TaskFn = std::function<void(int)>;
+  /// Task form for stages that support speculative duplicates: the body
+  /// computes into attempt-local state and returns a commit thunk; the
+  /// engine invokes exactly one winning attempt's thunk (or none, when
+  /// the body returns null). Closures passed here must be
+  /// self-contained (capture by value / shared_ptr): a losing duplicate
+  /// can still be running when the stage returns.
+  using IsolatedTaskFn = std::function<std::function<void()>(int)>;
+
   /// Executes `num_tasks` tasks of a named stage on the pool, blocking
-  /// until all complete. `task(i)` runs for every i in [0, num_tasks).
-  /// Returns per-task wall times; the caller may annotate the returned
-  /// record with shuffle statistics before it is stored via AddStage.
+  /// until all complete. `task(i)` runs for every i in [0, num_tasks);
+  /// num_tasks <= 0 is an explicit no-op (empty StageMetrics, no pool
+  /// dispatch). Returns per-task wall times; the caller may annotate the
+  /// returned record with shuffle statistics before it is stored via
+  /// AddStage.
+  ///
+  /// Fault tolerance: a task attempt that throws is retried up to
+  /// Options::max_task_retries times with exponential backoff (each
+  /// retry emits a "task-retry" span and counts in
+  /// StageMetrics::task_retries); an attempt that throws
+  /// NonRetryableError — or exhausts its retries — fails the stage:
+  /// StageMetrics::status carries the FIRST such error and the remaining
+  /// tasks are cancelled. Retried tasks re-run from their start, so task
+  /// bodies must be idempotent up to their own writes (the engine's call
+  /// sites reset per-task output state at attempt entry). This entry
+  /// point never speculates.
   StageMetrics RunStage(const std::string& name, int num_tasks,
-                        const std::function<void(int)>& task);
+                        const TaskFn& task);
+
+  /// RunStage for isolated tasks (see IsolatedTaskFn): same retry
+  /// semantics, plus opt-in speculative execution of stragglers when
+  /// Options::speculation_multiplier > 0 — the duplicate emits a
+  /// "task-speculative" span and counts in
+  /// StageMetrics::speculative_launches; whichever attempt finishes
+  /// first commits, the loser's buffered writes are dropped.
+  StageMetrics RunStageIsolated(const std::string& name, int num_tasks,
+                                const IsolatedTaskFn& task);
 
   /// Stores a completed stage record in the job metrics.
   void AddStage(StageMetrics stage) { metrics_.AddStage(std::move(stage)); }
@@ -217,12 +300,31 @@ class Context {
   }
 
  private:
+  /// Shared state of one executing stage (defined in context.cc).
+  struct StageExec;
+
+  /// Both RunStage entry points funnel here.
+  StageMetrics RunStageImpl(const std::string& name, int num_tasks,
+                            const IsolatedTaskFn& task, bool speculatable);
+
+  /// The per-task attempt loop (retry, cancellation, fault injection,
+  /// win-by-CAS commit). Runs on a pool worker.
+  void RunTaskAttempts(const std::shared_ptr<StageExec>& ex, int index,
+                       bool speculative);
+
+  /// Driver-side straggler scan; launches speculative duplicates.
+  /// Expects ex->mu held.
+  void MaybeLaunchSpeculative(const std::shared_ptr<StageExec>& ex,
+                              int num_tasks);
+
   Options options_;
-  ThreadPool pool_;
   JobMetrics metrics_;
   CounterRegistry counters_;
   TraceSink tracer_;
+  FaultInjector fault_injector_;
   std::atomic<uint64_t> next_op_id_{0};
+  std::atomic<uint64_t> next_shuffle_id_{0};
+  std::atomic<bool> spill_degraded_{false};
   /// Guards lazy creation of the spill directory and the file counter.
   std::mutex spill_mutex_;
   std::string spill_dir_path_;
@@ -232,6 +334,10 @@ class Context {
   /// Archived diagnostics (node pointers nulled) + dedup keys.
   std::vector<LintDiagnostic> lint_report_;
   std::unordered_set<std::string> lint_seen_;
+  /// Declared LAST: destroying the pool joins the workers, which must
+  /// happen while everything a straggling speculative loser may still
+  /// touch (tracer_, counters_, the spill directory) is alive.
+  ThreadPool pool_;
 };
 
 }  // namespace rankjoin::minispark

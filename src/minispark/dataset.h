@@ -14,8 +14,10 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/status.h"
 #include "minispark/approx_size.h"
 #include "minispark/context.h"
+#include "minispark/fault.h"
 #include "minispark/lint.h"
 #include "minispark/partitioner.h"
 #include "minispark/plan.h"
@@ -129,6 +131,14 @@ class Dataset {
   Context* context() const { return state_->ctx; }
   int num_partitions() const { return state_->num_partitions; }
 
+  /// Outcome of this dataset's production. A dataset is POISONED (non-OK
+  /// status) when the stage that produced it — or any ancestor stage —
+  /// failed after exhausting task retries. Poisoned datasets carry empty
+  /// partitions; aborting actions (Collect, Count, partitions) refuse
+  /// them with a CHECK, TryCollect surfaces the Status, and wide
+  /// operations propagate the poison downstream without running stages.
+  const Status& status() const { return state_->error; }
+
   /// True when this handle holds materialized partitions (i.e. its chain
   /// has been forced, or it was created from materialized data).
   bool materialized() const { return state_->materialized != nullptr; }
@@ -147,6 +157,13 @@ class Dataset {
   void SetPlanNode(std::shared_ptr<const PlanNode> node) const {
     state_->plan = std::move(node);
   }
+
+  /// Poisons this dataset with a non-OK execution status. Internal hook
+  /// for the wide operations, which construct their output from raw
+  /// partitions and then attach the outcome of the producing stages; not
+  /// meant for user code. Const because the error lives in the shared
+  /// plan state.
+  void SetError(Status error) const { state_->error = std::move(error); }
 
   /// Renders the whole logical plan of this dataset — every ancestor op
   /// back to the sources, including pending (not yet executed) narrow
@@ -181,31 +198,54 @@ class Dataset {
     return LintPlan(state_->plan.get(), state_->ctx->lint_settings());
   }
 
-  /// Materialized partitions; forces the pending chain.
-  const Partitions& partitions() const { return Materialize(); }
+  /// Materialized partitions; forces the pending chain. Aborts on a
+  /// poisoned dataset (use status()/TryCollect() to handle failures).
+  const Partitions& partitions() const { return ForceChecked(); }
 
-  /// Total number of elements across partitions (action: forces).
+  /// Total number of elements across partitions (action: forces;
+  /// aborts on a poisoned dataset).
   size_t Count() const {
     size_t n = 0;
-    for (const auto& p : Materialize()) n += p.size();
+    for (const auto& p : ForceChecked()) n += p.size();
     return n;
   }
 
   /// Number of elements in the largest partition (skew indicator;
-  /// action: forces).
+  /// action: forces; aborts on a poisoned dataset).
   size_t MaxPartitionSize() const {
     size_t n = 0;
-    for (const auto& p : Materialize()) n = std::max(n, p.size());
+    for (const auto& p : ForceChecked()) n = std::max(n, p.size());
     return n;
   }
 
   /// Gathers all elements to the driver, in partition order (action:
   /// forces). At Context::Options::lint_level >= kWarn the plan is
   /// linted first; in kError mode an error-severity diagnostic aborts
-  /// the job here, before any task runs.
+  /// the job here, before any task runs. Aborts on a poisoned dataset;
+  /// callers that want to HANDLE execution failures (task retry
+  /// exhaustion, unrecoverable spill loss) use TryCollect() instead.
   std::vector<T> Collect() const {
     MaybeAutoLint();
+    const Partitions& parts = ForceChecked();
+    size_t total = 0;
+    for (const auto& p : parts) total += p.size();
+    std::vector<T> out;
+    out.reserve(total);
+    for (const auto& p : parts) {
+      out.insert(out.end(), p.begin(), p.end());
+    }
+    return out;
+  }
+
+  /// Collect() that surfaces execution failure as a Status instead of
+  /// aborting: forces the chain and returns either all elements in
+  /// partition order or the first error of the failed stage (with every
+  /// ancestor failure propagated through). The non-aborting action is
+  /// the API seam fault-tolerant drivers consume.
+  Result<std::vector<T>> TryCollect() const {
+    MaybeAutoLint();
     const Partitions& parts = Materialize();
+    if (!state_->error.ok()) return state_->error;
     size_t total = 0;
     for (const auto& p : parts) total += p.size();
     std::vector<T> out;
@@ -235,6 +275,16 @@ class Dataset {
   /// Spark-compatible alias for Cache().
   const Dataset<T>& Persist() const { return Cache(); }
 
+  /// Forces the pending chain WITHOUT the poisoned-dataset abort and
+  /// without pinning a cache node, returning the execution status.
+  /// Fault-aware consumers that need the materialized partitions (e.g.
+  /// SortByKey's boundary sampler) force through this and handle a
+  /// non-OK status instead of dying inside an action.
+  const Status& Force() const {
+    Materialize();
+    return state_->error;
+  }
+
   /// Streams partition `i` through `sink` WITHOUT materializing this
   /// dataset: materialized partitions are iterated, pending chains are
   /// executed in the calling task. This is the hook wide operations use
@@ -242,6 +292,10 @@ class Dataset {
   template <typename Fn>
   void StreamPartition(int i, Fn&& sink) const {
     const State& s = *state_;
+    // Streaming a poisoned source cannot produce correct data, and
+    // retrying the consuming task would not change that — fail the
+    // consumer permanently.
+    if (!s.error.ok()) throw NonRetryableError(s.error);
     if (s.materialized) {
       for (const T& t : (*s.materialized)[static_cast<size_t>(i)]) sink(t);
     } else {
@@ -358,6 +412,9 @@ class Dataset {
     std::vector<std::string> ops;
     std::vector<std::string> names;
     bool cached = false;
+    /// Non-OK once a producing stage (or an ancestor) failed. Poisoned
+    /// handles hold empty partitions; see Dataset::status().
+    Status error;
     /// Lineage DAG root (plan.h). Strings and parent pointers only.
     std::shared_ptr<const PlanNode> plan;
   };
@@ -420,6 +477,7 @@ class Dataset {
     state->ctx = state_->ctx;
     state->num_partitions = state_->num_partitions;
     state->gen = std::move(gen);
+    state->error = state_->error;
     if (!state_->materialized) {
       state->ops = state_->ops;
       state->names = state_->names;
@@ -498,20 +556,50 @@ class Dataset {
     return Chain<U>(std::move(gen), op, name, tag);
   }
 
+  /// Materialize() plus the aborting poisoned-dataset check shared by
+  /// the CHECK-semantics actions.
+  const Partitions& ForceChecked() const {
+    const Partitions& parts = Materialize();
+    RANKJOIN_CHECK(state_->error.ok())
+        << "action on a failed dataset: " << state_->error.ToString()
+        << " (use TryCollect()/status() to handle execution failures)";
+    return parts;
+  }
+
   /// Forces the pending chain: runs ONE fused stage (a task per
   /// partition) that streams the chain into output partitions, records
   /// the fused ops and materialization volume, and memoizes the result.
+  /// The stage runs in isolated-task form: each attempt streams into an
+  /// attempt-local buffer and only the winning attempt's commit thunk
+  /// publishes it, so retried and speculative attempts never touch the
+  /// shared output. A stage failure (retries exhausted) poisons the
+  /// handle instead of aborting; the memoized partitions are then empty.
   const Partitions& Materialize() const {
     State& s = *state_;
     if (s.materialized) return *s.materialized;
     auto out = std::make_shared<Partitions>(
         static_cast<size_t>(s.num_partitions));
-    StageMetrics stage =
-        s.ctx->RunStage(JoinStrings(s.names), s.num_partitions, [&](int i) {
-          auto& dest = (*out)[static_cast<size_t>(i)];
-          s.gen(i, Sink([&dest](const T& t) { dest.push_back(t); }));
+    if (!s.error.ok()) {
+      s.materialized = std::move(out);
+      s.gen = nullptr;
+      s.ops.clear();
+      s.names.clear();
+      return *s.materialized;
+    }
+    Generator gen = s.gen;
+    StageMetrics stage = s.ctx->RunStageIsolated(
+        JoinStrings(s.names), s.num_partitions, [gen, out](int i) {
+          auto buf = std::make_shared<std::vector<T>>();
+          gen(i, Sink([buf](const T& t) { buf->push_back(t); }));
+          return [out, buf, i]() {
+            (*out)[static_cast<size_t>(i)] = std::move(*buf);
+          };
         });
     stage.fused_ops = JoinStrings(s.ops);
+    if (!stage.status.ok()) {
+      s.error = stage.status;
+      *out = Partitions(static_cast<size_t>(s.num_partitions));
+    }
     for (const auto& p : *out) {
       stage.materialized_elements += p.size();
       for (const T& t : p) stage.materialized_bytes += ApproxSize(t);
@@ -584,19 +672,23 @@ namespace internal {
 /// memory budget is exceeded. After the write, adjacent small buckets
 /// coalesce per Context::Options::target_partition_bytes, so the
 /// returned partition count may be LESS than `n`. Shuffle volume is
-/// accounted inside the read tasks.
+/// accounted inside the read tasks. A write- or read-stage failure
+/// surfaces through `*out_status` (the partitions are then empty).
 template <typename K, typename V>
 std::shared_ptr<const std::vector<std::vector<std::pair<K, V>>>> ShuffleByKey(
-    const Dataset<std::pair<K, V>>& input, int n, const std::string& name) {
+    const Dataset<std::pair<K, V>>& input, int n, const std::string& name,
+    Status* out_status) {
   Context* ctx = input.context();
   HashPartitioner partitioner(n);
   auto service = ShuffleWrite<std::pair<K, V>>(
-      input, n, name, [partitioner](int /*task*/, const std::pair<K, V>& kv) {
-        return partitioner.PartitionOf(kv.first);
+      input, n, name, [partitioner](int /*task*/) {
+        return [partitioner](const std::pair<K, V>& kv) {
+          return partitioner.PartitionOf(kv.first);
+        };
       });
   const PartitionRanges ranges = PartitionRanges::Coalesce(
       service->bucket_bytes(), ctx->target_partition_bytes());
-  return ShuffleRead(ctx, service.get(), ranges, name);
+  return ShuffleRead(ctx, service.get(), ranges, name, out_status);
 }
 
 }  // namespace internal
@@ -609,22 +701,27 @@ Dataset<T> Dataset<T>::Repartition(int n, const std::string& name) const {
   // mod n, and a write task's starting global index is the prefix sum of
   // the partition sizes before it — unknown while the chain is pending.
   const Partitions& in = Materialize();
-  auto next = std::make_shared<std::vector<uint64_t>>(in.size(), 0);
+  auto offsets = std::make_shared<std::vector<uint64_t>>(in.size(), 0);
   uint64_t offset = 0;
   for (size_t i = 0; i < in.size(); ++i) {
-    (*next)[i] = offset;
+    (*offsets)[i] = offset;
     offset += in[i].size();
   }
-  // Each write task advances only its own slot, so the shared vector is
-  // safe under the one-writer-per-map-task contract.
+  // The router factory hands every attempt a FRESH counter starting at
+  // the task's prefix offset, so a retried write attempt (and lineage
+  // recovery) routes each element exactly like the first attempt did.
   auto service = internal::ShuffleWrite<T>(
-      *this, n, name, [next, n](int task, const T&) {
-        return static_cast<int>((*next)[static_cast<size_t>(task)]++ %
-                                static_cast<uint64_t>(n));
+      *this, n, name, [offsets, n](int task) {
+        uint64_t next = (*offsets)[static_cast<size_t>(task)];
+        return [next, n](const T&) mutable {
+          return static_cast<int>(next++ % static_cast<uint64_t>(n));
+        };
       });
-  auto parts = internal::ShuffleRead(ctx, service.get(),
-                                     PartitionRanges::Identity(n), name);
+  Status error;
+  auto parts = internal::ShuffleRead(
+      ctx, service.get(), PartitionRanges::Identity(n), name, &error);
   Dataset<T> out(ctx, std::move(parts));
+  if (!error.ok()) out.SetError(std::move(error));
   out.SetPlanNode(MakePlanNode(PlanNode::Kind::kWide, "repartition", name,
                                {state_->plan},
                                {.num_partitions = n,
@@ -645,8 +742,10 @@ Dataset<std::pair<K, V>> PartitionByKey(const Dataset<std::pair<K, V>>& ds,
                                             "partitionBy") {
   Context* ctx = ds.context();
   if (n <= 0) n = ctx->default_partitions();
-  auto parts = internal::ShuffleByKey(ds, n, name);
+  Status error;
+  auto parts = internal::ShuffleByKey(ds, n, name, &error);
   Dataset<std::pair<K, V>> out(ctx, std::move(parts));
+  if (!error.ok()) out.SetError(std::move(error));
   out.SetPlanNode(
       MakePlanNode(PlanNode::Kind::kWide, "partitionBy", name,
                    {ds.plan_node()},
@@ -738,14 +837,16 @@ Dataset<std::pair<K, std::pair<V, W>>> Join(
   if (n <= 0) n = ctx->default_partitions();
   HashPartitioner partitioner(n);
   auto lsvc = internal::ShuffleWrite<std::pair<K, V>>(
-      left, n, name + "/L",
-      [partitioner](int /*task*/, const std::pair<K, V>& kv) {
-        return partitioner.PartitionOf(kv.first);
+      left, n, name + "/L", [partitioner](int /*task*/) {
+        return [partitioner](const std::pair<K, V>& kv) {
+          return partitioner.PartitionOf(kv.first);
+        };
       });
   auto rsvc = internal::ShuffleWrite<std::pair<K, W>>(
-      right, n, name + "/R",
-      [partitioner](int /*task*/, const std::pair<K, W>& kw) {
-        return partitioner.PartitionOf(kw.first);
+      right, n, name + "/R", [partitioner](int /*task*/) {
+        return [partitioner](const std::pair<K, W>& kw) {
+          return partitioner.PartitionOf(kw.first);
+        };
       });
   std::vector<uint64_t> combined = lsvc->bucket_bytes();
   for (size_t b = 0; b < combined.size(); ++b) {
@@ -753,34 +854,48 @@ Dataset<std::pair<K, std::pair<V, W>>> Join(
   }
   const PartitionRanges ranges =
       PartitionRanges::Coalesce(combined, ctx->target_partition_bytes());
-  auto lparts = internal::ShuffleRead(ctx, lsvc.get(), ranges, name + "/L");
-  auto rparts = internal::ShuffleRead(ctx, rsvc.get(), ranges, name + "/R");
+  Status error;
+  auto lparts =
+      internal::ShuffleRead(ctx, lsvc.get(), ranges, name + "/L", &error);
+  auto rparts =
+      internal::ShuffleRead(ctx, rsvc.get(), ranges, name + "/R", &error);
   const int num_out = ranges.NumPartitions();
   using Out = std::pair<K, std::pair<V, W>>;
   auto out = std::make_shared<typename Dataset<Out>::Partitions>(
       static_cast<size_t>(num_out));
-  StageMetrics stage = ctx->RunStage(name + "/probe", num_out, [&](int p) {
-    const auto& lp = (*lparts)[static_cast<size_t>(p)];
-    const auto& rp = (*rparts)[static_cast<size_t>(p)];
-    std::unordered_map<K, std::vector<const V*>, ShuffleHasher> table;
-    for (const auto& kv : lp) table[kv.first].push_back(&kv.second);
-    auto& dest = (*out)[static_cast<size_t>(p)];
-    for (const auto& kw : rp) {
-      auto it = table.find(kw.first);
-      if (it == table.end()) continue;
-      for (const V* v : it->second) {
-        dest.push_back({kw.first, {*v, kw.second}});
-      }
+  if (error.ok()) {
+    StageMetrics stage = ctx->RunStageIsolated(
+        name + "/probe", num_out, [lparts, rparts, out](int p) {
+          const auto& lp = (*lparts)[static_cast<size_t>(p)];
+          const auto& rp = (*rparts)[static_cast<size_t>(p)];
+          std::unordered_map<K, std::vector<const V*>, ShuffleHasher> table;
+          for (const auto& kv : lp) table[kv.first].push_back(&kv.second);
+          auto dest = std::make_shared<std::vector<Out>>();
+          for (const auto& kw : rp) {
+            auto it = table.find(kw.first);
+            if (it == table.end()) continue;
+            for (const V* v : it->second) {
+              dest->push_back({kw.first, {*v, kw.second}});
+            }
+          }
+          return [out, dest, p]() {
+            (*out)[static_cast<size_t>(p)] = std::move(*dest);
+          };
+        });
+    stage.fused_ops = "joinProbe";
+    if (!stage.status.ok()) {
+      error = stage.status;
+      *out = typename Dataset<Out>::Partitions(static_cast<size_t>(num_out));
     }
-  });
-  stage.fused_ops = "joinProbe";
-  for (const auto& p : *out) {
-    stage.materialized_elements += p.size();
-    stage.max_partition_size =
-        std::max<uint64_t>(stage.max_partition_size, p.size());
+    for (const auto& p : *out) {
+      stage.materialized_elements += p.size();
+      stage.max_partition_size =
+          std::max<uint64_t>(stage.max_partition_size, p.size());
+    }
+    ctx->AddStage(std::move(stage));
   }
-  ctx->AddStage(std::move(stage));
   Dataset<Out> result(ctx, std::move(out));
+  if (!error.ok()) result.SetError(std::move(error));
   result.SetPlanNode(
       MakePlanNode(PlanNode::Kind::kWide, "join", name,
                    {left.plan_node(), right.plan_node()},
@@ -804,14 +919,16 @@ Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
   if (n <= 0) n = ctx->default_partitions();
   HashPartitioner partitioner(n);
   auto lsvc = internal::ShuffleWrite<std::pair<K, V>>(
-      left, n, name + "/L",
-      [partitioner](int /*task*/, const std::pair<K, V>& kv) {
-        return partitioner.PartitionOf(kv.first);
+      left, n, name + "/L", [partitioner](int /*task*/) {
+        return [partitioner](const std::pair<K, V>& kv) {
+          return partitioner.PartitionOf(kv.first);
+        };
       });
   auto rsvc = internal::ShuffleWrite<std::pair<K, W>>(
-      right, n, name + "/R",
-      [partitioner](int /*task*/, const std::pair<K, W>& kw) {
-        return partitioner.PartitionOf(kw.first);
+      right, n, name + "/R", [partitioner](int /*task*/) {
+        return [partitioner](const std::pair<K, W>& kw) {
+          return partitioner.PartitionOf(kw.first);
+        };
       });
   std::vector<uint64_t> combined = lsvc->bucket_bytes();
   for (size_t b = 0; b < combined.size(); ++b) {
@@ -819,34 +936,48 @@ Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
   }
   const PartitionRanges ranges =
       PartitionRanges::Coalesce(combined, ctx->target_partition_bytes());
-  auto lparts = internal::ShuffleRead(ctx, lsvc.get(), ranges, name + "/L");
-  auto rparts = internal::ShuffleRead(ctx, rsvc.get(), ranges, name + "/R");
+  Status error;
+  auto lparts =
+      internal::ShuffleRead(ctx, lsvc.get(), ranges, name + "/L", &error);
+  auto rparts =
+      internal::ShuffleRead(ctx, rsvc.get(), ranges, name + "/R", &error);
   const int num_out = ranges.NumPartitions();
   using Out = std::pair<K, std::pair<std::vector<V>, std::vector<W>>>;
   auto out = std::make_shared<typename Dataset<Out>::Partitions>(
       static_cast<size_t>(num_out));
-  StageMetrics stage = ctx->RunStage(name + "/merge", num_out, [&](int p) {
-    std::unordered_map<K, size_t, ShuffleHasher> slot;
-    auto& dest = (*out)[static_cast<size_t>(p)];
-    for (const auto& kv : (*lparts)[static_cast<size_t>(p)]) {
-      auto [it, inserted] = slot.try_emplace(kv.first, dest.size());
-      if (inserted) dest.push_back({kv.first, {{}, {}}});
-      dest[it->second].second.first.push_back(kv.second);
+  if (error.ok()) {
+    StageMetrics stage = ctx->RunStageIsolated(
+        name + "/merge", num_out, [lparts, rparts, out](int p) {
+          std::unordered_map<K, size_t, ShuffleHasher> slot;
+          auto dest = std::make_shared<std::vector<Out>>();
+          for (const auto& kv : (*lparts)[static_cast<size_t>(p)]) {
+            auto [it, inserted] = slot.try_emplace(kv.first, dest->size());
+            if (inserted) dest->push_back({kv.first, {{}, {}}});
+            (*dest)[it->second].second.first.push_back(kv.second);
+          }
+          for (const auto& kw : (*rparts)[static_cast<size_t>(p)]) {
+            auto [it, inserted] = slot.try_emplace(kw.first, dest->size());
+            if (inserted) dest->push_back({kw.first, {{}, {}}});
+            (*dest)[it->second].second.second.push_back(kw.second);
+          }
+          return [out, dest, p]() {
+            (*out)[static_cast<size_t>(p)] = std::move(*dest);
+          };
+        });
+    stage.fused_ops = "cogroupMerge";
+    if (!stage.status.ok()) {
+      error = stage.status;
+      *out = typename Dataset<Out>::Partitions(static_cast<size_t>(num_out));
     }
-    for (const auto& kw : (*rparts)[static_cast<size_t>(p)]) {
-      auto [it, inserted] = slot.try_emplace(kw.first, dest.size());
-      if (inserted) dest.push_back({kw.first, {{}, {}}});
-      dest[it->second].second.second.push_back(kw.second);
+    for (const auto& p : *out) {
+      stage.materialized_elements += p.size();
+      stage.max_partition_size =
+          std::max<uint64_t>(stage.max_partition_size, p.size());
     }
-  });
-  stage.fused_ops = "cogroupMerge";
-  for (const auto& p : *out) {
-    stage.materialized_elements += p.size();
-    stage.max_partition_size =
-        std::max<uint64_t>(stage.max_partition_size, p.size());
+    ctx->AddStage(std::move(stage));
   }
-  ctx->AddStage(std::move(stage));
   Dataset<Out> result(ctx, std::move(out));
+  if (!error.ok()) result.SetError(std::move(error));
   result.SetPlanNode(
       MakePlanNode(PlanNode::Kind::kWide, "cogroup", name,
                    {left.plan_node(), right.plan_node()},
@@ -901,6 +1032,11 @@ Dataset<T> Union(const Dataset<T>& a, const Dataset<T>& b,
       };
   Dataset<T> out =
       Dataset<T>::FromGenerator(ctx, total, std::move(gen), "union", name);
+  if (!a.status().ok()) {
+    out.SetError(a.status());
+  } else if (!b.status().ok()) {
+    out.SetError(b.status());
+  }
   out.SetPlanNode(MakePlanNode(PlanNode::Kind::kNarrow, "union", name,
                                {a.plan_node(), b.plan_node()},
                                {.num_partitions = total,

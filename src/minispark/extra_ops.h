@@ -113,6 +113,23 @@ Dataset<std::pair<K, V>> SortByKey(const Dataset<std::pair<K, V>>& ds,
   Context* ctx = ds.context();
   if (n <= 0) n = ctx->default_partitions();
 
+  // The sampler needs the materialized input; force it through the
+  // non-aborting hook so a poisoned source propagates instead of dying
+  // inside Count().
+  if (!ds.Force().ok()) {
+    auto empty =
+        std::make_shared<typename Dataset<std::pair<K, V>>::Partitions>(
+            static_cast<size_t>(n));
+    Dataset<std::pair<K, V>> out(ctx, std::move(empty));
+    out.SetError(ds.status());
+    out.SetPlanNode(
+        MakePlanNode(PlanNode::Kind::kWide, "sortByKey", name,
+                     {ds.plan_node()},
+                     {.num_partitions = n,
+                      .serde_ok = has_serde_v<std::pair<K, V>>}));
+    return out;
+  }
+
   // Boundary estimation from a key sample (Spark's RangePartitioner).
   std::vector<K> sample;
   {
@@ -144,13 +161,16 @@ Dataset<std::pair<K, V>> SortByKey(const Dataset<std::pair<K, V>>& ds,
   // the per-partition local sort rides inside the read tasks.
   auto bounds_ptr = std::make_shared<const std::vector<K>>(std::move(bounds));
   auto service = internal::ShuffleWrite<std::pair<K, V>>(
-      ds, n, name, [bounds_ptr](int /*task*/, const std::pair<K, V>& kv) {
-        const auto it = std::lower_bound(bounds_ptr->begin(),
-                                         bounds_ptr->end(), kv.first);
-        return static_cast<int>(it - bounds_ptr->begin());
+      ds, n, name, [bounds_ptr](int /*task*/) {
+        return [bounds_ptr](const std::pair<K, V>& kv) {
+          const auto it = std::lower_bound(bounds_ptr->begin(),
+                                           bounds_ptr->end(), kv.first);
+          return static_cast<int>(it - bounds_ptr->begin());
+        };
       });
+  Status error;
   auto parts = internal::ShuffleRead(
-      ctx, service.get(), PartitionRanges::Identity(n), name,
+      ctx, service.get(), PartitionRanges::Identity(n), name, &error,
       [](int /*p*/, std::vector<std::pair<K, V>>* dest) {
         std::sort(dest->begin(), dest->end(),
                   [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
@@ -159,6 +179,7 @@ Dataset<std::pair<K, V>> SortByKey(const Dataset<std::pair<K, V>>& ds,
       },
       "sortLocal");
   Dataset<std::pair<K, V>> out(ctx, std::move(parts));
+  if (!error.ok()) out.SetError(std::move(error));
   out.SetPlanNode(
       MakePlanNode(PlanNode::Kind::kWide, "sortByKey", name,
                    {ds.plan_node()},

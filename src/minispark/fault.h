@@ -1,0 +1,128 @@
+#ifndef RANKJOIN_MINISPARK_FAULT_H_
+#define RANKJOIN_MINISPARK_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "minispark/trace.h"
+
+namespace rankjoin::minispark {
+
+/// Configuration of the deterministic fault injector (see
+/// docs/MINISPARK.md, "Fault tolerance"). Built from a spec string of
+/// `;`-separated segments:
+///
+///   task_throw:p=0.05;spill_corrupt:p=0.1;task_delay:p=0.02,ms=200;seed=42
+///
+/// - `task_throw:p=P`      every task attempt fails at its start with
+///                         probability P (a retryable InjectedFault).
+/// - `task_delay:p=P,ms=M` every task attempt sleeps M milliseconds at
+///                         its start with probability P (straggler
+///                         simulation; feeds speculative execution).
+/// - `spill_corrupt:p=P`   every spilled bucket run is bit-flipped after
+///                         its checksum is taken with probability P, so
+///                         the shuffle read detects it and recovers from
+///                         lineage.
+/// - `seed=N`              base seed of the schedule (default 42).
+///
+/// All probabilities default to 0 (that fault disabled).
+struct FaultSpec {
+  double task_throw_p = 0.0;
+  double task_delay_p = 0.0;
+  int64_t task_delay_ms = 0;
+  double spill_corrupt_p = 0.0;
+  uint64_t seed = 42;
+
+  /// True when at least one fault kind can fire.
+  bool Any() const {
+    return task_throw_p > 0.0 || spill_corrupt_p > 0.0 ||
+           (task_delay_p > 0.0 && task_delay_ms > 0);
+  }
+};
+
+/// Parses the spec grammar above. Unknown segment or key names, values
+/// that do not parse, and probabilities outside [0, 1] are
+/// InvalidArgument. The empty string parses to the all-off spec.
+Result<FaultSpec> ParseFaultSpec(const std::string& text);
+
+/// The exception an injected task fault raises. Retryable: the task
+/// attempt loop in Context::RunStage treats it like any transient
+/// user-lambda failure and re-runs the attempt.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// An error that must NOT be retried: the task's inputs were consumed or
+/// otherwise cannot be replayed (e.g. a shuffle read whose spill data is
+/// gone and no lineage recovery is registered). The attempt loop fails
+/// the stage immediately with the carried Status.
+class NonRetryableError : public std::runtime_error {
+ public:
+  explicit NonRetryableError(Status status)
+      : std::runtime_error(status.ToString()), status_(std::move(status)) {}
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Deterministic, seeded fault source. Every decision is a pure hash of
+/// (seed, fault kind, call-site coordinates) — independent of thread
+/// scheduling and wall clock — so a fixed seed produces the SAME fault
+/// schedule on every run: the same task attempts throw, the same spill
+/// runs corrupt. That is what makes the chaos suite assert byte-identical
+/// results and stable fault.* counters.
+///
+/// Injections are tallied into the owning Context's CounterRegistry
+/// (`fault.task_throw.injected`, `fault.task_delay.injected`,
+/// `fault.spill_corrupt.injected`) when tracing is at least kCounters.
+class FaultInjector {
+ public:
+  /// Disabled injector (no spec, never fires).
+  FaultInjector() = default;
+
+  FaultInjector(FaultSpec spec, CounterRegistry* counters)
+      : spec_(spec), counters_(counters) {}
+
+  bool enabled() const { return spec_.Any(); }
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Should this task attempt fail at its start? `attempt_key` encodes
+  /// the attempt number (speculative attempts use a disjoint key range),
+  /// so a retry of the same task draws a fresh decision.
+  bool TaskThrow(const std::string& stage, int task, uint64_t attempt_key);
+
+  /// Milliseconds this task attempt should sleep at its start (0 = no
+  /// delay injected).
+  int64_t TaskDelayMs(const std::string& stage, int task,
+                      uint64_t attempt_key);
+
+  /// Should this spilled bucket run be corrupted after checksumming?
+  /// Coordinates identify one run globally: the context-unique shuffle
+  /// id, the map task, the run index within that task, and the bucket.
+  bool SpillCorrupt(uint64_t shuffle_id, int map_task, uint64_t run,
+                    int bucket);
+
+ private:
+  /// Uniform [0,1) draw from the hashed coordinates.
+  double Draw(uint64_t site, uint64_t a, uint64_t b, uint64_t c,
+              uint64_t d) const;
+
+  FaultSpec spec_;
+  CounterRegistry* counters_ = nullptr;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial) over `n` bytes — the spill-run
+/// integrity checksum verified by ShuffleService::ReadRange.
+uint32_t Crc32(const char* data, size_t n);
+
+}  // namespace rankjoin::minispark
+
+#endif  // RANKJOIN_MINISPARK_FAULT_H_

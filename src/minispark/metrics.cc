@@ -101,6 +101,24 @@ uint64_t JobMetrics::TotalCoalescedPartitions() const {
   return total;
 }
 
+uint64_t JobMetrics::TotalTaskRetries() const {
+  uint64_t total = 0;
+  for (const auto& s : stages_) total += s.task_retries;
+  return total;
+}
+
+uint64_t JobMetrics::TotalSpeculativeLaunches() const {
+  uint64_t total = 0;
+  for (const auto& s : stages_) total += s.speculative_launches;
+  return total;
+}
+
+uint64_t JobMetrics::TotalRecoveredSpillRuns() const {
+  uint64_t total = 0;
+  for (const auto& s : stages_) total += s.recovered_spill_runs;
+  return total;
+}
+
 std::unordered_map<uint64_t, OpMetrics> JobMetrics::AggregatedOpMetrics()
     const {
   std::unordered_map<uint64_t, OpMetrics> agg;
@@ -136,6 +154,14 @@ std::string JobMetrics::ToString() const {
     if (s.coalesced_partitions > 0) {
       os << " coalesced=" << s.coalesced_partitions;
     }
+    if (s.task_retries > 0) os << " retries=" << s.task_retries;
+    if (s.speculative_launches > 0) {
+      os << " speculative=" << s.speculative_launches;
+    }
+    if (s.recovered_spill_runs > 0) {
+      os << " recovered_runs=" << s.recovered_spill_runs;
+    }
+    if (!s.status.ok()) os << " status=[" << s.status.ToString() << ']';
     if (!s.fused_ops.empty()) os << " fused=[" << s.fused_ops << ']';
     os << '\n';
     for (const auto& m : s.op_metrics) {
@@ -169,7 +195,11 @@ std::string JobMetrics::ToJson() const {
        << ",\"spilled_bytes\":" << s.spilled_bytes
        << ",\"spilled_runs\":" << s.spilled_runs
        << ",\"coalesced_partitions\":" << s.coalesced_partitions
-       << ",\"fused_ops\":\"" << JsonEscape(s.fused_ops) << "\"";
+       << ",\"task_retries\":" << s.task_retries
+       << ",\"speculative_launches\":" << s.speculative_launches
+       << ",\"recovered_spill_runs\":" << s.recovered_spill_runs
+       << ",\"status\":\"" << JsonEscape(s.status.ToString())
+       << "\",\"fused_ops\":\"" << JsonEscape(s.fused_ops) << "\"";
     os << ",\"op_metrics\":[";
     bool first_op = true;
     for (const auto& m : s.op_metrics) {
@@ -191,7 +221,10 @@ std::string JobMetrics::ToJson() const {
      << ",\"materialized_bytes\":" << TotalMaterializedBytes()
      << ",\"spilled_bytes\":" << TotalSpilledBytes()
      << ",\"spilled_runs\":" << TotalSpilledRuns()
-     << ",\"coalesced_partitions\":" << TotalCoalescedPartitions() << "}}\n";
+     << ",\"coalesced_partitions\":" << TotalCoalescedPartitions()
+     << ",\"task_retries\":" << TotalTaskRetries()
+     << ",\"speculative_launches\":" << TotalSpeculativeLaunches()
+     << ",\"recovered_spill_runs\":" << TotalRecoveredSpillRuns() << "}}\n";
   return os.str();
 }
 

@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
+
 namespace rankjoin::minispark {
 
 /// Per-operator tallies inside one physical stage, aggregated across the
@@ -65,6 +67,20 @@ struct StageMetrics {
   /// plan-construction (= pipeline) order. Empty when tracing is off or
   /// the stage ran no traced narrow ops.
   std::vector<OpMetrics> op_metrics;
+  /// Outcome of the stage. OK when every task committed; otherwise the
+  /// FIRST task failure that exhausted its retries (remaining tasks are
+  /// cancelled). Actions surface this instead of aborting — see
+  /// Dataset::TryCollect.
+  Status status;
+  /// Task attempts re-run after a retryable failure (fault tolerance;
+  /// see Context::Options::max_task_retries).
+  uint64_t task_retries = 0;
+  /// Speculative duplicate attempts launched for straggling tasks (see
+  /// Context::Options::speculation_multiplier).
+  uint64_t speculative_launches = 0;
+  /// Spill runs whose data was corrupt or missing at shuffle-read time
+  /// and was regenerated from the retained lineage closure.
+  uint64_t recovered_spill_runs = 0;
 
   /// Sum of all task times (total CPU demand of the stage).
   double TotalTaskSeconds() const;
@@ -102,6 +118,10 @@ class JobMetrics {
   uint64_t TotalSpilledRuns() const;
   /// Total shuffle buckets merged away by adaptive coalescing.
   uint64_t TotalCoalescedPartitions() const;
+  /// Fault-tolerance totals across all stages (see StageMetrics).
+  uint64_t TotalTaskRetries() const;
+  uint64_t TotalSpeculativeLaunches() const;
+  uint64_t TotalRecoveredSpillRuns() const;
 
   /// Sums each traced operator's counts across all stages (an op that
   /// executed in several stages — e.g. a chain forked by Union — reports

@@ -6,9 +6,8 @@ namespace rankjoin::minispark {
 
 SpillFile::SpillFile(std::string path)
     : path_(std::move(path)),
-      out_(path_, std::ios::binary | std::ios::trunc) {
-  RANKJOIN_CHECK(out_.is_open());
-}
+      out_(path_, std::ios::binary | std::ios::trunc),
+      ok_(out_.is_open()) {}
 
 SpillFile::~SpillFile() {
   if (out_.is_open()) out_.close();
@@ -16,34 +15,39 @@ SpillFile::~SpillFile() {
   std::filesystem::remove(path_, ec);
 }
 
-uint64_t SpillFile::Append(const char* data, size_t bytes) {
-  const uint64_t offset = bytes_written_;
+bool SpillFile::Append(const char* data, size_t bytes, uint64_t* offset) {
+  if (!ok_) return false;
   out_.write(data, static_cast<std::streamsize>(bytes));
-  RANKJOIN_CHECK(out_.good());
+  if (!out_.good()) {
+    ok_ = false;
+    return false;
+  }
+  *offset = bytes_written_;
   bytes_written_ += bytes;
-  return offset;
+  return true;
 }
 
 void SpillFile::FinishWrites() {
   if (out_.is_open()) {
     out_.flush();
-    RANKJOIN_CHECK(out_.good());
+    // A failed flush poisons the file; readers will see short reads or
+    // CRC mismatches and fall back to lineage recovery.
+    if (!out_.good()) ok_ = false;
     out_.close();
   }
 }
 
 SpillFile::Reader::Reader(const std::string& path)
-    : in_(path, std::ios::binary) {
-  RANKJOIN_CHECK(in_.is_open());
-}
+    : in_(path, std::ios::binary) {}
 
-void SpillFile::Reader::ReadAt(uint64_t offset, uint64_t bytes,
-                               std::string* buf) {
+bool SpillFile::Reader::TryReadAt(uint64_t offset, uint64_t bytes,
+                                  std::string* buf) {
+  if (!in_.is_open()) return false;
   buf->resize(bytes);
+  in_.clear();
   in_.seekg(static_cast<std::streamoff>(offset));
   in_.read(buf->data(), static_cast<std::streamsize>(bytes));
-  RANKJOIN_CHECK(in_.good() &&
-                 in_.gcount() == static_cast<std::streamsize>(bytes));
+  return in_.good() && in_.gcount() == static_cast<std::streamsize>(bytes);
 }
 
 }  // namespace rankjoin::minispark

@@ -5,17 +5,21 @@
 #include <atomic>
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <memory>
-#include <optional>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/status.h"
 #include "minispark/approx_size.h"
 #include "minispark/context.h"
+#include "minispark/fault.h"
 #include "minispark/partitioner.h"
 #include "minispark/serde.h"
+#include "minispark/trace.h"
 
 namespace rankjoin::minispark {
 
@@ -39,11 +43,13 @@ uint64_t ShuffleRecordBytes(const T& record) {
 /// One spilled run segment: `records` serialized records of one target
 /// bucket, at [offset, offset + bytes) of the owning map task's spill
 /// file. A bucket spilled several times holds several segments, in
-/// arrival order.
+/// arrival order. `crc` is the CRC-32 of the payload, taken at write
+/// time and verified on read (see ShuffleService::ReadRange).
 struct SpillSegment {
   uint64_t offset = 0;
   uint64_t bytes = 0;
   uint64_t records = 0;
+  uint32_t crc = 0;
 };
 
 /// Append-only temp file holding the serialized spill runs of ONE map
@@ -51,7 +57,13 @@ struct SpillSegment {
 /// stage; after FinishWrites, read tasks read concurrently, each through
 /// its own Reader (separate file handle, so no seek contention). The
 /// file is deleted when the SpillFile dies — i.e. as soon as the shuffle
-/// that produced it has been fully read.
+/// that produced it has been fully read, or the shuffle is torn down on
+/// a failure path (the destructor IS the RAII cleanup guard; a failed
+/// stage never strands temp files).
+///
+/// I/O failures do not abort: the file poisons itself (ok() turns
+/// false), the owning ShuffleService degrades to resident-only
+/// buffering, and reads fall back to lineage recovery.
 class SpillFile {
  public:
   explicit SpillFile(std::string path);
@@ -60,8 +72,13 @@ class SpillFile {
   SpillFile(const SpillFile&) = delete;
   SpillFile& operator=(const SpillFile&) = delete;
 
-  /// Appends `bytes` bytes and returns the offset they start at.
-  uint64_t Append(const char* data, size_t bytes);
+  /// False once opening or any write failed.
+  bool ok() const { return ok_; }
+
+  /// Appends `bytes` bytes; on success stores the offset they start at
+  /// in `*offset` and returns true. Returns false (poisoning the file)
+  /// on a write error.
+  bool Append(const char* data, size_t bytes, uint64_t* offset);
 
   /// Flushes and closes the write handle; call before any Reader opens.
   void FinishWrites();
@@ -74,8 +91,12 @@ class SpillFile {
    public:
     explicit Reader(const std::string& path);
 
+    /// False when the file could not be opened (e.g. gone).
+    bool ok() const { return in_.is_open(); }
+
     /// Reads [offset, offset + bytes) into `*buf` (replacing it).
-    void ReadAt(uint64_t offset, uint64_t bytes, std::string* buf);
+    /// Returns false on a short or failed read.
+    bool TryReadAt(uint64_t offset, uint64_t bytes, std::string* buf);
 
    private:
     std::ifstream in_;
@@ -85,6 +106,7 @@ class SpillFile {
   std::string path_;
   std::ofstream out_;
   uint64_t bytes_written_ = 0;
+  bool ok_ = false;
 };
 
 /// The shuffle subsystem: owns the map side of one shuffle.
@@ -95,13 +117,27 @@ class SpillFile {
 /// tracked as serialized size across all map tasks of this shuffle) is
 /// exceeded; the task that crosses the line then serializes its resident
 /// buckets through Serde<T> and appends them to its spill file as one
-/// run, releasing the memory. `FinishWrite()` closes the write side and
-/// folds per-task sizes into per-bucket totals — the input to AQE-style
-/// coalescing (PartitionRanges::Coalesce). `ReadRange(begin, end, fn)`
-/// then streams every record of a contiguous bucket range back: mapper
-/// order, and within one mapper the spilled runs (oldest first) followed
-/// by the resident tail — which reproduces exactly the per-bucket
-/// arrival order, so spilling never changes shuffle output.
+/// run (checksummed per bucket), releasing the memory. `FinishWrite()`
+/// closes the write side and folds per-task sizes into per-bucket totals
+/// — the input to AQE-style coalescing (PartitionRanges::Coalesce).
+/// `ReadRange(begin, end, fn)` then streams every record of a contiguous
+/// bucket range back: mapper order, and within one mapper the spilled
+/// runs (oldest first) followed by the resident tail — which reproduces
+/// exactly the per-bucket arrival order, so spilling never changes
+/// shuffle output.
+///
+/// Fault tolerance:
+///  - every spilled bucket run carries a CRC-32, verified (and the whole
+///    run pre-read) BEFORE any record of the mapper's range is emitted;
+///  - a corrupt or missing run triggers re-execution of the owning map
+///    task from the retained lineage closure (SetRecovery), regenerating
+///    the range byte-identically; without a registered closure the read
+///    fails with a NonRetryableError Status instead of emitting garbage;
+///  - when the spill directory is unwritable the service degrades to
+///    resident-only buffering (Context::MarkSpillDegraded) rather than
+///    failing the job;
+///  - ResetMapTask() clears one map task's state so a retried write
+///    attempt starts from a clean slate.
 ///
 /// Thread contract: Add() concurrently for DISTINCT map_index values
 /// (one writer per map task); FinishWrite() from the driver between the
@@ -111,8 +147,16 @@ class SpillFile {
 template <typename T>
 class ShuffleService {
  public:
+  /// Lineage recovery closure: re-executes map task `map_task`,
+  /// collecting each record routed to a bucket in [begin, end) via
+  /// `collect(bucket, record)`, in the original arrival order.
+  using RecoverFn = std::function<void(
+      int map_task, int begin, int end,
+      const std::function<void(int, const T&)>& collect)>;
+
   ShuffleService(Context* ctx, int num_map_tasks, int num_buckets)
       : ctx_(ctx),
+        id_(ctx->NextShuffleId()),
         num_buckets_(num_buckets),
         budget_(ctx->shuffle_memory_budget_bytes()),
         tasks_(static_cast<size_t>(num_map_tasks)) {
@@ -127,6 +171,30 @@ class ShuffleService {
   }
 
   int num_buckets() const { return num_buckets_; }
+
+  /// Context-unique id of this shuffle (fault-injection coordinate).
+  uint64_t id() const { return id_; }
+
+  /// Registers the lineage closure ReadRange falls back to when spill
+  /// data is corrupt or missing. Must be set before the write stage so
+  /// it captures the same routing the write used.
+  void SetRecovery(RecoverFn fn) { recover_ = std::move(fn); }
+
+  /// Clears map task `map_index` back to its post-construction state (a
+  /// retried write attempt starts clean instead of double-adding). The
+  /// spill file, if any, is kept open for reuse — segments abandoned by
+  /// the failed attempt become dead bytes in it.
+  void ResetMapTask(int map_index) {
+    MapTask& mt = tasks_[static_cast<size_t>(map_index)];
+    for (auto& bucket : mt.resident) std::vector<T>().swap(bucket);
+    for (auto& segs : mt.segments) segs.clear();
+    std::fill(mt.bucket_bytes.begin(), mt.bucket_bytes.end(), 0);
+    std::fill(mt.bucket_records.begin(), mt.bucket_records.end(), 0);
+    resident_total_.fetch_sub(mt.resident_bytes, std::memory_order_relaxed);
+    mt.resident_bytes = 0;
+    mt.spilled_bytes = 0;
+    mt.spill_runs = 0;
+  }
 
   /// Map side: routes one record of map task `map_index` to `bucket`.
   void Add(int map_index, int bucket, const T& record) {
@@ -148,7 +216,7 @@ class ShuffleService {
           resident_total_.fetch_add(size, std::memory_order_relaxed) + size >
               budget_ &&
           mt.resident_bytes * 2 * tasks_.size() >= budget_) {
-        SpillTask(&mt);
+        SpillTask(map_index, &mt);
       }
     }
   }
@@ -187,32 +255,59 @@ class ShuffleService {
   uint64_t spilled_bytes() const { return spilled_bytes_; }
   uint64_t spilled_runs() const { return spilled_runs_; }
 
+  /// Spill runs regenerated from lineage because their data was corrupt
+  /// or missing at read time.
+  uint64_t recovered_runs() const {
+    return recovered_runs_.load(std::memory_order_relaxed);
+  }
+
+  /// Outcome of the write stage; reads of a failed shuffle short-circuit
+  /// on it instead of emitting partial data.
+  const Status& write_status() const { return write_status_; }
+  void set_write_status(Status status) { write_status_ = std::move(status); }
+
+  /// Deletes every spill file now (failure-path cleanup; normally the
+  /// files die with the service after the read stage). Reading after
+  /// this is invalid.
+  void DiscardSpills() {
+    for (MapTask& mt : tasks_) {
+      mt.spill.reset();
+      for (auto& segs : mt.segments) segs.clear();
+    }
+  }
+
+  /// Paths of the spill files currently owned (tests use this to corrupt
+  /// or delete them and exercise recovery).
+  std::vector<std::string> spill_paths() const {
+    std::vector<std::string> out;
+    for (const MapTask& mt : tasks_) {
+      if (mt.spill) out.push_back(mt.spill->path());
+    }
+    return out;
+  }
+
   /// Read side: streams every record destined for buckets [begin, end)
-  /// into `fn(T&&)`. See the class comment for ordering and the thread
-  /// contract.
+  /// into `fn(T&&)`. See the class comment for ordering, integrity
+  /// verification, and the thread contract.
   template <typename Fn>
   void ReadRange(int begin, int end, Fn&& fn) {
-    std::string buf;
-    for (MapTask& mt : tasks_) {
-      std::optional<SpillFile::Reader> reader;
-      for (int b = begin; b < end; ++b) {
-        // Serde-less types never spill, so their segment lists stay
-        // empty; the decode loop is compiled out for them.
-        if constexpr (has_serde_v<T>) {
-          for (const SpillSegment& seg :
-               mt.segments[static_cast<size_t>(b)]) {
-            if (!reader) reader.emplace(mt.spill->path());
-            reader->ReadAt(seg.offset, seg.bytes, &buf);
-            const char* p = buf.data();
-            const char* e = p + buf.size();
-            for (uint64_t i = 0; i < seg.records; ++i) {
-              T record;
-              Serde<T>::Read(&p, e, &record);
-              fn(std::move(record));
-            }
-            RANKJOIN_CHECK(p == e);
-          }
+    for (size_t m = 0; m < tasks_.size(); ++m) {
+      MapTask& mt = tasks_[m];
+      // Serde-less types never spill, so their segment lists stay
+      // empty; the whole spill path is compiled out for them.
+      if constexpr (has_serde_v<T>) {
+        bool spilled = false;
+        for (int b = begin; b < end && !spilled; ++b) {
+          spilled = !mt.segments[static_cast<size_t>(b)].empty();
         }
+        if (spilled) {
+          if (!EmitSpilledRange(mt, begin, end, fn)) {
+            RecoverMapperRange(static_cast<int>(m), mt, begin, end, fn);
+          }
+          continue;
+        }
+      }
+      for (int b = begin; b < end; ++b) {
         for (T& t : mt.resident[static_cast<size_t>(b)]) fn(std::move(t));
       }
     }
@@ -236,39 +331,167 @@ class ShuffleService {
   };
 
   /// Serializes all of `mt`'s resident buckets to its spill file as one
-  /// run and releases the memory. Runs on the map task's own thread, so
-  /// the spill span lands on that worker's trace track, nested inside
-  /// the task span.
-  void SpillTask(MapTask* mt) {
+  /// run (one checksummed segment per bucket) and releases the memory.
+  /// Runs on the map task's own thread, so the spill span lands on that
+  /// worker's trace track, nested inside the task span. Any I/O failure
+  /// degrades the context to resident-only buffering instead of
+  /// aborting: the unspilled records simply stay in memory.
+  void SpillTask(int map_index, MapTask* mt) {
     if (mt->resident_bytes == 0) return;
+    if (ctx_->spill_degraded()) return;
     TraceSink* sink = ctx_->tracer().enabled() ? &ctx_->tracer() : nullptr;
     const int64_t start_us = sink != nullptr ? sink->NowMicros() : 0;
     if (!mt->spill) {
-      mt->spill = std::make_unique<SpillFile>(ctx_->NewSpillFilePath());
+      Result<std::string> path = ctx_->NewSpillFilePath();
+      if (!path.ok()) {
+        ctx_->MarkSpillDegraded(path.status());
+        return;
+      }
+      auto spill = std::make_unique<SpillFile>(*path);
+      if (!spill->ok()) {
+        ctx_->MarkSpillDegraded(
+            Status::IoError("cannot open spill file: " + *path));
+        return;
+      }
+      mt->spill = std::move(spill);
     }
+    FaultInjector& injector = ctx_->fault_injector();
+    const uint64_t run = mt->spill_runs;
     std::string buf;
+    uint64_t freed = 0;
+    bool wrote_any = false;
     for (int b = 0; b < num_buckets_; ++b) {
       std::vector<T>& bucket = mt->resident[static_cast<size_t>(b)];
       if (bucket.empty()) continue;
       buf.clear();
       for (const T& t : bucket) Serde<T>::Write(t, &buf);
-      const uint64_t offset = mt->spill->Append(buf.data(), buf.size());
+      // Checksum first; an injected corruption flips a payload byte
+      // AFTER the CRC is taken, so the read side detects the mismatch
+      // and recovers from lineage — exactly like real disk rot.
+      const uint32_t crc = Crc32(buf.data(), buf.size());
+      if (injector.enabled() && !buf.empty() &&
+          injector.SpillCorrupt(id_, map_index, run, b)) {
+        buf[buf.size() / 2] ^= 0x5A;
+      }
+      uint64_t offset = 0;
+      if (!mt->spill->Append(buf.data(), buf.size(), &offset)) {
+        ctx_->MarkSpillDegraded(
+            Status::IoError("spill write failed: " + mt->spill->path()));
+        break;  // already-written segments stay valid; rest stays resident
+      }
       mt->segments[static_cast<size_t>(b)].push_back(
-          SpillSegment{offset, buf.size(), bucket.size()});
+          SpillSegment{offset, buf.size(), bucket.size(), crc});
       mt->spilled_bytes += buf.size();
+      freed += buf.size();
+      wrote_any = true;
       // swap, not clear(): actually give the memory back.
       std::vector<T>().swap(bucket);
     }
-    ++mt->spill_runs;
-    resident_total_.fetch_sub(mt->resident_bytes, std::memory_order_relaxed);
-    mt->resident_bytes = 0;
+    if (wrote_any) ++mt->spill_runs;
+    resident_total_.fetch_sub(freed, std::memory_order_relaxed);
+    mt->resident_bytes -= freed;
     if (sink != nullptr) {
       sink->Record({"spill run", "spill", CurrentTraceTid(), start_us,
-                    sink->NowMicros() - start_us, -1});
+                    sink->NowMicros() - start_us, -1, 0});
+    }
+  }
+
+  /// Validates and emits one mapper's [begin, end) buckets from its
+  /// spill file plus resident tails. Validate-then-emit: every segment
+  /// is read and checksummed BEFORE the first record is pushed into
+  /// `fn`, so a corrupt run never leaks partial output. Returns false
+  /// (having emitted nothing) when any segment is unreadable or fails
+  /// its CRC.
+  template <typename Fn>
+  bool EmitSpilledRange(MapTask& mt, int begin, int end, Fn&& fn) {
+    if (!mt.spill) return false;
+    SpillFile::Reader reader(mt.spill->path());
+    if (!reader.ok()) return false;
+    std::vector<std::vector<std::string>> payloads(
+        static_cast<size_t>(end - begin));
+    for (int b = begin; b < end; ++b) {
+      for (const SpillSegment& seg : mt.segments[static_cast<size_t>(b)]) {
+        std::string buf;
+        if (!reader.TryReadAt(seg.offset, seg.bytes, &buf)) return false;
+        if (Crc32(buf.data(), buf.size()) != seg.crc) return false;
+        payloads[static_cast<size_t>(b - begin)].push_back(std::move(buf));
+      }
+    }
+    for (int b = begin; b < end; ++b) {
+      size_t next = 0;
+      for (const SpillSegment& seg : mt.segments[static_cast<size_t>(b)]) {
+        const std::string& buf =
+            payloads[static_cast<size_t>(b - begin)][next++];
+        const char* p = buf.data();
+        const char* e = p + buf.size();
+        for (uint64_t i = 0; i < seg.records; ++i) {
+          T record;
+          Serde<T>::Read(&p, e, &record);
+          fn(std::move(record));
+        }
+        RANKJOIN_CHECK(p == e);
+      }
+      for (T& t : mt.resident[static_cast<size_t>(b)]) fn(std::move(t));
+    }
+    return true;
+  }
+
+  /// Lineage fallback: re-executes map task `map_index` through the
+  /// retained recovery closure and emits its [begin, end) buckets in
+  /// the original arrival order — byte-identical to what the healthy
+  /// read would have produced. Throws NonRetryableError when no closure
+  /// is registered or the re-execution itself fails (the read task must
+  /// not be retried: its other mappers' resident data is already
+  /// consumed).
+  template <typename Fn>
+  void RecoverMapperRange(int map_index, MapTask& mt, int begin, int end,
+                          Fn&& fn) {
+    uint64_t runs = 0;
+    for (int b = begin; b < end; ++b) {
+      runs += mt.segments[static_cast<size_t>(b)].size();
+    }
+    if (!recover_) {
+      throw NonRetryableError(Status::IoError(
+          "shuffle " + std::to_string(id_) + ": spill data of map task " +
+          std::to_string(map_index) +
+          " is corrupt or missing and no lineage recovery is registered"));
+    }
+    TraceSink* sink = ctx_->tracer().enabled() ? &ctx_->tracer() : nullptr;
+    const int64_t start_us = sink != nullptr ? sink->NowMicros() : 0;
+    // Bucket-major regeneration buffer: preserves the exact per-bucket
+    // arrival order the segments+resident emission would have produced.
+    std::vector<std::vector<T>> regen(static_cast<size_t>(end - begin));
+    try {
+      // Serialized: two read tasks recovering the SAME map task would
+      // re-execute its lineage concurrently, racing on any per-partition
+      // user state the chain touches (e.g. the pipelines' stat slots).
+      std::lock_guard<std::mutex> lock(recover_mu_);
+      // Mask the read task's trace while re-streaming lineage: recovery
+      // replays records the write stage already tallied, so letting the
+      // chain's OpCounts land here would double-count logical dataflow.
+      ScopedTaskTrace mask(nullptr);
+      recover_(map_index, begin, end, [&regen, begin](int b, const T& t) {
+        regen[static_cast<size_t>(b - begin)].push_back(t);
+      });
+    } catch (const NonRetryableError&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw NonRetryableError(Status::IoError(
+          std::string("spill recovery re-execution failed: ") + e.what()));
+    }
+    recovered_runs_.fetch_add(runs, std::memory_order_relaxed);
+    ctx_->counters().Add("fault.spill.recovered", runs);
+    if (sink != nullptr) {
+      sink->Record({"spill recovery", "spill-recovery", CurrentTraceTid(),
+                    start_us, sink->NowMicros() - start_us, map_index, 0});
+    }
+    for (auto& bucket : regen) {
+      for (T& t : bucket) fn(std::move(t));
     }
   }
 
   Context* ctx_;
+  uint64_t id_;
   int num_buckets_;
   uint64_t budget_;
   std::vector<MapTask> tasks_;
@@ -279,29 +502,60 @@ class ShuffleService {
   std::vector<uint64_t> bucket_records_;
   uint64_t spilled_bytes_ = 0;
   uint64_t spilled_runs_ = 0;
+  std::atomic<uint64_t> recovered_runs_{0};
+  RecoverFn recover_;
+  /// Serializes lineage re-execution (see RecoverMapperRange).
+  std::mutex recover_mu_;
+  Status write_status_;
 };
 
 namespace internal {
 
 /// Runs the shuffle-write stage of `input` into a fresh ShuffleService:
 /// one task per input partition streams the partition — executing any
-/// pending narrow chain inside the task — and routes each record to
-/// `partition_of(task_index, record)`. Annotates the stage record with
-/// the fused ops and the spill counters.
-template <typename T, typename PartitionFn>
+/// pending narrow chain inside the task — and routes each record with
+/// the router `make_router(task_index)` returns. The factory form keeps
+/// retries and lineage recovery correct for stateful routers (e.g.
+/// Repartition's running counter): every attempt gets a FRESH router
+/// starting from the task's well-defined initial state. Annotates the
+/// stage record with the fused ops and the spill counters; a failed
+/// write stage poisons the service (write_status) and discards its
+/// spill files.
+template <typename T, typename MakeRouter>
 std::shared_ptr<ShuffleService<T>> ShuffleWrite(const Dataset<T>& input,
                                                 int num_buckets,
                                                 const std::string& name,
-                                                PartitionFn partition_of) {
+                                                MakeRouter make_router) {
   Context* ctx = input.context();
   auto service = std::make_shared<ShuffleService<T>>(
       ctx, input.num_partitions(), num_buckets);
+  if (!input.status().ok()) {
+    service->set_write_status(input.status());
+    return service;
+  }
+  // The retained lineage closure: holds the input handle (keeping its
+  // materialized partitions or pending chain alive for the shuffle's
+  // lifetime) so a corrupt or missing spill run can be regenerated at
+  // read time by re-running the owning map task.
+  service->SetRecovery(
+      [input, make_router](int m, int begin, int end,
+                           const std::function<void(int, const T&)>& collect) {
+        auto route = make_router(m);
+        input.StreamPartition(m, [&](const T& t) {
+          const int b = route(t);
+          if (b >= begin && b < end) collect(b, t);
+        });
+      });
   const std::string fused = input.pending_ops();
   StageMetrics write_stage =
       ctx->RunStage(name + "/shuffle-write", input.num_partitions(),
                     [&](int i) {
+                      // A retried attempt starts from a clean slate (and
+                      // a fresh router).
+                      service->ResetMapTask(i);
+                      auto route = make_router(i);
                       input.StreamPartition(i, [&](const T& t) {
-                        service->Add(i, partition_of(i, t), t);
+                        service->Add(i, route(t), t);
                       });
                     });
   service->FinishWrite();
@@ -309,31 +563,47 @@ std::shared_ptr<ShuffleService<T>> ShuffleWrite(const Dataset<T>& input,
       fused.empty() ? "shuffleWrite" : fused + "+shuffleWrite";
   write_stage.spilled_bytes = service->spilled_bytes();
   write_stage.spilled_runs = service->spilled_runs();
+  if (!write_stage.status.ok()) {
+    service->set_write_status(write_stage.status);
+    service->DiscardSpills();
+  }
   ctx->AddStage(std::move(write_stage));
   return service;
 }
 
 /// Runs the shuffle-read stage: one task per coalesced range streams its
-/// buckets out of the service (merging spilled runs with resident data)
-/// into an output partition. Shuffle volume is counted inside the read
-/// tasks while they consume — no post-hoc rescan of the output. An
-/// optional `post(partition_index, &partition)` runs at the end of each
-/// task (sortByKey sorts there); pass a `post_op` label to surface it in
-/// the stage's fused_ops.
+/// buckets out of the service (merging spilled runs with resident data,
+/// verifying checksums, recovering corrupt runs from lineage) into an
+/// output partition. Shuffle volume is counted inside the read tasks
+/// while they consume — no post-hoc rescan of the output. An optional
+/// `post(partition_index, &partition)` runs at the end of each task
+/// (sortByKey sorts there); pass a `post_op` label to surface it in the
+/// stage's fused_ops. A failed write stage, or a failed read task,
+/// surfaces through `*out_status` (the returned partitions are then
+/// empty/partial and the caller poisons its dataset).
 template <typename T, typename PostFn>
 std::shared_ptr<const std::vector<std::vector<T>>> ShuffleRead(
     Context* ctx, ShuffleService<T>* service, const PartitionRanges& ranges,
-    const std::string& name, PostFn post, const char* post_op) {
+    const std::string& name, Status* out_status, PostFn post,
+    const char* post_op) {
   const int num_out = ranges.NumPartitions();
   auto out =
       std::make_shared<std::vector<std::vector<T>>>(
           static_cast<size_t>(num_out));
+  if (!service->write_status().ok()) {
+    if (out_status != nullptr) *out_status = service->write_status();
+    return out;
+  }
   std::vector<uint64_t> task_records(static_cast<size_t>(num_out), 0);
   std::vector<uint64_t> task_bytes(static_cast<size_t>(num_out), 0);
   TraceSink* sink = ctx->tracer().enabled() ? &ctx->tracer() : nullptr;
   StageMetrics read_stage =
       ctx->RunStage(name + "/shuffle-read", num_out, [&](int p) {
         std::vector<T>& dest = (*out)[static_cast<size_t>(p)];
+        // Retry hygiene (reads consume destructively, so retryable
+        // faults only fire BEFORE consumption — but keep the slate
+        // clean regardless).
+        dest.clear();
         dest.reserve(service->RecordsInRange(ranges.begin(p), ranges.end(p)));
         uint64_t records = 0;
         uint64_t bytes = 0;
@@ -346,7 +616,7 @@ std::shared_ptr<const std::vector<std::vector<T>>> ShuffleRead(
         if (sink != nullptr) {
           sink->Record({name + "/read-range", "shuffle-read",
                         CurrentTraceTid(), start_us,
-                        sink->NowMicros() - start_us, p});
+                        sink->NowMicros() - start_us, p, 0});
         }
         post(p, &dest);
         // Per-task accounting goes into slots of driver-owned vectors
@@ -372,6 +642,11 @@ std::shared_ptr<const std::vector<std::vector<T>>> ShuffleRead(
   read_stage.materialized_bytes = read_stage.shuffle_bytes;
   read_stage.coalesced_partitions =
       static_cast<uint64_t>(ranges.CoalescedAway());
+  read_stage.recovered_spill_runs = service->recovered_runs();
+  if (!read_stage.status.ok()) {
+    if (out_status != nullptr) *out_status = read_stage.status;
+    service->DiscardSpills();
+  }
   ctx->AddStage(std::move(read_stage));
   return out;
 }
@@ -379,8 +654,8 @@ std::shared_ptr<const std::vector<std::vector<T>>> ShuffleRead(
 template <typename T>
 std::shared_ptr<const std::vector<std::vector<T>>> ShuffleRead(
     Context* ctx, ShuffleService<T>* service, const PartitionRanges& ranges,
-    const std::string& name) {
-  return ShuffleRead(ctx, service, ranges, name,
+    const std::string& name, Status* out_status) {
+  return ShuffleRead(ctx, service, ranges, name, out_status,
                      [](int, std::vector<T>*) {}, nullptr);
 }
 

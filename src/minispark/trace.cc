@@ -132,8 +132,10 @@ std::string TraceSink::ToChromeTraceJson(
        << "\",\"cat\":\"" << internal::JsonEscape(span.category)
        << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << span.tid
        << ",\"ts\":" << span.start_us << ",\"dur\":" << span.dur_us;
-    if (span.task_index >= 0) {
-      os << ",\"args\":{\"task\":" << span.task_index << "}";
+    if (span.task_index >= 0 || span.attempt > 0) {
+      os << ",\"args\":{\"task\":" << span.task_index;
+      if (span.attempt > 0) os << ",\"attempt\":" << span.attempt;
+      os << "}";
     }
     os << "}";
   }

@@ -166,11 +166,17 @@ class CounterRegistry {
 /// One completed span recorded by the TraceSink.
 struct TraceSpan {
   std::string name;      ///< stage/task label
-  std::string category;  ///< "stage", "task", "spill", "shuffle-read"
+  /// "stage", "task", "spill", "shuffle-read", plus the fault-tolerance
+  /// categories: "task-retry" (a re-run attempt after a retryable
+  /// failure), "task-speculative" (a straggler's duplicate launch), and
+  /// "spill-recovery" (a corrupt/missing spill run regenerated from
+  /// lineage).
+  std::string category;
   int tid = 0;           ///< CurrentTraceTid() of the recording thread
   int64_t start_us = 0;  ///< microseconds since the sink's epoch
   int64_t dur_us = 0;
   int64_t task_index = -1;  ///< task number within the stage, -1 = n/a
+  int64_t attempt = 0;      ///< attempt number of the task, 0 = first try
 };
 
 /// Collects task/spill/shuffle-read spans and serializes them as Chrome

@@ -345,6 +345,9 @@ TEST(ClCountersTest, ConsistentAcrossFusionAndSpill) {
   // The spill budget env var (set by the CI spill job) would collapse
   // the resident/spill contrast — pin it off for this test.
   ScopedEnv budget_env("RANKJOIN_SHUFFLE_BUDGET_BYTES", nullptr);
+  // Fault injection (set by the CI chaos job) would add fault.* counts
+  // to the spill contexts only — pin it off for the snapshot compare.
+  ScopedEnv fault_env("RANKJOIN_FAULT_SPEC", nullptr);
 
   Context::Options fused = TestCluster();
   Context::Options unfused = TestCluster();
