@@ -197,8 +197,20 @@ void Context::RunTaskAttempts(const std::shared_ptr<StageExec>& ex, int index,
     return ex->cancelled.load(std::memory_order_relaxed) ||
            slot.won.load(std::memory_order_acquire);
   };
+  // True once THIS attempt chain holds the commit claim (slot.won): the
+  // success path CASes it before running its commit thunk, and the
+  // failure/cancellation paths CAS it before resolving the slot, so a
+  // straggling speculative duplicate can never claim-and-commit after
+  // the driver's barrier has released.
+  bool holds_claim = false;
   for (int attempt = 0;; ++attempt) {
     if (abandoned()) break;
+    if (!speculative && attempt == 0) {
+      // Stamped BEFORE the injected straggler delay: the scan in
+      // MaybeLaunchSpeculative must see a delayed task as started, or
+      // an injected task_delay could never trigger speculation.
+      slot.first_start_us.store(SteadyNowMicros(), std::memory_order_relaxed);
+    }
     // Speculative attempts draw from a disjoint key range, keeping their
     // fault schedule independent of the primary's.
     const uint64_t attempt_key =
@@ -208,9 +220,6 @@ void Context::RunTaskAttempts(const std::shared_ptr<StageExec>& ex, int index,
           fault_injector_.TaskDelayMs(ex->name, index, attempt_key);
       if (delay_ms > 0) InterruptibleSleepMs(delay_ms, abandoned);
       if (abandoned()) break;
-    }
-    if (!speculative && attempt == 0) {
-      slot.first_start_us.store(SteadyNowMicros(), std::memory_order_relaxed);
     }
     const int64_t start_us = sink != nullptr ? sink->NowMicros() : 0;
     Stopwatch watch;
@@ -256,9 +265,9 @@ void Context::RunTaskAttempts(const std::shared_ptr<StageExec>& ex, int index,
     }
     if (failure.ok()) {
       bool expected = false;
-      const bool winner = slot.won.compare_exchange_strong(
+      holds_claim = slot.won.compare_exchange_strong(
           expected, true, std::memory_order_acq_rel);
-      if (winner) {
+      if (holds_claim) {
         // First finisher claims the slot and publishes its writes; a
         // losing duplicate's commit thunk is simply dropped.
         if (commit) commit();
@@ -290,22 +299,44 @@ void Context::RunTaskAttempts(const std::shared_ptr<StageExec>& ex, int index,
     // Out of retries, or non-retryable. A speculative loser never fails
     // the stage — its primary is still running and owns the outcome.
     if (!speculative) {
-      std::lock_guard<std::mutex> lock(ex->mu);
-      if (ex->first_error.ok()) ex->first_error = std::move(failure);
-      ex->cancelled.store(true, std::memory_order_relaxed);
+      // Claim the slot BEFORE publishing the failure: once claimed, a
+      // straggling speculative duplicate can never win the commit CAS
+      // after the driver's barrier releases. Losing this claim means a
+      // duplicate already committed — the task succeeded after all, so
+      // the primary's failure is dropped.
+      bool expected = false;
+      holds_claim = slot.won.compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel);
+      if (holds_claim) {
+        std::lock_guard<std::mutex> lock(ex->mu);
+        if (ex->first_error.ok()) ex->first_error = std::move(failure);
+        ex->cancelled.store(true, std::memory_order_relaxed);
+      }
     }
     break;
   }
   // Whatever path exited the loop — commit, permanent failure, or
   // cancellation before ever starting — the primary must resolve its
-  // slot so the driver's barrier completes. (A speculative duplicate
-  // never resolves on failure paths; the primary does.)
+  // slot so the driver's barrier completes, but only with the commit
+  // claim settled: a slot resolved while unclaimed would let a
+  // straggling speculative duplicate win the claim and run its commit
+  // thunk after the barrier released, racing the driver's own reads and
+  // writes. If the final CAS loses, some other attempt committed while
+  // holding the claim and owns the resolution (a speculative winner
+  // always resolves the slot itself).
   if (!speculative) {
-    std::lock_guard<std::mutex> lock(ex->mu);
-    if (!slot.resolved) {
-      slot.resolved = true;
-      ++ex->resolved_count;
-      ex->cv.notify_all();
+    if (!holds_claim) {
+      bool expected = false;
+      holds_claim = slot.won.compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel);
+    }
+    if (holds_claim) {
+      std::lock_guard<std::mutex> lock(ex->mu);
+      if (!slot.resolved) {
+        slot.resolved = true;
+        ++ex->resolved_count;
+        ex->cv.notify_all();
+      }
     }
   }
 }

@@ -401,12 +401,22 @@ class ShuffleService {
   /// is read and checksummed BEFORE the first record is pushed into
   /// `fn`, so a corrupt run never leaks partial output. Returns false
   /// (having emitted nothing) when any segment is unreadable or fails
-  /// its CRC.
+  /// its CRC. Payloads are retained from the validation pass only up to
+  /// a cap: spilling happens precisely under memory pressure, so
+  /// buffering a mapper's whole bucket range could transiently hold
+  /// many times the shuffle budget — segments beyond the cap are
+  /// checksummed, dropped, and re-read (and re-verified) one at a time
+  /// during emission.
   template <typename Fn>
   bool EmitSpilledRange(MapTask& mt, int begin, int end, Fn&& fn) {
     if (!mt.spill) return false;
     SpillFile::Reader reader(mt.spill->path());
     if (!reader.ok()) return false;
+    const uint64_t buffer_cap =
+        std::max<uint64_t>(budget_, uint64_t{1} << 20);
+    uint64_t buffered = 0;
+    // One entry per segment of the range, in emission order; an empty
+    // payload for a non-empty segment means "re-read at emit time".
     std::vector<std::vector<std::string>> payloads(
         static_cast<size_t>(end - begin));
     for (int b = begin; b < end; ++b) {
@@ -414,24 +424,52 @@ class ShuffleService {
         std::string buf;
         if (!reader.TryReadAt(seg.offset, seg.bytes, &buf)) return false;
         if (Crc32(buf.data(), buf.size()) != seg.crc) return false;
-        payloads[static_cast<size_t>(b - begin)].push_back(std::move(buf));
+        std::vector<std::string>& kept =
+            payloads[static_cast<size_t>(b - begin)];
+        if (buffered + seg.bytes <= buffer_cap) {
+          buffered += seg.bytes;
+          kept.push_back(std::move(buf));
+        } else {
+          kept.emplace_back();
+        }
       }
     }
+    bool emitted = false;
     for (int b = begin; b < end; ++b) {
       size_t next = 0;
       for (const SpillSegment& seg : mt.segments[static_cast<size_t>(b)]) {
-        const std::string& buf =
-            payloads[static_cast<size_t>(b - begin)][next++];
+        std::string buf =
+            std::move(payloads[static_cast<size_t>(b - begin)][next++]);
+        if (buf.empty() && seg.bytes > 0) {
+          // Dropped by the cap above. The segment already validated and
+          // the handle is still open, so a failure here is disk rot
+          // between the two passes: with nothing emitted yet, lineage
+          // recovery can still take over; afterwards falling back would
+          // emit the whole range twice, so it must surface as a
+          // permanent error instead.
+          const bool ok = reader.TryReadAt(seg.offset, seg.bytes, &buf) &&
+                          Crc32(buf.data(), buf.size()) == seg.crc;
+          if (!ok) {
+            if (!emitted) return false;
+            throw NonRetryableError(Status::IoError(
+                "spill segment of '" + mt.spill->path() +
+                "' validated but failed its re-read during emission"));
+          }
+        }
         const char* p = buf.data();
         const char* e = p + buf.size();
         for (uint64_t i = 0; i < seg.records; ++i) {
           T record;
           Serde<T>::Read(&p, e, &record);
+          emitted = true;
           fn(std::move(record));
         }
         RANKJOIN_CHECK(p == e);
       }
-      for (T& t : mt.resident[static_cast<size_t>(b)]) fn(std::move(t));
+      for (T& t : mt.resident[static_cast<size_t>(b)]) {
+        emitted = true;
+        fn(std::move(t));
+      }
     }
     return true;
   }
@@ -600,25 +638,50 @@ std::shared_ptr<const std::vector<std::vector<T>>> ShuffleRead(
   StageMetrics read_stage =
       ctx->RunStage(name + "/shuffle-read", num_out, [&](int p) {
         std::vector<T>& dest = (*out)[static_cast<size_t>(p)];
-        // Retry hygiene (reads consume destructively, so retryable
-        // faults only fire BEFORE consumption — but keep the slate
-        // clean regardless).
+        // Retry hygiene: injected retryable faults fire before the task
+        // body runs, so a retried attempt re-enters here with nothing
+        // consumed — but keep the slate clean regardless.
         dest.clear();
         dest.reserve(service->RecordsInRange(ranges.begin(p), ranges.end(p)));
         uint64_t records = 0;
         uint64_t bytes = 0;
         const int64_t start_us = sink != nullptr ? sink->NowMicros() : 0;
-        service->ReadRange(ranges.begin(p), ranges.end(p), [&](T&& record) {
-          bytes += ShuffleRecordBytes(record);
-          dest.push_back(std::move(record));
-          ++records;
-        });
-        if (sink != nullptr) {
-          sink->Record({name + "/read-range", "shuffle-read",
-                        CurrentTraceTid(), start_us,
-                        sink->NowMicros() - start_us, p, 0});
+        // Consumption is destructive (resident buckets are moved out),
+        // so once the first record has been emitted a retry of this task
+        // would silently re-emit moved-from residue: escalate any
+        // genuine mid-consumption failure (a throwing post fn, a Serde
+        // decode error, bad_alloc while growing dest) to a permanent
+        // one instead of letting the attempt loop re-run it.
+        bool consumed = false;
+        const auto non_retryable_from_here = [&](const std::string& what) {
+          return NonRetryableError(Status::Internal(
+              name + ": shuffle-read task " + std::to_string(p) +
+              " failed after consuming shuffle data (not retryable): " +
+              what));
+        };
+        try {
+          service->ReadRange(ranges.begin(p), ranges.end(p),
+                             [&](T&& record) {
+                               consumed = true;
+                               bytes += ShuffleRecordBytes(record);
+                               dest.push_back(std::move(record));
+                               ++records;
+                             });
+          if (sink != nullptr) {
+            sink->Record({name + "/read-range", "shuffle-read",
+                          CurrentTraceTid(), start_us,
+                          sink->NowMicros() - start_us, p, 0});
+          }
+          post(p, &dest);
+        } catch (const NonRetryableError&) {
+          throw;
+        } catch (const std::exception& e) {
+          if (!consumed) throw;
+          throw non_retryable_from_here(e.what());
+        } catch (...) {
+          if (!consumed) throw;
+          throw non_retryable_from_here("unknown exception");
         }
-        post(p, &dest);
         // Per-task accounting goes into slots of driver-owned vectors
         // indexed by the task's own partition — no two tasks share a
         // slot, and the stage barrier publishes them to the driver,

@@ -455,6 +455,58 @@ TEST(SpillRecoveryTest, NoRecoveryRegisteredIsNonRetryable) {
                NonRetryableError);
 }
 
+TEST(SpillRecoveryTest, MidConsumptionReadFailureIsNotRetried) {
+  PinnedEnv env;
+  Context::Options options = TestCluster();
+  options.max_task_retries = 3;
+  options.retry_backoff_ms = 0;
+  options.trace_level = TraceLevel::kCounters;
+  Context ctx(options);
+  const int buckets = 4;
+  auto service = WriteTestShuffle(&ctx, buckets);
+  auto post_calls = std::make_shared<std::atomic<int>>(0);
+  Status status;
+  internal::ShuffleRead(
+      &ctx, service.get(), PartitionRanges::Identity(buckets), "t", &status,
+      [post_calls](int p, std::vector<IntPair>*) {
+        // A post fn that fails only on its first call: a retry of the
+        // consuming task would then "succeed" — silently re-emitting
+        // moved-from residue — so the failure must be permanent.
+        if (p == 0 && post_calls->fetch_add(1) == 0) {
+          throw std::runtime_error("post failed once");
+        }
+      },
+      "post");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("not retryable"), std::string::npos);
+  EXPECT_EQ(ctx.counters().Value("fault.task.retried"), 0u);
+}
+
+TEST(SpillRecoveryTest, RangeLargerThanReadBufferCapRoundTrips) {
+  PinnedEnv env;
+  Context::Options options = TestCluster();
+  options.shuffle_memory_budget_bytes = 1;  // spill everything
+  Context ctx(options);
+  ShuffleService<std::string> service(&ctx, 1, 4);
+  // ~2 MiB of spilled payload — beyond the validation-pass buffering
+  // cap, so the emit pass must re-read (and re-verify) the overflow
+  // segments instead of holding the whole range in memory.
+  const std::string chunk(4096, 'x');
+  constexpr int kRecords = 512;
+  for (int i = 0; i < kRecords; ++i) {
+    service.Add(0, i % 4, chunk + std::to_string(i));
+  }
+  service.FinishWrite();
+  ASSERT_GT(service.spilled_bytes(), uint64_t{1} << 20);
+  std::vector<std::string> got;
+  service.ReadRange(0, 4,
+                    [&](std::string&& s) { got.push_back(std::move(s)); });
+  ASSERT_EQ(got.size(), static_cast<size_t>(kRecords));
+  std::multiset<std::string> expect;
+  for (int i = 0; i < kRecords; ++i) expect.insert(chunk + std::to_string(i));
+  EXPECT_EQ(std::multiset<std::string>(got.begin(), got.end()), expect);
+}
+
 TEST(SpillRecoveryTest, UnwritableSpillDirDegradesToResident) {
   PinnedEnv env;
   // Point spill_dir at a regular FILE: creating the context's spill
@@ -521,6 +573,58 @@ TEST(SpeculationTest, OffByDefault) {
       });
   EXPECT_TRUE(stage.status.ok());
   EXPECT_EQ(stage.speculative_launches, 0u);
+}
+
+TEST(SpeculationTest, InjectedDelayTriggersSpeculation) {
+  PinnedEnv env;
+  Context::Options options = TestCluster(4, 8);
+  options.speculation_multiplier = 2.0;
+  options.fault_spec = "task_delay:p=1,ms=150";
+  Context ctx(options);
+  // Every attempt sleeps an injected 150 ms before its body, so the
+  // second wave of primaries visibly straggles while the first wave's
+  // fast medians are already in. The straggler scan must see delayed
+  // tasks as started (first_start_us is stamped BEFORE the injected
+  // delay), or task_delay could never feed speculative execution.
+  StageMetrics stage =
+      ctx.RunStageIsolated("delayed", 8, [](int) { return []() {}; });
+  EXPECT_TRUE(stage.status.ok());
+  EXPECT_GE(stage.speculative_launches, 1u);
+}
+
+TEST(SpeculationTest, StragglingLoserNeverCommitsAfterStageFailure) {
+  PinnedEnv env;
+  Context::Options options = TestCluster(4, 8);
+  options.speculation_multiplier = 2.0;
+  auto commits = std::make_shared<std::atomic<int>>(0);
+  auto invocations = std::make_shared<std::atomic<int>>(0);
+  Status status;
+  {
+    Context ctx(options);
+    StageMetrics stage = ctx.RunStageIsolated(
+        "fail-primary", 8,
+        [commits, invocations](int i) -> std::function<void()> {
+          if (i != 3) return []() {};
+          if (invocations->fetch_add(1) == 0) {
+            // Primary: straggle long enough for the duplicate to
+            // launch, then fail permanently.
+            std::this_thread::sleep_for(std::chrono::milliseconds(250));
+            throw NonRetryableError(Status::Internal("primary died"));
+          }
+          // Speculative duplicate: outlive the stage barrier, then try
+          // to commit.
+          std::this_thread::sleep_for(std::chrono::milliseconds(500));
+          return [commits]() { commits->fetch_add(1); };
+        });
+    status = stage.status;
+    // ~Context drains the still-straggling duplicate before `commits`
+    // is inspected.
+  }
+  EXPECT_FALSE(status.ok());
+  // The failed primary claimed the slot, so the duplicate's late commit
+  // must have been dropped — running it here would race the driver,
+  // which returned from the stage barrier long before.
+  EXPECT_EQ(commits->load(), 0);
 }
 
 // ---------------------------------------------------------------------
