@@ -14,7 +14,8 @@
 #include "ranking/prefix.h"
 #include "ranking/reorder.h"
 
-int main() {
+int main(int argc, char** argv) {
+  rankjoin::bench::ParseCommonFlags(argc, argv);
   using namespace rankjoin;
   using namespace rankjoin::bench;
 

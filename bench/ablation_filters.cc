@@ -127,7 +127,8 @@ void RunClusteringStrategyAblation(const std::string& dataset,
 }  // namespace
 }  // namespace rankjoin::bench
 
-int main() {
+int main(int argc, char** argv) {
+  rankjoin::bench::ParseCommonFlags(argc, argv);
   using namespace rankjoin;
   using namespace rankjoin::bench;
 

@@ -3,16 +3,32 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "common/stopwatch.h"
+#include "data/io.h"
 #include "minispark/trace.h"
 
 namespace rankjoin::bench {
 namespace {
 
 RankingDataset BuildDataset(const std::string& name) {
+  if (name == "MMAP") {
+    if (Config().mmap_path.empty()) {
+      std::fprintf(stderr,
+                   "dataset MMAP requires --mmap FILE on the command line\n");
+      std::exit(1);
+    }
+    auto mapped = MapFlatRankings(Config().mmap_path);
+    if (!mapped.ok()) {
+      std::fprintf(stderr, "--mmap %s: %s\n", Config().mmap_path.c_str(),
+                   mapped.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(*mapped);
+  }
   if (name == "DBLP") return GenerateDataset(DblpLikeOptions());
   if (name == "ORKU") return GenerateDataset(OrkuLikeOptions());
   if (name == "ORKU25") return GenerateDataset(OrkuLikeK25Options());
@@ -42,14 +58,49 @@ const RankingDataset& GetDataset(const std::string& name) {
   return it->second;
 }
 
+BenchConfig& Config() {
+  static BenchConfig config;
+  return config;
+}
+
+std::vector<int> ParseCommonFlags(int argc, char** argv) {
+  std::vector<int> rest;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--store")) {
+      auto store = ParseRankingStore(next("--store"));
+      if (!store.ok()) {
+        std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+        std::exit(2);
+      }
+      Config().store = *store;
+    } else if (!std::strcmp(argv[i], "--mmap")) {
+      Config().mmap_path = next("--mmap");
+    } else if (!std::strcmp(argv[i], "--pipelined")) {
+      Config().pipelined = true;
+    } else {
+      rest.push_back(i);
+    }
+  }
+  return rest;
+}
+
 RunOutcome RunOnce(const std::string& dataset, SimilarityJoinConfig config,
                    const RunOptions& options) {
   const RankingDataset& data = GetDataset(dataset);
   minispark::Context ctx({.num_workers = options.num_workers,
-                          .default_partitions = options.num_partitions});
+                          .default_partitions = options.num_partitions,
+                          .pipelined_stages = Config().pipelined});
   if (config.num_partitions <= 0) {
     config.num_partitions = options.num_partitions;
   }
+  config.store = Config().store;
 
   Stopwatch watch;
   auto result = RunSimilarityJoin(&ctx, data, config);

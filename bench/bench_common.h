@@ -26,7 +26,33 @@ namespace rankjoin::bench {
 ///   ORKU     6,000 top-10 rankings, larger vocabulary
 ///   ORKUx5   ORKU scaled 5x
 ///   ORKU25   4,500 top-25 rankings (paper Fig. 11)
+///   MMAP     the columnar file named by --mmap, loaded zero-copy
 const RankingDataset& GetDataset(const std::string& name);
+
+/// Benchmark-process configuration shared by every figure binary,
+/// parsed from the common CLI flags:
+///
+///   --store flat|legacy   ranking representation A/B knob (see
+///                         SimilarityJoinConfig::store); default flat
+///   --mmap FILE           register FILE (binary columnar RKJC format,
+///                         data/io.h) as dataset "MMAP"
+///   --pipelined           overlap shuffle write/read stages (same as
+///                         RANKJOIN_PIPELINED_STAGES=1)
+///
+/// RunOnce consults this config for every run.
+struct BenchConfig {
+  RankingStore store = RankingStore::kFlat;
+  std::string mmap_path;
+  bool pipelined = false;
+};
+
+/// The process-wide benchmark configuration (mutable).
+BenchConfig& Config();
+
+/// Parses the common flags above out of argv into Config(). Flags the
+/// helper does not recognize are left for the caller (their indices are
+/// returned); exits on malformed values of recognized flags.
+std::vector<int> ParseCommonFlags(int argc, char** argv);
 
 /// One benchmark measurement.
 struct RunOutcome {

@@ -74,8 +74,10 @@ void RunFigure(const std::string& dataset, const char* panel,
 
 int main(int argc, char** argv) {
   using rankjoin::bench::RunFigure;
+  const std::vector<int> rest =
+      rankjoin::bench::ParseCommonFlags(argc, argv);
   // Budget per run; predecessors beyond it mark the sweep DNF.
-  const double budget = argc > 1 ? std::atof(argv[1]) : 120.0;
+  const double budget = !rest.empty() ? std::atof(argv[rest[0]]) : 120.0;
   RunFigure("DBLP", "a", budget);
   RunFigure("DBLPx5", "b", budget);
   RunFigure("DBLPx10", "c", budget);

@@ -44,7 +44,8 @@ void RunFigure(const std::string& dataset, const char* panel) {
 }  // namespace
 }  // namespace rankjoin::bench
 
-int main() {
+int main(int argc, char** argv) {
+  rankjoin::bench::ParseCommonFlags(argc, argv);
   rankjoin::bench::RunFigure("DBLPx5", "a");
   rankjoin::bench::RunFigure("ORKU", "b");
   return 0;

@@ -45,7 +45,8 @@ void RunFigure(const std::string& dataset, const char* panel) {
 }  // namespace
 }  // namespace rankjoin::bench
 
-int main() {
+int main(int argc, char** argv) {
+  rankjoin::bench::ParseCommonFlags(argc, argv);
   rankjoin::bench::RunFigure("DBLP", "a");
   rankjoin::bench::RunFigure("DBLPx5", "b");
   rankjoin::bench::RunFigure("ORKU", "c");

@@ -49,7 +49,8 @@ void RunFigure(const std::string& dataset, const char* panel,
 }  // namespace
 }  // namespace rankjoin::bench
 
-int main() {
+int main(int argc, char** argv) {
+  rankjoin::bench::ParseCommonFlags(argc, argv);
   using rankjoin::bench::RunFigure;
   // Per-dataset delta ranges, scaled from the paper's (which were tied
   // to its dataset sizes). Larger thresholds get the larger dataset

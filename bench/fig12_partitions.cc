@@ -38,7 +38,8 @@ void RunFigure(const std::string& dataset, const char* panel) {
 }  // namespace
 }  // namespace rankjoin::bench
 
-int main() {
+int main(int argc, char** argv) {
+  rankjoin::bench::ParseCommonFlags(argc, argv);
   rankjoin::bench::RunFigure("DBLP", "a");
   rankjoin::bench::RunFigure("DBLPx5", "b");
   return 0;

@@ -9,7 +9,8 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  rankjoin::bench::ParseCommonFlags(argc, argv);
   using namespace rankjoin;
   using namespace rankjoin::bench;
 

@@ -13,7 +13,8 @@
 #include "jaccard/jaccard_join.h"
 #include "minispark/dataset.h"
 
-int main() {
+int main(int argc, char** argv) {
+  rankjoin::bench::ParseCommonFlags(argc, argv);
   using namespace rankjoin;
   using namespace rankjoin::bench;
 

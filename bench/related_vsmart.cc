@@ -16,7 +16,8 @@
 #include "join/vsmart.h"
 #include "minispark/dataset.h"
 
-int main() {
+int main(int argc, char** argv) {
+  rankjoin::bench::ParseCommonFlags(argc, argv);
   using namespace rankjoin;
   using namespace rankjoin::bench;
 

@@ -15,7 +15,8 @@
 #include "ranking/reorder.h"
 #include "search/range_search.h"
 
-int main() {
+int main(int argc, char** argv) {
+  rankjoin::bench::ParseCommonFlags(argc, argv);
   using namespace rankjoin;
   using namespace rankjoin::bench;
 

@@ -5,7 +5,10 @@
 //   make_dataset --output data.txt [--preset dblp|orku|orku25]
 //                [--n 4000] [--k 10] [--domain 2000] [--skew 1.05]
 //                [--near-dup 0.15] [--exact-dup 0.02] [--seed 42]
-//                [--scale 1]
+//                [--scale 1] [--flat-out data.rkjc]
+//
+// --flat-out additionally (or, with --output "", only) writes the
+// binary columnar RKJC file rankjoin_cli --mmap loads zero-copy.
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +25,7 @@ int main(int argc, char** argv) {
 
   GeneratorOptions options = DblpLikeOptions();
   std::string output;
+  std::string flat_out;
   int scale = 1;
 
   for (int i = 1; i < argc; ++i) {
@@ -34,6 +38,8 @@ int main(int argc, char** argv) {
     };
     if (!std::strcmp(argv[i], "--output")) {
       output = next("--output");
+    } else if (!std::strcmp(argv[i], "--flat-out")) {
+      flat_out = next("--flat-out");
     } else if (!std::strcmp(argv[i], "--preset")) {
       const std::string preset = next("--preset");
       if (preset == "dblp") {
@@ -68,9 +74,10 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (output.empty()) {
+  if (output.empty() && flat_out.empty()) {
     std::fprintf(stderr,
-                 "usage: %s --output FILE [--preset dblp|orku|orku25] "
+                 "usage: %s --output FILE [--flat-out FILE] "
+                 "[--preset dblp|orku|orku25] "
                  "[--n N] [--k K] [--domain D] [--skew S] [--near-dup R] "
                  "[--exact-dup R] [--seed S] [--scale X]\n",
                  argv[0]);
@@ -81,11 +88,22 @@ int main(int argc, char** argv) {
   if (scale > 1) {
     dataset = ScaleDataset(dataset, scale, options.domain_size);
   }
-  if (Status s = WriteRankings(output, dataset); !s.ok()) {
-    std::fprintf(stderr, "%s\n", s.ToString().c_str());
-    return 1;
+  if (!output.empty()) {
+    if (Status s = WriteRankings(output, dataset); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu rankings to %s\n", dataset.size(),
+                output.c_str());
   }
-  std::printf("wrote %zu rankings to %s\n", dataset.size(), output.c_str());
+  if (!flat_out.empty()) {
+    if (Status s = WriteFlatRankings(flat_out, dataset); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu rankings (columnar) to %s\n", dataset.size(),
+                flat_out.c_str());
+  }
   std::printf("%s\n", ComputeDatasetStats(dataset).ToString().c_str());
   return 0;
 }

@@ -6,9 +6,12 @@
 //                [--theta-c 0.03] [--delta 500] [--partitions 64]
 //                [--workers 4] [--output pairs.txt] [--stats]
 //                [--metrics] [--trace-out trace.json] [--lint]
+//                [--store flat|legacy] [--mmap FILE] [--pipelined]
 //
 // Input format: one ranking per line, "id: i0 i1 ... ik-1" (see
-// data/io.h). Output: "id1 id2" lines sorted by pair.
+// data/io.h), or a binary columnar file via --mmap (zero-copy load;
+// --k is inferred from the file header). Output: "id1 id2" lines
+// sorted by pair.
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,7 +43,12 @@ void Usage(const char* argv0) {
       "  --lint             lint every plan the run collects (MS001..MS005,\n"
       "                     see docs/MINISPARK.md) and print the report;\n"
       "                     RANKJOIN_LINT_LEVEL=error additionally rejects\n"
-      "                     bad plans before any task runs\n",
+      "                     bad plans before any task runs\n"
+      "  --store NAME       flat (columnar, default) | legacy\n"
+      "  --mmap FILE        load a binary columnar dataset (data/io.h\n"
+      "                     RKJC format) by mmap instead of --input\n"
+      "  --pipelined        overlap shuffle write/read stages (same as\n"
+      "                     RANKJOIN_PIPELINED_STAGES=1)\n",
       argv0);
 }
 
@@ -61,7 +69,10 @@ int main(int argc, char** argv) {
   bool print_stats = false;
   bool print_metrics = false;
   bool lint = false;
+  bool pipelined = false;
   std::string trace_out;
+  std::string store_name = "flat";
+  std::string mmap_path;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -97,13 +108,20 @@ int main(int argc, char** argv) {
       trace_out = next("--trace-out");
     } else if (!std::strcmp(argv[i], "--lint")) {
       lint = true;
+    } else if (!std::strcmp(argv[i], "--store")) {
+      store_name = next("--store");
+    } else if (!std::strcmp(argv[i], "--mmap")) {
+      mmap_path = next("--mmap");
+    } else if (!std::strcmp(argv[i], "--pipelined")) {
+      pipelined = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       Usage(argv[0]);
       return 2;
     }
   }
-  if (input.empty() || k <= 0 || theta < 0) {
+  if ((input.empty() == mmap_path.empty()) ||
+      (mmap_path.empty() && k <= 0) || theta < 0) {
     Usage(argv[0]);
     return 2;
   }
@@ -113,7 +131,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
     return 2;
   }
-  auto dataset = ReadRankings(input, k);
+  auto store = ParseRankingStore(store_name);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 2;
+  }
+  auto dataset = mmap_path.empty() ? ReadRankings(input, k)
+                                   : MapFlatRankings(mmap_path);
   if (!dataset.ok()) {
     std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
     return 1;
@@ -128,12 +152,14 @@ int main(int argc, char** argv) {
   if (lint && cluster.lint_level == minispark::LintLevel::kOff) {
     cluster.lint_level = minispark::LintLevel::kWarn;
   }
+  if (pipelined) cluster.pipelined_stages = true;
   minispark::Context ctx(cluster);
   SimilarityJoinConfig config;
   config.algorithm = *parsed;
   config.theta = theta;
   config.theta_c = theta_c;
   config.delta = delta;
+  config.store = *store;
   auto result = RunSimilarityJoin(&ctx, *dataset, config);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());

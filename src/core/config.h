@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "ranking/flat_rankings.h"
 
 namespace rankjoin {
 
@@ -56,6 +57,11 @@ struct SimilarityJoinConfig {
   /// CL/CL-P: keep only the closest centroid per member (the paper
   /// keeps clusters overlapping; see ClOptions::resolve_overlaps).
   bool resolve_overlaps = false;
+
+  /// Which in-memory ranking representation the pipelines parallelize
+  /// over: the columnar FlatRankings store (default) or the legacy
+  /// vector<Ranking> path kept for A/B measurements (--store=legacy).
+  RankingStore store = RankingStore::kFlat;
 
   /// Checks parameter ranges and algorithm-specific requirements for a
   /// dataset with rankings of length `k`.

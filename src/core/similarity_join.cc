@@ -27,6 +27,7 @@ Result<JoinResult> RunSimilarityJoin(minispark::Context* ctx,
       options.local_algorithm = config.algorithm == Algorithm::kVJ
                                     ? LocalAlgorithm::kPrefixIndex
                                     : LocalAlgorithm::kNestedLoop;
+      options.store = config.store;
       return RunVjJoin(ctx, dataset, options);
     }
 
@@ -43,6 +44,7 @@ Result<JoinResult> RunSimilarityJoin(minispark::Context* ctx,
       options.resolve_overlaps = config.resolve_overlaps;
       options.repartition_delta =
           config.algorithm == Algorithm::kCLP ? config.delta : 0;
+      options.store = config.store;
       return RunClusterJoin(ctx, dataset, options);
     }
 
@@ -50,6 +52,7 @@ Result<JoinResult> RunSimilarityJoin(minispark::Context* ctx,
       VSmartOptions options;
       options.theta = config.theta;
       options.num_partitions = config.num_partitions;
+      options.store = config.store;
       return RunVSmartJoin(ctx, dataset, options);
     }
   }

@@ -1,7 +1,14 @@
 #include "data/io.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <unordered_set>
 
@@ -109,6 +116,125 @@ Status WriteResultPairs(
   for (const auto& [a, b] : sorted) out << a << ' ' << b << '\n';
   if (!out) return Status::IoError("short write to " + path);
   return Status::OK();
+}
+
+namespace {
+
+constexpr char kFlatMagic[4] = {'R', 'K', 'J', 'C'};
+constexpr uint32_t kFlatVersion = 1;
+constexpr size_t kFlatHeaderBytes = 20;  // magic + version + k + count
+
+void PutU32(char* out, uint32_t v) {
+  out[0] = static_cast<char>(v & 0xff);
+  out[1] = static_cast<char>((v >> 8) & 0xff);
+  out[2] = static_cast<char>((v >> 16) & 0xff);
+  out[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+uint32_t GetU32(const char* in) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(in[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[3])) << 24;
+}
+
+/// Keeps an mmap region (and its fd-independent lifetime) alive for as
+/// long as any FlatRankings wraps it.
+struct MmapRegion {
+  void* addr = nullptr;
+  size_t bytes = 0;
+  ~MmapRegion() {
+    if (addr != nullptr) munmap(addr, bytes);
+  }
+};
+
+}  // namespace
+
+Status WriteFlatRankings(const std::string& path,
+                         const RankingDataset& dataset) {
+  const FlatRankings& flat = dataset.store();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  char header[kFlatHeaderBytes];
+  std::memcpy(header, kFlatMagic, 4);
+  PutU32(header + 4, kFlatVersion);
+  PutU32(header + 8, static_cast<uint32_t>(flat.k()));
+  const uint64_t count = flat.size();
+  PutU32(header + 12, static_cast<uint32_t>(count & 0xffffffffULL));
+  PutU32(header + 16, static_cast<uint32_t>(count >> 32));
+  out.write(header, sizeof(header));
+  // The in-memory columns are little-endian uint32 on every platform we
+  // build for; write them as-is (column writes, no per-record encode).
+  out.write(reinterpret_cast<const char*>(flat.ids()),
+            static_cast<std::streamsize>(count * sizeof(RankingId)));
+  out.write(reinterpret_cast<const char*>(flat.items()),
+            static_cast<std::streamsize>(count * flat.k() * sizeof(ItemId)));
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+Result<RankingDataset> MapFlatRankings(const std::string& path) {
+  const int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open " + path);
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    close(fd);
+    return Status::IoError("cannot stat " + path);
+  }
+  const size_t file_bytes = static_cast<size_t>(st.st_size);
+  if (file_bytes < kFlatHeaderBytes) {
+    close(fd);
+    return Status::IoError(path + ": truncated columnar file (" +
+                           std::to_string(file_bytes) + " bytes, header is " +
+                           std::to_string(kFlatHeaderBytes) + ")");
+  }
+  void* addr = mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  close(fd);  // the mapping keeps the file alive
+  if (addr == MAP_FAILED) {
+    return Status::IoError("cannot mmap " + path);
+  }
+  auto region = std::make_shared<MmapRegion>();
+  region->addr = addr;
+  region->bytes = file_bytes;
+
+  const char* base = static_cast<const char*>(addr);
+  if (std::memcmp(base, kFlatMagic, 4) != 0) {
+    return Status::InvalidArgument(path + ": bad magic (not a columnar " +
+                                   "ranking file)");
+  }
+  const uint32_t version = GetU32(base + 4);
+  if (version != kFlatVersion) {
+    return Status::InvalidArgument(path + ": unsupported columnar version " +
+                                   std::to_string(version));
+  }
+  const uint32_t k = GetU32(base + 8);
+  const uint64_t count = static_cast<uint64_t>(GetU32(base + 12)) |
+                         static_cast<uint64_t>(GetU32(base + 16)) << 32;
+  if (k == 0) {
+    return Status::InvalidArgument(path + ": columnar file with k = 0");
+  }
+  const uint64_t need =
+      kFlatHeaderBytes + count * sizeof(RankingId) +
+      count * static_cast<uint64_t>(k) * sizeof(ItemId);
+  if (file_bytes < need) {
+    return Status::IoError(path + ": truncated columnar file (" +
+                           std::to_string(file_bytes) + " bytes, need " +
+                           std::to_string(need) + ")");
+  }
+  // Both offsets are 4-byte aligned (20 and 20 + 4*count) on a
+  // page-aligned base, so the columns are readable in place.
+  const RankingId* ids =
+      reinterpret_cast<const RankingId*>(base + kFlatHeaderBytes);
+  const ItemId* items = reinterpret_cast<const ItemId*>(
+      base + kFlatHeaderBytes + count * sizeof(RankingId));
+  auto flat = std::make_shared<const FlatRankings>(FlatRankings::Wrap(
+      static_cast<int>(k), static_cast<size_t>(count), ids, items,
+      std::move(region)));
+  RANKJOIN_RETURN_NOT_OK(flat->Validate());
+  RankingDataset dataset;
+  dataset.k = static_cast<int>(k);
+  dataset.AttachStore(std::move(flat));
+  return dataset;
 }
 
 }  // namespace rankjoin

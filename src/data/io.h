@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "ranking/flat_rankings.h"
 #include "ranking/ranking.h"
 
 namespace rankjoin {
@@ -37,6 +38,31 @@ RankingDataset PreprocessSets(const std::vector<std::vector<ItemId>>& records,
 Status WriteResultPairs(
     const std::string& path,
     const std::vector<std::pair<RankingId, RankingId>>& pairs);
+
+/// Columnar ranking file ("RKJC"): the on-disk mirror of FlatRankings,
+/// designed for zero-copy loading of paper-scale inputs.
+///
+///   offset 0:  magic  "RKJC"           (4 bytes)
+///   offset 4:  version                 (uint32 LE, currently 1)
+///   offset 8:  k                       (uint32 LE)
+///   offset 12: count                   (uint64 LE)
+///   offset 20: ids column              (count uint32 LE)
+///   offset 20 + 4*count: items column  (count*k uint32 LE)
+///
+/// Both column offsets are 4-byte aligned, so the loader mmaps the file
+/// and wraps the columns in place — no decode pass and no per-record
+/// allocation.
+
+/// Writes `dataset` (via its flat store) in the columnar format.
+Status WriteFlatRankings(const std::string& path,
+                         const RankingDataset& dataset);
+
+/// Memory-maps a columnar file and returns a dataset whose store() wraps
+/// the mapped columns zero-copy (the legacy `rankings` vector stays
+/// empty). Returns InvalidArgument for a bad magic/version and IoError
+/// for a truncated or unreadable file. The distinct-items invariant is
+/// validated once, here.
+Result<RankingDataset> MapFlatRankings(const std::string& path);
 
 }  // namespace rankjoin
 

@@ -21,7 +21,7 @@ DatasetStats ComputeDatasetStats(const RankingDataset& dataset) {
   stats.num_rankings = dataset.size();
   stats.k = dataset.k;
 
-  auto freq_map = CountItemFrequencies(dataset.rankings);
+  auto freq_map = CountItemFrequencies(dataset.store());
   stats.distinct_items = freq_map.size();
   std::vector<uint32_t> frequencies;
   frequencies.reserve(freq_map.size());

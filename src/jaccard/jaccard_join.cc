@@ -232,7 +232,7 @@ JoinResult JaccardBruteForceJoin(const RankingDataset& dataset,
   Stopwatch watch;
   JoinResult result;
   std::vector<OrderedRanking> ordered =
-      MakeOrderedDataset(dataset.rankings, ItemOrder());
+      MakeOrderedDataset(dataset.store(), ItemOrder());
   for (size_t i = 0; i + 1 < ordered.size(); ++i) {
     for (size_t j = i + 1; j < ordered.size(); ++j) {
       ++result.stats.candidates;
@@ -262,8 +262,9 @@ Result<JoinResult> RunJaccardVjJoin(minispark::Context* ctx,
   JoinResult result;
 
   Stopwatch phase;
-  std::vector<OrderedRanking> ordered = internal::OrderDataset(
-      ctx, dataset, options.reorder_by_frequency, num_partitions);
+  std::vector<OrderedRanking> ordered =
+      internal::OrderDataset(ctx, dataset, options.reorder_by_frequency,
+                             num_partitions, options.store);
   std::vector<const OrderedRanking*> all;
   all.reserve(ordered.size());
   for (const OrderedRanking& r : ordered) all.push_back(&r);
@@ -298,8 +299,9 @@ Result<JoinResult> RunJaccardClusterJoin(minispark::Context* ctx,
 
   // Phase 1: ordering.
   Stopwatch phase;
-  std::vector<OrderedRanking> ordered = internal::OrderDataset(
-      ctx, dataset, options.reorder_by_frequency, num_partitions);
+  std::vector<OrderedRanking> ordered =
+      internal::OrderDataset(ctx, dataset, options.reorder_by_frequency,
+                             num_partitions, options.store);
   RankingTable table(ordered);
   std::vector<const OrderedRanking*> all;
   all.reserve(ordered.size());

@@ -13,10 +13,11 @@ JoinResult BruteForceJoin(const RankingDataset& dataset, double theta) {
   const uint32_t raw_theta = RawThreshold(theta, dataset.k);
 
   // The identity ordering is fine — brute force needs only the by_item
-  // arrays for O(k) distance computation.
+  // arrays for O(k) distance computation. Ordering off the columnar
+  // store covers mmap-born datasets whose legacy vector is empty.
   const ItemOrder order;
   std::vector<OrderedRanking> ordered =
-      MakeOrderedDataset(dataset.rankings, order);
+      MakeOrderedDataset(dataset.store(), order);
 
   const size_t n = ordered.size();
   for (size_t i = 0; i + 1 < n; ++i) {

@@ -360,8 +360,9 @@ Result<JoinResult> RunClusterJoin(minispark::Context* ctx,
 
   // Phase 1: Ordering (once, reused by both joins — Section 5).
   Stopwatch phase;
-  std::vector<OrderedRanking> ordered = internal::OrderDataset(
-      ctx, dataset, options.reorder_by_frequency, num_partitions);
+  std::vector<OrderedRanking> ordered =
+      internal::OrderDataset(ctx, dataset, options.reorder_by_frequency,
+                             num_partitions, options.store);
   RankingTable table(ordered);
   std::vector<const OrderedRanking*> all;
   all.reserve(ordered.size());

@@ -70,8 +70,8 @@ JoinResult BruteForceRsJoin(const RankingDataset& r, const RankingDataset& s,
   JoinResult result;
   const uint32_t raw_theta = RawThreshold(theta, r.k);
   const ItemOrder identity;
-  std::vector<OrderedRanking> ro = MakeOrderedDataset(r.rankings, identity);
-  std::vector<OrderedRanking> so = MakeOrderedDataset(s.rankings, identity);
+  std::vector<OrderedRanking> ro = MakeOrderedDataset(r.store(), identity);
+  std::vector<OrderedRanking> so = MakeOrderedDataset(s.store(), identity);
   for (const OrderedRanking& a : ro) {
     for (const OrderedRanking& b : so) {
       ++result.stats.candidates;
@@ -105,14 +105,14 @@ Result<JoinResult> RunRsJoin(minispark::Context* ctx,
   ItemOrder order;
   if (options.reorder_by_frequency) {
     std::unordered_map<ItemId, uint32_t> freq =
-        CountItemFrequencies(r.rankings);
-    for (const auto& [item, count] : CountItemFrequencies(s.rankings)) {
+        CountItemFrequencies(r.store());
+    for (const auto& [item, count] : CountItemFrequencies(s.store())) {
       freq[item] += count;
     }
     order = ItemOrder::FromFrequencies(freq);
   }
-  std::vector<OrderedRanking> ro = MakeOrderedDataset(r.rankings, order);
-  std::vector<OrderedRanking> so = MakeOrderedDataset(s.rankings, order);
+  std::vector<OrderedRanking> ro = MakeOrderedDataset(r.store(), order);
+  std::vector<OrderedRanking> so = MakeOrderedDataset(s.store(), order);
   result.stats.ordering_seconds = phase.ElapsedSeconds();
 
   phase.Reset();

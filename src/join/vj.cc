@@ -37,33 +37,85 @@ Status ValidateVjOptions(const VjOptions& options, int k) {
   return Status::OK();
 }
 
+namespace {
+
+/// Shared tail of both OrderDataset branches: reduce per-item ones into
+/// global frequencies and build the broadcastable order.
+template <typename RecordT, typename EmitOnes>
+ItemOrder ComputeItemOrder(minispark::Context* ctx,
+                           const minispark::Dataset<RecordT>& rankings,
+                           EmitOnes emit_ones, int num_partitions) {
+  (void)ctx;
+  auto item_ones = rankings.FlatMap(emit_ones, "vj/itemFrequency");
+  auto freq = minispark::ReduceByKey(
+      item_ones, [](uint32_t a, uint32_t b) { return a + b; },
+      num_partitions, "vj/itemFrequency");
+  std::unordered_map<ItemId, uint32_t> freq_map;
+  for (const auto& [item, count] : freq.Collect()) {
+    freq_map.emplace(item, count);
+  }
+  return ItemOrder::FromFrequencies(freq_map);
+}
+
+}  // namespace
+
 std::vector<OrderedRanking> OrderDataset(minispark::Context* ctx,
                                          const RankingDataset& dataset,
                                          bool reorder_by_frequency,
-                                         int num_partitions) {
-  minispark::Dataset<Ranking> rankings =
-      minispark::Parallelize(ctx, dataset.rankings, num_partitions);
+                                         int num_partitions,
+                                         RankingStore store) {
+  if (store == RankingStore::kFlat) {
+    // Canonical path: parallelize zero-copy views over the columnar
+    // store. The views borrow the store's column memory, which outlives
+    // the stages here because the caller holds the dataset (and with it
+    // the store) across the whole join.
+    const FlatRankings& flat = dataset.store();
+    minispark::Dataset<RankingView> rankings =
+        minispark::Parallelize(ctx, flat.Views(), num_partitions);
 
-  ItemOrder order;  // identity (by item id) unless reordering is on
+    ItemOrder order;  // identity (by item id) unless reordering is on
+    if (reorder_by_frequency) {
+      order = ComputeItemOrder(
+          ctx, rankings,
+          [](const RankingView& v) {
+            std::vector<std::pair<ItemId, uint32_t>> out;
+            out.reserve(v.k);
+            for (uint32_t r = 0; r < v.k; ++r) out.push_back({v.items[r], 1});
+            return out;
+          },
+          num_partitions);
+    }
+
+    minispark::Broadcast<ItemOrder> order_bc =
+        ctx->MakeBroadcast(std::move(order), "vj/itemOrder");
+    minispark::Dataset<OrderedRanking> ordered = rankings.Map(
+        [order_bc](const RankingView& v) { return MakeOrdered(v, *order_bc); },
+        "vj/canonicalize");
+    return ordered.Collect();
+  }
+
+  // Legacy A/B path: one heap-allocated Ranking per record. An mmap-born
+  // dataset has no legacy vector; materialize one for the duration.
+  const std::vector<Ranking> materialized =
+      dataset.rankings.empty() && dataset.size() > 0
+          ? dataset.MaterializeLegacy()
+          : std::vector<Ranking>();
+  const std::vector<Ranking>& legacy =
+      materialized.empty() ? dataset.rankings : materialized;
+  minispark::Dataset<Ranking> rankings =
+      minispark::Parallelize(ctx, legacy, num_partitions);
+
+  ItemOrder order;
   if (reorder_by_frequency) {
-    // Phase 1 of VJ: global item frequencies, computed as a dataflow
-    // aggregation and broadcast to all subsequent tasks.
-    auto item_ones = rankings.FlatMap(
+    order = ComputeItemOrder(
+        ctx, rankings,
         [](const Ranking& r) {
           std::vector<std::pair<ItemId, uint32_t>> out;
           out.reserve(r.items().size());
           for (ItemId item : r.items()) out.push_back({item, 1});
           return out;
         },
-        "vj/itemFrequency");
-    auto freq = minispark::ReduceByKey(
-        item_ones, [](uint32_t a, uint32_t b) { return a + b; },
-        num_partitions, "vj/itemFrequency");
-    std::unordered_map<ItemId, uint32_t> freq_map;
-    for (const auto& [item, count] : freq.Collect()) {
-      freq_map.emplace(item, count);
-    }
-    order = ItemOrder::FromFrequencies(freq_map);
+        num_partitions);
   }
 
   minispark::Broadcast<ItemOrder> order_bc =
@@ -187,8 +239,9 @@ Result<JoinResult> RunVjJoin(minispark::Context* ctx,
   JoinResult result;
 
   Stopwatch phase;
-  std::vector<OrderedRanking> ordered = internal::OrderDataset(
-      ctx, dataset, options.reorder_by_frequency, num_partitions);
+  std::vector<OrderedRanking> ordered =
+      internal::OrderDataset(ctx, dataset, options.reorder_by_frequency,
+                             num_partitions, options.store);
   std::vector<const OrderedRanking*> all;
   all.reserve(ordered.size());
   for (const OrderedRanking& r : ordered) all.push_back(&r);

@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "join/stats.h"
 #include "minispark/context.h"
+#include "ranking/flat_rankings.h"
 #include "ranking/ranking.h"
 
 namespace rankjoin {
@@ -51,6 +52,10 @@ struct VjOptions {
   /// "<scope>.candidates", "<scope>.verified", ... VJ-NL overrides this
   /// to "vj_nl" so the two variants stay distinguishable in one trace.
   std::string counter_scope = "vj";
+  /// Which ranking representation the ordering phase parallelizes over:
+  /// the columnar FlatRankings store (default; zero-copy RankingViews)
+  /// or the legacy vector<Ranking> path kept for A/B measurements.
+  RankingStore store = RankingStore::kFlat;
 };
 
 /// Runs the Vernica-Join adaptation for top-k rankings (paper Section 4)
@@ -71,7 +76,9 @@ Status ValidateVjOptions(const VjOptions& options, int k);
 std::vector<OrderedRanking> OrderDataset(minispark::Context* ctx,
                                          const RankingDataset& dataset,
                                          bool reorder_by_frequency,
-                                         int num_partitions);
+                                         int num_partitions,
+                                         RankingStore store =
+                                             RankingStore::kFlat);
 
 /// Spec for a distributed prefix-filter self-join over already-ordered
 /// rankings (reused by the CL clustering phase, which joins the whole

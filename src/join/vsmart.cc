@@ -41,20 +41,41 @@ Result<JoinResult> RunVSmartJoin(minispark::Context* ctx,
   Stopwatch total;
   JoinResult result;
 
-  // Joining phase: full inverted index (item -> (id, rank) records).
-  minispark::Dataset<Ranking> rankings =
-      minispark::Parallelize(ctx, dataset.rankings, num_partitions);
-  auto postings = rankings.FlatMap(
-      [](const Ranking& r) {
-        std::vector<std::pair<ItemId, std::pair<RankingId, uint16_t>>> out;
-        out.reserve(r.items().size());
-        for (int rank = 0; rank < r.k(); ++rank) {
-          out.push_back({r.ItemAt(rank),
-                         {r.id(), static_cast<uint16_t>(rank)}});
-        }
-        return out;
-      },
-      "vsmart/invertedIndex");
+  // Joining phase: full inverted index (item -> (id, rank) records),
+  // emitted from the columnar store (zero-copy views) or the legacy
+  // vector depending on the A/B knob.
+  using Posting = std::pair<ItemId, std::pair<RankingId, uint16_t>>;
+  minispark::Dataset<Posting> postings = [&] {
+    if (options.store == RankingStore::kFlat) {
+      const FlatRankings& flat = dataset.store();
+      minispark::Dataset<RankingView> rankings =
+          minispark::Parallelize(ctx, flat.Views(), num_partitions);
+      return rankings.FlatMap(
+          [](const RankingView& v) {
+            std::vector<Posting> out;
+            out.reserve(v.k);
+            for (uint32_t rank = 0; rank < v.k; ++rank) {
+              out.push_back({v.items[rank],
+                             {v.id, static_cast<uint16_t>(rank)}});
+            }
+            return out;
+          },
+          "vsmart/invertedIndex");
+    }
+    minispark::Dataset<Ranking> rankings = minispark::Parallelize(
+        ctx, dataset.MaterializeLegacy(), num_partitions);
+    return rankings.FlatMap(
+        [](const Ranking& r) {
+          std::vector<Posting> out;
+          out.reserve(r.items().size());
+          for (int rank = 0; rank < r.k(); ++rank) {
+            out.push_back({r.ItemAt(rank),
+                           {r.id(), static_cast<uint16_t>(rank)}});
+          }
+          return out;
+        },
+        "vsmart/invertedIndex");
+  }();
   auto lists =
       minispark::GroupByKey(postings, num_partitions, "vsmart/group");
 

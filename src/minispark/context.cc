@@ -45,8 +45,36 @@ Context::Options WithEnvOverrides(Context::Options options) {
   if (const char* spec = std::getenv("RANKJOIN_FAULT_SPEC")) {
     options.fault_spec = spec;
   }
+  if (const char* pipelined = std::getenv("RANKJOIN_PIPELINED_STAGES")) {
+    const std::string value(pipelined);
+    if (value == "1" || value == "on" || value == "true" || value == "yes") {
+      options.pipelined_stages = true;
+    } else if (value == "0" || value == "off" || value == "false" ||
+               value == "no") {
+      options.pipelined_stages = false;
+    }
+  }
   return options;
 }
+
+/// Per-thread pointer to the cancellation flag of the stage whose task
+/// is currently running on this thread (null outside task bodies). Lets
+/// long-blocking task bodies — the pipelined publish window — bail out
+/// when the stage has already failed, instead of deadlocking the barrier.
+thread_local const std::atomic<bool>* tl_current_stage_cancelled = nullptr;
+
+/// RAII installer for the thread-local above.
+class ScopedStageCancelProbe {
+ public:
+  explicit ScopedStageCancelProbe(const std::atomic<bool>* flag)
+      : saved_(tl_current_stage_cancelled) {
+    tl_current_stage_cancelled = flag;
+  }
+  ~ScopedStageCancelProbe() { tl_current_stage_cancelled = saved_; }
+
+ private:
+  const std::atomic<bool>* saved_;
+};
 
 int64_t SteadyNowMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -185,6 +213,11 @@ StageMetrics Context::RunStageIsolated(const std::string& name, int num_tasks,
   return RunStageImpl(name, num_tasks, task, /*speculatable=*/true);
 }
 
+bool Context::CurrentTaskCancelled() {
+  return tl_current_stage_cancelled != nullptr &&
+         tl_current_stage_cancelled->load(std::memory_order_relaxed);
+}
+
 void Context::RunTaskAttempts(const std::shared_ptr<StageExec>& ex, int index,
                               bool speculative) {
   StageExec::TaskSlot& slot = ex->slots[static_cast<size_t>(index)];
@@ -240,6 +273,7 @@ void Context::RunTaskAttempts(const std::shared_ptr<StageExec>& ex, int index,
                             std::to_string(attempt) + ")");
       }
       ScopedTaskTrace scoped(traced ? &trace : nullptr);
+      ScopedStageCancelProbe cancel_probe(&ex->cancelled);
       commit = ex->task(index);
     } catch (const NonRetryableError& e) {
       failure = e.status();

@@ -131,6 +131,24 @@ class Context {
     /// overrides this value when set — CI uses it to run the whole suite
     /// under chaos. A malformed spec aborts at Context construction.
     std::string fault_spec = {};
+    /// Pipelined producer/consumer stage execution (shuffle.h): when
+    /// true, the wide operations overlap their shuffle-write and
+    /// shuffle-read phases — each map task publishes its completed
+    /// buckets into a bounded queue at commit time, and dedicated reader
+    /// threads consume mappers as they arrive instead of waiting for the
+    /// stage barrier. Off (default) keeps the classic barrier path; the
+    /// two modes produce byte-identical results (tested), so this is a
+    /// pure scheduling A/B knob. AQE partition coalescing
+    /// (target_partition_bytes) does not apply to pipelined exchanges —
+    /// bucket sizes are only fully known at the barrier. The
+    /// RANKJOIN_PIPELINED_STAGES environment variable ("0"/"1"/"on"/
+    /// "off") overrides this value when set.
+    bool pipelined_stages = false;
+    /// Bounded publish window of a pipelined exchange: map task m blocks
+    /// at publish time while m >= lowest-unconsumed-mapper + depth, which
+    /// caps how far producers run ahead of consumers. 0 (default) = auto
+    /// (max(4, num_workers)).
+    int pipelined_queue_depth = 0;
   };
 
   explicit Context(Options options);
@@ -155,6 +173,14 @@ class Context {
     return TraceCountersEnabled(options_.trace_level);
   }
   LintLevel lint_level() const { return options_.lint_level; }
+  bool pipelined_stages() const { return options_.pipelined_stages; }
+  /// The resolved publish-window depth (>= 1) of pipelined exchanges.
+  int pipelined_queue_depth() const {
+    if (options_.pipelined_queue_depth > 0) {
+      return options_.pipelined_queue_depth;
+    }
+    return options_.num_workers > 4 ? options_.num_workers : 4;
+  }
 
   /// Snapshot of the lint-relevant execution environment (thresholds +
   /// registered broadcasts) that LintPlan needs beyond the DAG itself.
@@ -287,6 +313,13 @@ class Context {
 
   /// Stores a completed stage record in the job metrics.
   void AddStage(StageMetrics stage) { metrics_.AddStage(std::move(stage)); }
+
+  /// True when called from inside a task body whose stage has been
+  /// cancelled (another task permanently failed). Task bodies that can
+  /// block for unbounded time on external progress — the pipelined
+  /// publish window in shuffle.h — poll this to bail out instead of
+  /// wedging the stage barrier. Returns false outside task bodies.
+  static bool CurrentTaskCancelled();
 
   /// Creates a broadcast variable and registers its driver-side size
   /// estimate (ApproxSize) with the plan linter: broadcasts above

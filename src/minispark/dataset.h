@@ -680,12 +680,17 @@ std::shared_ptr<const std::vector<std::vector<std::pair<K, V>>>> ShuffleByKey(
     Status* out_status) {
   Context* ctx = input.context();
   HashPartitioner partitioner(n);
-  auto service = ShuffleWrite<std::pair<K, V>>(
-      input, n, name, [partitioner](int /*task*/) {
-        return [partitioner](const std::pair<K, V>& kv) {
-          return partitioner.PartitionOf(kv.first);
-        };
-      });
+  const auto make_router = [partitioner](int /*task*/) {
+    return [partitioner](const std::pair<K, V>& kv) {
+      return partitioner.PartitionOf(kv.first);
+    };
+  };
+  if (ctx->pipelined_stages()) {
+    // Overlapped write/read; bucket sizes are unknown until the last
+    // mapper commits, so no adaptive coalescing in this mode.
+    return PipelinedExchange(input, n, name, make_router, out_status);
+  }
+  auto service = ShuffleWrite<std::pair<K, V>>(input, n, name, make_router);
   const PartitionRanges ranges = PartitionRanges::Coalesce(
       service->bucket_bytes(), ctx->target_partition_bytes());
   return ShuffleRead(ctx, service.get(), ranges, name, out_status);
@@ -710,16 +715,21 @@ Dataset<T> Dataset<T>::Repartition(int n, const std::string& name) const {
   // The router factory hands every attempt a FRESH counter starting at
   // the task's prefix offset, so a retried write attempt (and lineage
   // recovery) routes each element exactly like the first attempt did.
-  auto service = internal::ShuffleWrite<T>(
-      *this, n, name, [offsets, n](int task) {
-        uint64_t next = (*offsets)[static_cast<size_t>(task)];
-        return [next, n](const T&) mutable {
-          return static_cast<int>(next++ % static_cast<uint64_t>(n));
-        };
-      });
+  const auto make_router = [offsets, n](int task) {
+    uint64_t next = (*offsets)[static_cast<size_t>(task)];
+    return [next, n](const T&) mutable {
+      return static_cast<int>(next++ % static_cast<uint64_t>(n));
+    };
+  };
   Status error;
-  auto parts = internal::ShuffleRead(
-      ctx, service.get(), PartitionRanges::Identity(n), name, &error);
+  std::shared_ptr<const Partitions> parts;
+  if (ctx->pipelined_stages()) {
+    parts = internal::PipelinedExchange(*this, n, name, make_router, &error);
+  } else {
+    auto service = internal::ShuffleWrite<T>(*this, n, name, make_router);
+    parts = internal::ShuffleRead(
+        ctx, service.get(), PartitionRanges::Identity(n), name, &error);
+  }
   Dataset<T> out(ctx, std::move(parts));
   if (!error.ok()) out.SetError(std::move(error));
   out.SetPlanNode(MakePlanNode(PlanNode::Kind::kWide, "repartition", name,
@@ -836,30 +846,45 @@ Dataset<std::pair<K, std::pair<V, W>>> Join(
   RANKJOIN_CHECK(ctx == right.context());
   if (n <= 0) n = ctx->default_partitions();
   HashPartitioner partitioner(n);
-  auto lsvc = internal::ShuffleWrite<std::pair<K, V>>(
-      left, n, name + "/L", [partitioner](int /*task*/) {
-        return [partitioner](const std::pair<K, V>& kv) {
-          return partitioner.PartitionOf(kv.first);
-        };
-      });
-  auto rsvc = internal::ShuffleWrite<std::pair<K, W>>(
-      right, n, name + "/R", [partitioner](int /*task*/) {
-        return [partitioner](const std::pair<K, W>& kw) {
-          return partitioner.PartitionOf(kw.first);
-        };
-      });
-  std::vector<uint64_t> combined = lsvc->bucket_bytes();
-  for (size_t b = 0; b < combined.size(); ++b) {
-    combined[b] += rsvc->bucket_bytes()[b];
-  }
-  const PartitionRanges ranges =
-      PartitionRanges::Coalesce(combined, ctx->target_partition_bytes());
+  const auto lrouter = [partitioner](int /*task*/) {
+    return [partitioner](const std::pair<K, V>& kv) {
+      return partitioner.PartitionOf(kv.first);
+    };
+  };
+  const auto rrouter = [partitioner](int /*task*/) {
+    return [partitioner](const std::pair<K, W>& kw) {
+      return partitioner.PartitionOf(kw.first);
+    };
+  };
   Status error;
-  auto lparts =
-      internal::ShuffleRead(ctx, lsvc.get(), ranges, name + "/L", &error);
-  auto rparts =
-      internal::ShuffleRead(ctx, rsvc.get(), ranges, name + "/R", &error);
-  const int num_out = ranges.NumPartitions();
+  std::shared_ptr<const std::vector<std::vector<std::pair<K, V>>>> lparts;
+  std::shared_ptr<const std::vector<std::vector<std::pair<K, W>>>> rparts;
+  int num_out = n;
+  if (ctx->pipelined_stages()) {
+    // Two pipelined exchanges, run one after the other; both use
+    // identity ranges so bucket b of each side meets in probe task b,
+    // exactly as the shared coalesced ranges guarantee below.
+    lparts = internal::PipelinedExchange(left, n, name + "/L", lrouter,
+                                         &error);
+    rparts = internal::PipelinedExchange(right, n, name + "/R", rrouter,
+                                         &error);
+  } else {
+    auto lsvc =
+        internal::ShuffleWrite<std::pair<K, V>>(left, n, name + "/L", lrouter);
+    auto rsvc = internal::ShuffleWrite<std::pair<K, W>>(right, n, name + "/R",
+                                                        rrouter);
+    std::vector<uint64_t> combined = lsvc->bucket_bytes();
+    for (size_t b = 0; b < combined.size(); ++b) {
+      combined[b] += rsvc->bucket_bytes()[b];
+    }
+    const PartitionRanges ranges =
+        PartitionRanges::Coalesce(combined, ctx->target_partition_bytes());
+    lparts =
+        internal::ShuffleRead(ctx, lsvc.get(), ranges, name + "/L", &error);
+    rparts =
+        internal::ShuffleRead(ctx, rsvc.get(), ranges, name + "/R", &error);
+    num_out = ranges.NumPartitions();
+  }
   using Out = std::pair<K, std::pair<V, W>>;
   auto out = std::make_shared<typename Dataset<Out>::Partitions>(
       static_cast<size_t>(num_out));
@@ -918,30 +943,43 @@ Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
   RANKJOIN_CHECK(ctx == right.context());
   if (n <= 0) n = ctx->default_partitions();
   HashPartitioner partitioner(n);
-  auto lsvc = internal::ShuffleWrite<std::pair<K, V>>(
-      left, n, name + "/L", [partitioner](int /*task*/) {
-        return [partitioner](const std::pair<K, V>& kv) {
-          return partitioner.PartitionOf(kv.first);
-        };
-      });
-  auto rsvc = internal::ShuffleWrite<std::pair<K, W>>(
-      right, n, name + "/R", [partitioner](int /*task*/) {
-        return [partitioner](const std::pair<K, W>& kw) {
-          return partitioner.PartitionOf(kw.first);
-        };
-      });
-  std::vector<uint64_t> combined = lsvc->bucket_bytes();
-  for (size_t b = 0; b < combined.size(); ++b) {
-    combined[b] += rsvc->bucket_bytes()[b];
-  }
-  const PartitionRanges ranges =
-      PartitionRanges::Coalesce(combined, ctx->target_partition_bytes());
+  const auto lrouter = [partitioner](int /*task*/) {
+    return [partitioner](const std::pair<K, V>& kv) {
+      return partitioner.PartitionOf(kv.first);
+    };
+  };
+  const auto rrouter = [partitioner](int /*task*/) {
+    return [partitioner](const std::pair<K, W>& kw) {
+      return partitioner.PartitionOf(kw.first);
+    };
+  };
   Status error;
-  auto lparts =
-      internal::ShuffleRead(ctx, lsvc.get(), ranges, name + "/L", &error);
-  auto rparts =
-      internal::ShuffleRead(ctx, rsvc.get(), ranges, name + "/R", &error);
-  const int num_out = ranges.NumPartitions();
+  std::shared_ptr<const std::vector<std::vector<std::pair<K, V>>>> lparts;
+  std::shared_ptr<const std::vector<std::vector<std::pair<K, W>>>> rparts;
+  int num_out = n;
+  if (ctx->pipelined_stages()) {
+    // See Join: sequential pipelined exchanges over identity ranges.
+    lparts = internal::PipelinedExchange(left, n, name + "/L", lrouter,
+                                         &error);
+    rparts = internal::PipelinedExchange(right, n, name + "/R", rrouter,
+                                         &error);
+  } else {
+    auto lsvc =
+        internal::ShuffleWrite<std::pair<K, V>>(left, n, name + "/L", lrouter);
+    auto rsvc = internal::ShuffleWrite<std::pair<K, W>>(right, n, name + "/R",
+                                                        rrouter);
+    std::vector<uint64_t> combined = lsvc->bucket_bytes();
+    for (size_t b = 0; b < combined.size(); ++b) {
+      combined[b] += rsvc->bucket_bytes()[b];
+    }
+    const PartitionRanges ranges =
+        PartitionRanges::Coalesce(combined, ctx->target_partition_bytes());
+    lparts =
+        internal::ShuffleRead(ctx, lsvc.get(), ranges, name + "/L", &error);
+    rparts =
+        internal::ShuffleRead(ctx, rsvc.get(), ranges, name + "/R", &error);
+    num_out = ranges.NumPartitions();
+  }
   using Out = std::pair<K, std::pair<std::vector<V>, std::vector<W>>>;
   auto out = std::make_shared<typename Dataset<Out>::Partitions>(
       static_cast<size_t>(num_out));

@@ -160,24 +160,33 @@ Dataset<std::pair<K, V>> SortByKey(const Dataset<std::pair<K, V>>& ds,
   // Identity ranges — the caller asked for exactly n partitions — and
   // the per-partition local sort rides inside the read tasks.
   auto bounds_ptr = std::make_shared<const std::vector<K>>(std::move(bounds));
-  auto service = internal::ShuffleWrite<std::pair<K, V>>(
-      ds, n, name, [bounds_ptr](int /*task*/) {
-        return [bounds_ptr](const std::pair<K, V>& kv) {
-          const auto it = std::lower_bound(bounds_ptr->begin(),
-                                           bounds_ptr->end(), kv.first);
-          return static_cast<int>(it - bounds_ptr->begin());
-        };
-      });
+  const auto make_router = [bounds_ptr](int /*task*/) {
+    return [bounds_ptr](const std::pair<K, V>& kv) {
+      const auto it = std::lower_bound(bounds_ptr->begin(), bounds_ptr->end(),
+                                       kv.first);
+      return static_cast<int>(it - bounds_ptr->begin());
+    };
+  };
+  const auto sort_local = [](int /*p*/, std::vector<std::pair<K, V>>* dest) {
+    std::sort(dest->begin(), dest->end(),
+              [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
+                return a.first < b.first;
+              });
+  };
   Status error;
-  auto parts = internal::ShuffleRead(
-      ctx, service.get(), PartitionRanges::Identity(n), name, &error,
-      [](int /*p*/, std::vector<std::pair<K, V>>* dest) {
-        std::sort(dest->begin(), dest->end(),
-                  [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
-                    return a.first < b.first;
-                  });
-      },
-      "sortLocal");
+  std::shared_ptr<const std::vector<std::vector<std::pair<K, V>>>> parts;
+  if (ctx->pipelined_stages()) {
+    // Pipelined: each range partition's reader consumes mappers as they
+    // commit and sorts locally once its last mapper arrives.
+    parts = internal::PipelinedExchange(ds, n, name, make_router, &error,
+                                        sort_local, "sortLocal");
+  } else {
+    auto service =
+        internal::ShuffleWrite<std::pair<K, V>>(ds, n, name, make_router);
+    parts = internal::ShuffleRead(ctx, service.get(),
+                                  PartitionRanges::Identity(n), name, &error,
+                                  sort_local, "sortLocal");
+  }
   Dataset<std::pair<K, V>> out(ctx, std::move(parts));
   if (!error.ok()) out.SetError(std::move(error));
   out.SetPlanNode(

@@ -3,12 +3,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <fstream>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -292,25 +295,136 @@ class ShuffleService {
   template <typename Fn>
   void ReadRange(int begin, int end, Fn&& fn) {
     for (size_t m = 0; m < tasks_.size(); ++m) {
-      MapTask& mt = tasks_[m];
-      // Serde-less types never spill, so their segment lists stay
-      // empty; the whole spill path is compiled out for them.
-      if constexpr (has_serde_v<T>) {
-        bool spilled = false;
-        for (int b = begin; b < end && !spilled; ++b) {
-          spilled = !mt.segments[static_cast<size_t>(b)].empty();
-        }
-        if (spilled) {
-          if (!EmitSpilledRange(mt, begin, end, fn)) {
-            RecoverMapperRange(static_cast<int>(m), mt, begin, end, fn);
-          }
-          continue;
-        }
+      ReadMapperRange(static_cast<int>(m), begin, end, fn);
+    }
+  }
+
+  /// One mapper's contribution to buckets [begin, end) — the unit a
+  /// pipelined reader consumes as soon as that mapper commits. ReadRange
+  /// is exactly this, mapper-major over all mappers, which is why the
+  /// pipelined and barrier paths emit byte-identical partitions.
+  template <typename Fn>
+  void ReadMapperRange(int map_index, int begin, int end, Fn&& fn) {
+    MapTask& mt = tasks_[static_cast<size_t>(map_index)];
+    // Serde-less types never spill, so their segment lists stay
+    // empty; the whole spill path is compiled out for them.
+    if constexpr (has_serde_v<T>) {
+      bool spilled = false;
+      for (int b = begin; b < end && !spilled; ++b) {
+        spilled = !mt.segments[static_cast<size_t>(b)].empty();
       }
-      for (int b = begin; b < end; ++b) {
-        for (T& t : mt.resident[static_cast<size_t>(b)]) fn(std::move(t));
+      if (spilled) {
+        if (!EmitSpilledRange(mt, begin, end, fn)) {
+          RecoverMapperRange(map_index, mt, begin, end, fn);
+        }
+        return;
       }
     }
+    for (int b = begin; b < end; ++b) {
+      for (T& t : mt.resident[static_cast<size_t>(b)]) fn(std::move(t));
+    }
+  }
+
+  /// --- Pipelined mode (Context::Options::pipelined_stages) ----------
+  ///
+  /// In a pipelined exchange the write stage still runs its map tasks on
+  /// the pool, but each task PUBLISHES its buckets at the end of its
+  /// successful attempt body instead of waiting for the stage barrier:
+  /// the spill handle is flushed and the mapper marked committed, and
+  /// dedicated reader threads (one per output partition) consume mappers
+  /// in index order as they commit. A failed attempt never publishes —
+  /// retries reset the mapper (ResetMapTask) and re-run it, so readers
+  /// only ever observe a mapper's final, committed state; a producer-side
+  /// retry is invisible to consumers by construction. Publish applies
+  /// backpressure through a bounded window: map task m blocks while
+  /// m >= lowest-unconsumed-mapper + window. The window is indexed, not
+  /// a committed count — readers drain mappers in index order, so an
+  /// index window always lets the lowest unconsumed mapper publish and
+  /// is deadlock-free, where counting committed-but-unconsumed mappers
+  /// is not (high-index mappers may commit first and fill it). The wait
+  /// also polls Context::CurrentTaskCancelled() so a cancelled stage
+  /// (another task failed permanently) cannot wedge on a window that
+  /// will no longer advance.
+
+  /// Arms pipelined mode; call before the write stage starts.
+  void BeginPipelined(int num_readers, int window) {
+    pipe_ = std::make_unique<PipelinedBoard>();
+    pipe_->committed.assign(tasks_.size(), 0);
+    pipe_->consumed.assign(tasks_.size(), 0);
+    pipe_->num_readers = num_readers;
+    pipe_->window = std::max(1, window);
+  }
+
+  /// Commits map task `map_index` for consumption: flushes its spill
+  /// handle (idempotent; the barrier-path FinishWrite reuses the same
+  /// close), wakes readers, then blocks inside the publish window. Call
+  /// as the LAST statement of the write task body — RunStage never
+  /// speculates and injected faults fire before the body, so reaching
+  /// this point means the attempt owns the mapper's final state.
+  void PublishMapTask(int map_index) {
+    MapTask& mt = tasks_[static_cast<size_t>(map_index)];
+    if (mt.spill) mt.spill->FinishWrites();
+    std::unique_lock<std::mutex> lock(pipe_->mu);
+    pipe_->committed[static_cast<size_t>(map_index)] = 1;
+    pipe_->cv.notify_all();
+    while (!pipe_->aborted && map_index >= pipe_->low + pipe_->window) {
+      pipe_->cv.wait_for(lock, std::chrono::milliseconds(2));
+      if (Context::CurrentTaskCancelled()) break;
+    }
+  }
+
+  /// Blocks until mapper `map_index` commits; false if the exchange
+  /// aborted first (the reader must stop — the mapper may never commit).
+  bool AwaitMapperCommitted(int map_index) {
+    std::unique_lock<std::mutex> lock(pipe_->mu);
+    pipe_->cv.wait(lock, [&] {
+      return pipe_->aborted ||
+             pipe_->committed[static_cast<size_t>(map_index)] != 0;
+    });
+    return !pipe_->aborted;
+  }
+
+  /// One reader is done with mapper `map_index`. When ALL readers are,
+  /// the mapper's resident bytes leave the budget meter (its memory is
+  /// moved out) and the window's low watermark advances — this is what
+  /// lets out-of-core runs overlap: upstream buckets are released while
+  /// the write stage is still producing later mappers.
+  void FinishMapperConsumed(int map_index) {
+    std::lock_guard<std::mutex> lock(pipe_->mu);
+    if (++pipe_->consumed[static_cast<size_t>(map_index)] ==
+        pipe_->num_readers) {
+      MapTask& mt = tasks_[static_cast<size_t>(map_index)];
+      // Every bucket of this mapper has been moved out; free the husks
+      // so the memory really returns while later mappers still produce.
+      for (auto& bucket : mt.resident) std::vector<T>().swap(bucket);
+      resident_total_.fetch_sub(mt.resident_bytes, std::memory_order_relaxed);
+      mt.resident_bytes = 0;
+      while (pipe_->low < static_cast<int>(tasks_.size()) &&
+             pipe_->consumed[static_cast<size_t>(pipe_->low)] ==
+                 pipe_->num_readers) {
+        ++pipe_->low;
+      }
+      pipe_->cv.notify_all();
+    }
+  }
+
+  /// Fails the exchange: wakes every blocked publisher and reader. Both
+  /// a write-stage failure (driver, after RunStage returns) and a reader
+  /// error (the reader itself) must abort — a stalled reader would
+  /// otherwise block publishers on a window that can never advance, and
+  /// vice versa. First status wins.
+  void AbortPipelined(Status status) {
+    std::lock_guard<std::mutex> lock(pipe_->mu);
+    if (!pipe_->aborted) {
+      pipe_->aborted = true;
+      pipe_->abort_status = std::move(status);
+    }
+    pipe_->cv.notify_all();
+  }
+
+  Status pipelined_abort_status() {
+    std::lock_guard<std::mutex> lock(pipe_->mu);
+    return pipe_->aborted ? pipe_->abort_status : Status::OK();
   }
 
  private:
@@ -528,11 +642,28 @@ class ShuffleService {
     }
   }
 
+  /// Producer/consumer state of a pipelined exchange (see the pipelined
+  /// section above). Allocated by BeginPipelined; absent in barrier runs.
+  struct PipelinedBoard {
+    std::mutex mu;
+    std::condition_variable cv;
+    /// Per-mapper commit flags and per-mapper count of readers done.
+    std::vector<char> committed;
+    std::vector<int> consumed;
+    int num_readers = 0;
+    int window = 1;
+    /// Lowest mapper not yet consumed by every reader.
+    int low = 0;
+    bool aborted = false;
+    Status abort_status;
+  };
+
   Context* ctx_;
   uint64_t id_;
   int num_buckets_;
   uint64_t budget_;
   std::vector<MapTask> tasks_;
+  std::unique_ptr<PipelinedBoard> pipe_;
   /// Resident serialized bytes across ALL map tasks (the budget meter).
   std::atomic<uint64_t> resident_total_{0};
   /// Filled by FinishWrite().
@@ -720,6 +851,180 @@ std::shared_ptr<const std::vector<std::vector<T>>> ShuffleRead(
     const std::string& name, Status* out_status) {
   return ShuffleRead(ctx, service, ranges, name, out_status,
                      [](int, std::vector<T>*) {}, nullptr);
+}
+
+/// Pipelined producer/consumer exchange: the overlapped equivalent of
+/// ShuffleWrite followed by ShuffleRead (Context::Options::
+/// pipelined_stages). The write stage runs on the pool as usual, but
+/// every map task publishes its buckets at commit time
+/// (ShuffleService::PublishMapTask) and one dedicated reader thread per
+/// output bucket consumes mappers as they arrive — repartitioning and
+/// downstream local work overlap instead of serializing at the barrier.
+/// Output partitions are byte-identical to the barrier path's (same
+/// mapper-major order per bucket); adaptive coalescing does not apply —
+/// ranges are always identity, one reader per bucket. `post` runs in the
+/// reader after its last mapper (sortLocal for SortByKey). Readers are
+/// single-attempt: a reader failure aborts the exchange (it could never
+/// be retried anyway — consumption is destructive), as does a failed
+/// write stage; either way *out_status carries the first error and the
+/// returned partitions are empty.
+template <typename T, typename MakeRouter, typename PostFn>
+std::shared_ptr<const std::vector<std::vector<T>>> PipelinedExchange(
+    const Dataset<T>& input, int num_buckets, const std::string& name,
+    MakeRouter make_router, Status* out_status, PostFn post,
+    const char* post_op) {
+  Context* ctx = input.context();
+  auto service = std::make_shared<ShuffleService<T>>(
+      ctx, input.num_partitions(), num_buckets);
+  auto out = std::make_shared<std::vector<std::vector<T>>>(
+      static_cast<size_t>(num_buckets));
+  if (!input.status().ok()) {
+    if (out_status != nullptr) *out_status = input.status();
+    return out;
+  }
+  // Same lineage closure as the barrier path: a corrupt spill run read
+  // by a pipelined reader regenerates from the input (the owning mapper
+  // has already committed, so re-streaming its partition is safe even
+  // while other map tasks are still writing).
+  service->SetRecovery(
+      [input, make_router](int m, int begin, int end,
+                           const std::function<void(int, const T&)>& collect) {
+        auto route = make_router(m);
+        input.StreamPartition(m, [&](const T& t) {
+          const int b = route(t);
+          if (b >= begin && b < end) collect(b, t);
+        });
+      });
+  const int num_mappers = input.num_partitions();
+  service->BeginPipelined(num_buckets, ctx->pipelined_queue_depth());
+
+  std::vector<Status> reader_status(static_cast<size_t>(num_buckets));
+  std::vector<double> reader_seconds(static_cast<size_t>(num_buckets), 0.0);
+  std::vector<uint64_t> task_records(static_cast<size_t>(num_buckets), 0);
+  std::vector<uint64_t> task_bytes(static_cast<size_t>(num_buckets), 0);
+  TraceSink* sink = ctx->tracer().enabled() ? &ctx->tracer() : nullptr;
+  std::vector<std::thread> readers;
+  readers.reserve(static_cast<size_t>(num_buckets));
+  for (int p = 0; p < num_buckets; ++p) {
+    readers.emplace_back([&, p] {
+      const auto start = std::chrono::steady_clock::now();
+      const int64_t start_us = sink != nullptr ? sink->NowMicros() : 0;
+      std::vector<T>& dest = (*out)[static_cast<size_t>(p)];
+      uint64_t records = 0;
+      uint64_t bytes = 0;
+      try {
+        for (int m = 0; m < num_mappers; ++m) {
+          if (!service->AwaitMapperCommitted(m)) return;
+          service->ReadMapperRange(m, p, p + 1, [&](T&& record) {
+            bytes += ShuffleRecordBytes(record);
+            dest.push_back(std::move(record));
+            ++records;
+          });
+          service->FinishMapperConsumed(m);
+        }
+        post(p, &dest);
+        task_records[static_cast<size_t>(p)] = records;
+        task_bytes[static_cast<size_t>(p)] = bytes;
+        if (sink != nullptr) {
+          sink->Record({name + "/read-range", "shuffle-read",
+                        CurrentTraceTid(), start_us,
+                        sink->NowMicros() - start_us, p, 0});
+        }
+      } catch (const NonRetryableError& e) {
+        reader_status[static_cast<size_t>(p)] = e.status();
+        service->AbortPipelined(e.status());
+      } catch (const std::exception& e) {
+        const Status status = Status::Internal(
+            name + ": pipelined shuffle-read task " + std::to_string(p) +
+            " failed: " + e.what());
+        reader_status[static_cast<size_t>(p)] = status;
+        service->AbortPipelined(status);
+      } catch (...) {
+        const Status status = Status::Internal(
+            name + ": pipelined shuffle-read task " + std::to_string(p) +
+            " failed: unknown exception");
+        reader_status[static_cast<size_t>(p)] = status;
+        service->AbortPipelined(status);
+      }
+      reader_seconds[static_cast<size_t>(p)] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+    });
+  }
+
+  const std::string fused = input.pending_ops();
+  StageMetrics write_stage =
+      ctx->RunStage(name + "/shuffle-write", num_mappers, [&](int i) {
+        // A retried attempt starts from a clean slate (and a fresh
+        // router); only a fully successful attempt publishes.
+        service->ResetMapTask(i);
+        auto route = make_router(i);
+        input.StreamPartition(i, [&](const T& t) {
+          service->Add(i, route(t), t);
+        });
+        service->PublishMapTask(i);
+      });
+  if (!write_stage.status.ok()) {
+    // Mappers owned by failed/cancelled tasks will never commit; wake
+    // the readers waiting on them.
+    service->AbortPipelined(write_stage.status);
+  }
+  for (std::thread& reader : readers) reader.join();
+  // Totals the per-task accounting (spill handles are already closed by
+  // the publishes; FinishWrites is idempotent).
+  service->FinishWrite();
+  write_stage.fused_ops = fused.empty()
+                              ? "shuffleWrite(pipelined)"
+                              : fused + "+shuffleWrite(pipelined)";
+  write_stage.spilled_bytes = service->spilled_bytes();
+  write_stage.spilled_runs = service->spilled_runs();
+  if (!write_stage.status.ok()) {
+    service->set_write_status(write_stage.status);
+    service->DiscardSpills();
+  }
+  Status failure = write_stage.status;
+  ctx->AddStage(std::move(write_stage));
+
+  // The read side ran on dedicated threads, not through RunStage —
+  // hand-build its stage record so metrics consumers see the usual
+  // write/read pair.
+  StageMetrics read_stage;
+  read_stage.name = name + "/shuffle-read";
+  read_stage.task_seconds = std::move(reader_seconds);
+  read_stage.fused_ops =
+      post_op == nullptr ? "shuffleRead(pipelined)"
+                         : std::string("shuffleRead(pipelined)+") + post_op;
+  for (int p = 0; p < num_buckets; ++p) {
+    read_stage.shuffle_records += task_records[static_cast<size_t>(p)];
+    read_stage.shuffle_bytes += task_bytes[static_cast<size_t>(p)];
+    read_stage.max_partition_size = std::max(
+        read_stage.max_partition_size, task_records[static_cast<size_t>(p)]);
+    if (failure.ok() && !reader_status[static_cast<size_t>(p)].ok()) {
+      failure = reader_status[static_cast<size_t>(p)];
+    }
+  }
+  read_stage.materialized_elements = read_stage.shuffle_records;
+  read_stage.materialized_bytes = read_stage.shuffle_bytes;
+  read_stage.recovered_spill_runs = service->recovered_runs();
+  read_stage.status = failure;
+  ctx->AddStage(std::move(read_stage));
+  if (!failure.ok()) {
+    service->DiscardSpills();
+    if (out_status != nullptr) *out_status = failure;
+    // Poisoned exchanges hand back empty partitions, like the barrier
+    // path does.
+    out->assign(static_cast<size_t>(num_buckets), std::vector<T>());
+  }
+  return out;
+}
+
+template <typename T, typename MakeRouter>
+std::shared_ptr<const std::vector<std::vector<T>>> PipelinedExchange(
+    const Dataset<T>& input, int num_buckets, const std::string& name,
+    MakeRouter make_router, Status* out_status) {
+  return PipelinedExchange(input, num_buckets, name, std::move(make_router),
+                           out_status, [](int, std::vector<T>*) {}, nullptr);
 }
 
 }  // namespace internal

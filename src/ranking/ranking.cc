@@ -1,7 +1,9 @@
 #include "ranking/ranking.h"
 
 #include <sstream>
-#include <unordered_set>
+#include <string>
+
+#include "ranking/flat_rankings.h"
 
 namespace rankjoin {
 
@@ -13,11 +15,7 @@ int Ranking::RankOf(ItemId item) const {
 }
 
 bool Ranking::IsValid() const {
-  std::unordered_set<ItemId> seen;
-  for (ItemId item : items_) {
-    if (!seen.insert(item).second) return false;
-  }
-  return true;
+  return internal::ItemsDistinct(items_.data(), items_.size());
 }
 
 std::string Ranking::ToString() const {
@@ -31,19 +29,48 @@ std::string Ranking::ToString() const {
   return os.str();
 }
 
+size_t RankingDataset::size() const {
+  if (rankings.empty() && flat_) return flat_->size();
+  return rankings.size();
+}
+
 Status RankingDataset::Validate() const {
+  // The fixed-k invariant can only be broken through the legacy vector —
+  // the flat store is fixed-k by construction.
   for (const Ranking& r : rankings) {
     if (r.k() != k) {
       return Status::InvalidArgument("ranking " + std::to_string(r.id()) +
                                      " has length " + std::to_string(r.k()) +
                                      ", expected " + std::to_string(k));
     }
+  }
+  if (flat_ && flat_->size() == size() && flat_->k() == k) {
+    return flat_->Validate();  // memoized: runs once per load
+  }
+  for (const Ranking& r : rankings) {
     if (!r.IsValid()) {
       return Status::InvalidArgument("ranking " + std::to_string(r.id()) +
                                      " contains duplicate items");
     }
   }
   return Status::OK();
+}
+
+const FlatRankings& RankingDataset::store() const {
+  if (!flat_ || (flat_->size() != size() || flat_->k() != k)) {
+    flat_ = std::make_shared<const FlatRankings>(
+        FlatRankings::FromRankings(k, rankings));
+  }
+  return *flat_;
+}
+
+void RankingDataset::AttachStore(std::shared_ptr<const FlatRankings> store) {
+  flat_ = std::move(store);
+}
+
+std::vector<Ranking> RankingDataset::MaterializeLegacy() const {
+  if (!rankings.empty() || !flat_) return rankings;
+  return flat_->MaterializeRankings();
 }
 
 }  // namespace rankjoin

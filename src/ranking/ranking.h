@@ -2,12 +2,15 @@
 #define RANKJOIN_RANKING_RANKING_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 
 namespace rankjoin {
+
+class FlatRankings;
 
 /// Identifier of a ranked item (paper: items are represented by ids).
 using ItemId = uint32_t;
@@ -29,11 +32,13 @@ class Ranking {
   /// Item at rank `r` (0-based; 0 = top).
   ItemId ItemAt(int r) const { return items_[static_cast<size_t>(r)]; }
 
-  /// Rank of `item`, or -1 if the item is not in the list. Linear scan —
-  /// k is small (10..25); hot paths use OrderedRanking instead.
+  /// Rank of `item`, or -1 if the item is not in the list. O(k) linear
+  /// scan, no allocation — k is small (10..25); hot paths use
+  /// OrderedRanking instead.
   int RankOf(ItemId item) const;
 
-  /// True if all items are distinct (a valid top-k list).
+  /// True if all items are distinct (a valid top-k list). O(k) via a
+  /// reusable thread_local scratch set — no per-call allocation.
   bool IsValid() const;
 
   /// "id: [i0, i1, ...]" for debugging and examples.
@@ -48,15 +53,41 @@ class Ranking {
   std::vector<ItemId> items_;
 };
 
-/// A dataset of fixed-length rankings, all sharing the same k.
+/// A dataset of fixed-length rankings, all sharing the same k. The
+/// canonical in-memory representation is the columnar FlatRankings store
+/// returned by store(); the legacy `rankings` vector is kept for
+/// construction convenience (generators, tests) and for the
+/// --store=legacy A/B path. Datasets loaded from the columnar mmap
+/// format are born flat: `rankings` stays empty and store() serves the
+/// mapped columns zero-copy.
 struct RankingDataset {
   int k = 0;
   std::vector<Ranking> rankings;
 
-  size_t size() const { return rankings.size(); }
+  size_t size() const;
 
-  /// Validates the fixed-k and distinct-items invariants.
+  /// Validates the fixed-k and distinct-items invariants. Routed through
+  /// the flat store when one is attached/built, where the result is
+  /// memoized so validation runs once per load.
   Status Validate() const;
+
+  /// The canonical columnar representation. Built lazily from `rankings`
+  /// on first use and cached; rebuilt if `rankings` changed size or k
+  /// since. Attached directly (zero-copy) for mmap-loaded datasets.
+  const FlatRankings& store() const;
+
+  /// Attaches an externally built store (mmap loader); clears the cache
+  /// invariant that the store mirrors `rankings`.
+  void AttachStore(std::shared_ptr<const FlatRankings> store);
+
+  bool has_store() const { return flat_ != nullptr; }
+
+  /// Legacy Ranking objects for the --store=legacy path: `rankings` when
+  /// populated, otherwise materialized copies from the flat store.
+  std::vector<Ranking> MaterializeLegacy() const;
+
+ private:
+  mutable std::shared_ptr<const FlatRankings> flat_;
 };
 
 /// One (item, original rank) entry of a reordered ranking.

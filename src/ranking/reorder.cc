@@ -44,14 +44,25 @@ std::unordered_map<ItemId, uint32_t> CountItemFrequencies(
   return freq;
 }
 
-OrderedRanking MakeOrdered(const Ranking& ranking, const ItemOrder& order) {
+std::unordered_map<ItemId, uint32_t> CountItemFrequencies(
+    const FlatRankings& rankings) {
+  std::unordered_map<ItemId, uint32_t> freq;
+  const ItemId* items = rankings.items();
+  const size_t total = rankings.size() * static_cast<size_t>(rankings.k());
+  for (size_t i = 0; i < total; ++i) ++freq[items[i]];
+  return freq;
+}
+
+namespace {
+
+OrderedRanking MakeOrderedImpl(RankingId id, const ItemId* items, size_t k,
+                               const ItemOrder& order) {
   OrderedRanking out;
-  out.id = ranking.id();
-  out.k = static_cast<uint16_t>(ranking.k());
-  out.canonical.reserve(ranking.items().size());
-  for (size_t r = 0; r < ranking.items().size(); ++r) {
-    out.canonical.push_back(
-        ItemEntry{ranking.items()[r], static_cast<uint16_t>(r)});
+  out.id = id;
+  out.k = static_cast<uint16_t>(k);
+  out.canonical.reserve(k);
+  for (size_t r = 0; r < k; ++r) {
+    out.canonical.push_back(ItemEntry{items[r], static_cast<uint16_t>(r)});
   }
   std::sort(out.canonical.begin(), out.canonical.end(),
             [&order](const ItemEntry& a, const ItemEntry& b) {
@@ -68,11 +79,32 @@ OrderedRanking MakeOrdered(const Ranking& ranking, const ItemOrder& order) {
   return out;
 }
 
+}  // namespace
+
+OrderedRanking MakeOrdered(const Ranking& ranking, const ItemOrder& order) {
+  return MakeOrderedImpl(ranking.id(), ranking.items().data(),
+                         ranking.items().size(), order);
+}
+
+OrderedRanking MakeOrdered(const RankingView& view, const ItemOrder& order) {
+  return MakeOrderedImpl(view.id, view.items, view.k, order);
+}
+
 std::vector<OrderedRanking> MakeOrderedDataset(
     const std::vector<Ranking>& rankings, const ItemOrder& order) {
   std::vector<OrderedRanking> out;
   out.reserve(rankings.size());
   for (const Ranking& r : rankings) out.push_back(MakeOrdered(r, order));
+  return out;
+}
+
+std::vector<OrderedRanking> MakeOrderedDataset(const FlatRankings& rankings,
+                                               const ItemOrder& order) {
+  std::vector<OrderedRanking> out;
+  out.reserve(rankings.size());
+  for (size_t i = 0; i < rankings.size(); ++i) {
+    out.push_back(MakeOrdered(rankings.view(i), order));
+  }
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ranking/flat_rankings.h"
 #include "ranking/ranking.h"
 
 namespace rankjoin {
@@ -36,16 +37,24 @@ class ItemOrder {
 /// Counts how many rankings each item appears in.
 std::unordered_map<ItemId, uint32_t> CountItemFrequencies(
     const std::vector<Ranking>& rankings);
+std::unordered_map<ItemId, uint32_t> CountItemFrequencies(
+    const FlatRankings& rankings);
 
 /// Transforms one ranking into its join representation: entries carry the
 /// original rank; `canonical` is sorted by the global item order and
 /// `by_item` by item id (see OrderedRanking).
 OrderedRanking MakeOrdered(const Ranking& ranking, const ItemOrder& order);
+/// Same, reading straight out of a columnar store slice.
+OrderedRanking MakeOrdered(const RankingView& view, const ItemOrder& order);
 
 /// Convenience: orders a whole dataset (driver-side; the distributed
 /// pipelines do the same through minispark stages).
 std::vector<OrderedRanking> MakeOrderedDataset(
     const std::vector<Ranking>& rankings, const ItemOrder& order);
+/// Same, straight off the columnar store (works for mmap-born datasets
+/// whose legacy vector is empty).
+std::vector<OrderedRanking> MakeOrderedDataset(const FlatRankings& rankings,
+                                               const ItemOrder& order);
 
 }  // namespace rankjoin
 

@@ -24,8 +24,8 @@ Result<PrefixRangeIndex> PrefixRangeIndex::Build(
   index.k_ = dataset.k;
   index.max_theta_ = max_theta;
   index.order_ =
-      ItemOrder::FromFrequencies(CountItemFrequencies(dataset.rankings));
-  index.ordered_ = MakeOrderedDataset(dataset.rankings, index.order_);
+      ItemOrder::FromFrequencies(CountItemFrequencies(dataset.store()));
+  index.ordered_ = MakeOrderedDataset(dataset.store(), index.order_);
 
   const int prefix =
       OverlapPrefix(RawThreshold(max_theta, dataset.k), dataset.k);
@@ -107,7 +107,7 @@ Result<CoarseRangeIndex> CoarseRangeIndex::Build(
 
   CoarseRangeIndex index;
   index.k_ = dataset.k;
-  index.ordered_ = MakeOrderedDataset(dataset.rankings, ItemOrder());
+  index.ordered_ = MakeOrderedDataset(dataset.store(), ItemOrder());
   const size_t n = index.ordered_.size();
   if (n == 0) return index;
 
