@@ -114,13 +114,14 @@ RunOutcome RunOnce(const std::string& dataset, SimilarityJoinConfig config,
   }
   outcome.pairs = result->pairs.size();
   outcome.stats = result->stats;
+  outcome.plan_json = result->plan_json;
   for (int workers : options.simulate_workers) {
     outcome.makespan[workers] = ctx.metrics().SimulatedMakespan(workers);
   }
   if (const std::string path = MetricsJsonPath(); !path.empty()) {
     AppendMetricsJson(
         ctx, std::string(AlgorithmName(config.algorithm)) + "/" + dataset,
-        path);
+        path, outcome.plan_json);
   }
   return outcome;
 }
@@ -131,7 +132,8 @@ std::string MetricsJsonPath() {
 }
 
 void AppendMetricsJson(const minispark::Context& ctx,
-                       const std::string& label, const std::string& path) {
+                       const std::string& label, const std::string& path,
+                       const std::string& plan_json) {
   std::string metrics = ctx.metrics().ToJson();
   metrics.erase(std::remove(metrics.begin(), metrics.end(), '\n'),
                 metrics.end());
@@ -145,7 +147,11 @@ void AppendMetricsJson(const minispark::Context& ctx,
     record << "\"" << minispark::internal::JsonEscape(name)
            << "\":" << value;
   }
-  record << "},\"metrics\":" << metrics << "}\n";
+  record << "}";
+  // plan_json is already serialized JSON (JoinPlan::ToJson) — embedded
+  // as an object, not re-escaped.
+  if (!plan_json.empty()) record << ",\"plan\":" << plan_json;
+  record << ",\"metrics\":" << metrics << "}\n";
   std::ofstream out(path, std::ios::app);
   out << record.str();
   if (!out) {

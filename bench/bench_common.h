@@ -59,6 +59,9 @@ struct RunOutcome {
   double seconds = 0;
   size_t pairs = 0;
   JoinStats stats;
+  /// Serialized JoinPlan (JoinResult::plan_json) when the run used
+  /// Algorithm::kAuto; empty otherwise.
+  std::string plan_json;
   /// Simulated cluster makespans for this run, per worker count
   /// requested in RunOptions::simulate_workers.
   std::map<int, double> makespan;
@@ -91,12 +94,15 @@ RunOutcome RunOnce(const std::string& dataset, SimilarityJoinConfig config,
 std::string MetricsJsonPath();
 
 /// Appends one JSON-lines record to `path`:
-///   {"label": ..., "counters": {...}, "metrics": <JobMetrics::ToJson()>}
-/// Newlines inside the metrics dump are stripped so each run stays one
-/// line (JSON-lines; `jq` per line). Errors are reported to stderr but
-/// non-fatal — metrics dumping never fails a benchmark.
+///   {"label": ..., "counters": {...}, "plan": <JoinPlan::ToJson()>,
+///    "metrics": <JobMetrics::ToJson()>}
+/// The "plan" field appears only when `plan_json` is non-empty (kAuto
+/// runs). Newlines inside the metrics dump are stripped so each run
+/// stays one line (JSON-lines; `jq` per line). Errors are reported to
+/// stderr but non-fatal — metrics dumping never fails a benchmark.
 void AppendMetricsJson(const minispark::Context& ctx,
-                       const std::string& label, const std::string& path);
+                       const std::string& label, const std::string& path,
+                       const std::string& plan_json = std::string());
 
 /// Tracks budget exhaustion across a sweep: once a (key) run blows the
 /// budget, later runs with the same key report DNF immediately.

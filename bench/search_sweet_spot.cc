@@ -4,13 +4,20 @@
 // Expected shape: the prefix index dominates for small theta, degrades
 // as prefixes grow; the coarse index is flatter and overtakes for large
 // theta — the trade-off that motivates combining both worlds.
+//
+// Second axis: the join-strategy sweet spot. For every theta the
+// cost-based planner (plan/) predicts the cheapest of VJ/CL/CL-P from a
+// sample; each strategy is then actually run and timed. The table shows
+// where the planner's predicted crossover sits against the measured one.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
+#include "plan/planner.h"
 #include "ranking/footrule.h"
 #include "ranking/reorder.h"
 #include "search/range_search.h"
@@ -86,5 +93,62 @@ int main(int argc, char** argv) {
   table.Print(
       "Range search (prior work [18] substrate) — per-query latency on "
       "DBLPx5, 64-pivot coarse index");
+
+  // Join-strategy sweet spot: planner prediction vs. measurement.
+  const std::string join_dataset = "DBLP";
+  Table plan_table({"theta", "planner pick", "vj [s]", "cl [s]", "cl-p [s]",
+                    "measured best", "agree"});
+  for (double theta : {0.05, 0.1, 0.2, 0.3}) {
+    SimilarityJoinConfig base;
+    base.algorithm = Algorithm::kAuto;
+    base.theta = theta;
+    base.delta = 0;  // planner-measured delta
+    minispark::Context plan_ctx({.num_workers = 4});
+    auto plan =
+        plan::PlanJoin(&plan_ctx, GetDataset(join_dataset), base);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "planning failed: %s\n",
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+
+    RunOptions options;
+    const Algorithm strategies[] = {Algorithm::kVJ, Algorithm::kCL,
+                                    Algorithm::kCLP};
+    double measured[3] = {0, 0, 0};
+    Algorithm best = Algorithm::kVJ;
+    for (int s = 0; s < 3; ++s) {
+      SimilarityJoinConfig config = base;
+      config.algorithm = strategies[s];
+      config.theta_c = plan->theta_c;
+      config.delta = plan->delta > 0 ? plan->delta : 500;
+      measured[s] = RunOnce(join_dataset, config, options).seconds;
+    }
+    double best_seconds = measured[0];
+    for (int s = 1; s < 3; ++s) {
+      if (measured[s] < best_seconds) {
+        best_seconds = measured[s];
+        best = strategies[s];
+      }
+    }
+    // "agree" = the planner's pick is the measured winner or within 10%
+    // of it (the acceptance band the planner aims for).
+    double picked_seconds = best_seconds;
+    for (int s = 0; s < 3; ++s) {
+      if (strategies[s] == plan->algorithm) picked_seconds = measured[s];
+    }
+    const bool agree = picked_seconds <= best_seconds * 1.10;
+
+    char t[16], vj[32], cl[32], clp[32];
+    std::snprintf(t, sizeof(t), "%.2f", theta);
+    std::snprintf(vj, sizeof(vj), "%.3f", measured[0]);
+    std::snprintf(cl, sizeof(cl), "%.3f", measured[1]);
+    std::snprintf(clp, sizeof(clp), "%.3f", measured[2]);
+    plan_table.AddRow({t, AlgorithmName(plan->algorithm), vj, cl, clp,
+                       AlgorithmName(best), agree ? "yes" : "NO"});
+  }
+  plan_table.Print(
+      "Join-strategy sweet spot — planner-predicted vs. measured on " +
+      join_dataset + " (agree = pick within 10% of measured best)");
   return 0;
 }

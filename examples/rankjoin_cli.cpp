@@ -2,7 +2,7 @@
 // dataset file and writes the result pairs.
 //
 //   rankjoin_cli --input data.txt --k 10 --theta 0.3
-//                [--algorithm vj|vj-nl|cl|cl-p|brute-force]
+//                [--algorithm vj|vj-nl|cl|cl-p|brute-force|auto]
 //                [--theta-c 0.03] [--delta 500] [--partitions 64]
 //                [--workers 4] [--output pairs.txt] [--stats]
 //                [--metrics] [--trace-out trace.json] [--lint]
@@ -28,10 +28,14 @@ void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --input FILE --k K --theta T [options]\n"
-      "  --algorithm NAME   vj | vj-nl | cl | cl-p | brute-force "
-      "(default cl-p)\n"
+      "  --algorithm NAME   vj | vj-nl | cl | cl-p | brute-force | auto "
+      "(default cl-p);\n"
+      "                     auto samples the dataset and executes the\n"
+      "                     cheapest of vj/cl/cl-p (prints the plan)\n"
       "  --theta-c T        clustering threshold (default 0.03)\n"
-      "  --delta N          CL-P partitioning threshold (default 500)\n"
+      "  --delta N          CL-P partitioning threshold (default 500);\n"
+      "                     0 with --algorithm auto lets the planner pick\n"
+      "                     a measured delta\n"
       "  --partitions N     shuffle partitions (default 64)\n"
       "  --workers N        worker threads (default 4)\n"
       "  --output FILE      write result pairs (default: count only)\n"
@@ -40,7 +44,7 @@ void Usage(const char* argv0) {
       "                     filter-effectiveness counters (needs\n"
       "                     RANKJOIN_TRACE_LEVEL=counters or timers)\n"
       "  --trace-out FILE   write a Chrome-trace JSON of the run\n"
-      "  --lint             lint every plan the run collects (MS001..MS005,\n"
+      "  --lint             lint every plan the run collects (MS001..MS006,\n"
       "                     see docs/MINISPARK.md) and print the report;\n"
       "                     RANKJOIN_LINT_LEVEL=error additionally rejects\n"
       "                     bad plans before any task runs\n"
@@ -169,6 +173,9 @@ int main(int argc, char** argv) {
   std::printf("%zu rankings, theta = %.3f, %s -> %zu similar pairs in %.3fs\n",
               dataset->size(), theta, AlgorithmName(*parsed),
               result->pairs.size(), result->stats.total_seconds);
+  if (!result->plan_json.empty()) {
+    std::printf("plan: %s\n", result->plan_json.c_str());
+  }
   if (print_stats) {
     std::printf("%s\n", result->stats.ToString().c_str());
   }

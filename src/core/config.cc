@@ -19,6 +19,7 @@ Result<Algorithm> ParseAlgorithm(const std::string& name) {
   if (lower == "brute-force" || lower == "bruteforce" || lower == "bf") {
     return Algorithm::kBruteForce;
   }
+  if (lower == "auto") return Algorithm::kAuto;
   return Status::InvalidArgument("unknown algorithm: " + name);
 }
 
@@ -36,6 +37,8 @@ const char* AlgorithmName(Algorithm algorithm) {
       return "cl-p";
     case Algorithm::kVSmart:
       return "v-smart";
+    case Algorithm::kAuto:
+      return "auto";
   }
   return "?";
 }
@@ -59,6 +62,13 @@ Status SimilarityJoinConfig::Validate(int k) const {
   if (algorithm == Algorithm::kCLP && delta == 0) {
     return Status::InvalidArgument(
         "CL-P requires a positive partitioning threshold delta");
+  }
+  if (algorithm == Algorithm::kAuto && theta_c < 0.0) {
+    // The planner picks theta_c/delta itself (clamping theta_c into the
+    // feasible [0, theta] band), so only outright-invalid inputs are
+    // rejected here; the chosen concrete plan is re-validated before
+    // execution.
+    return Status::InvalidArgument("theta_c must be >= 0");
   }
   if (num_partitions == 0 || num_partitions < -1) {
     return Status::InvalidArgument(

@@ -23,9 +23,14 @@ enum class Algorithm {
   kCLP,
   /// V-SMART-style aggregation baseline (Section 2 related work).
   kVSmart,
+  /// Cost-based planner: samples the dataset, estimates the cost of the
+  /// strategies above, and executes the cheapest plan (src/plan/).
+  kAuto,
 };
 
-/// Parses "vj", "vj-nl", "cl", "cl-p", "brute-force" (case-insensitive).
+/// Parses an algorithm name, case-insensitively. Accepted spellings:
+///   "vj" | "vj-nl"/"vjnl" | "cl" | "cl-p"/"clp" | "v-smart"/"vsmart" |
+///   "brute-force"/"bruteforce"/"bf" | "auto"
 Result<Algorithm> ParseAlgorithm(const std::string& name);
 
 /// Short lower-case name of an algorithm ("vj-nl").
@@ -57,6 +62,13 @@ struct SimilarityJoinConfig {
   /// CL/CL-P: keep only the closest centroid per member (the paper
   /// keeps clusters overlapping; see ClOptions::resolve_overlaps).
   bool resolve_overlaps = false;
+
+  /// Measure posting-list sizes after the group-by materializes and
+  /// engage Algorithm-3 repartitioning only when the largest list
+  /// exceeds delta — CL upgrades itself to CL-P mid-job instead of
+  /// unconditionally splitting. Set by the kAuto planner for CL plans;
+  /// requires delta > 0 to have any effect.
+  bool adaptive_repartition = false;
 
   /// Which in-memory ranking representation the pipelines parallelize
   /// over: the columnar FlatRankings store (default) or the legacy

@@ -3,11 +3,22 @@
 
 #include "common/status.h"
 #include "core/config.h"
+#include "join/cluster_join.h"
 #include "join/stats.h"
+#include "join/vj.h"
 #include "minispark/context.h"
 #include "ranking/ranking.h"
 
 namespace rankjoin {
+
+namespace internal {
+
+/// Config → pipeline-options mapping, shared by the explicit-algorithm
+/// dispatch and the kAuto planner's plan execution. Exposed for tests.
+VjOptions ToVjOptions(const SimilarityJoinConfig& config);
+ClOptions ToClOptions(const SimilarityJoinConfig& config);
+
+}  // namespace internal
 
 /// Facade over the similarity-join algorithms: validates the
 /// configuration and dispatches to the selected pipeline.
@@ -25,6 +36,13 @@ namespace rankjoin {
 ///
 /// The result pairs are unordered, each qualifying pair appearing
 /// exactly once with the smaller ranking id first.
+///
+/// Algorithm::kAuto routes through the cost-based planner (plan/): an
+/// error-bounded sample picks the cheapest of VJ / CL / CL-P, the chosen
+/// concrete plan executes through the same pipelines as an explicit
+/// choice (identical result pairs), and the decision is surfaced in
+/// JoinResult::plan_json plus the context's plan annotation
+/// (ExplainDot header).
 Result<JoinResult> RunSimilarityJoin(minispark::Context* ctx,
                                      const RankingDataset& dataset,
                                      const SimilarityJoinConfig& config);

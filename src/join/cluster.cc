@@ -308,7 +308,7 @@ std::vector<CentroidPair> RunCentroidJoin(
   JoinStats phase_stats;
   minispark::Dataset<ScoredPair> raw_pairs = JoinGroupsWithRepartitioning(
       groups, spec.repartition_delta, spec.num_partitions, local_join,
-      rs_join, &phase_stats);
+      rs_join, &phase_stats, spec.adaptive_repartition);
   minispark::Dataset<ScoredPair> unique = minispark::Distinct(
       raw_pairs, spec.num_partitions, "centroidJoin/distinct");
 

@@ -82,6 +82,9 @@ struct CentroidJoinSpec {
   bool singleton_optimization = true;
   /// Algorithm-3 partitioning threshold; 0 disables.
   uint64_t repartition_delta = 0;
+  /// Engage repartitioning only when measured skew demands it (see
+  /// ClOptions::adaptive_repartition).
+  bool adaptive_repartition = false;
 };
 
 /// Joining phase (paper Section 5.2, Algorithm 1): joins the centroid

@@ -404,6 +404,7 @@ Result<JoinResult> RunClusterJoin(minispark::Context* ctx,
   join_spec.position_filter = options.position_filter;
   join_spec.singleton_optimization = options.singleton_optimization;
   join_spec.repartition_delta = options.repartition_delta;
+  join_spec.adaptive_repartition = options.adaptive_repartition;
   std::vector<CentroidPair> rj =
       RunCentroidJoin(ctx, table, clustering.centroids, clustering.singletons,
                       join_spec, &result.stats);

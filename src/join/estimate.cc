@@ -5,8 +5,28 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "ranking/reorder.h"
 
 namespace rankjoin {
+namespace {
+
+/// Shared tail of both SuggestDeltaMeasured overloads: length-weighted
+/// expected list length (what a random prefix token hits, the same
+/// statistic Eq. 4 models) times the headroom.
+uint64_t DeltaFromLengths(const std::vector<size_t>& lengths,
+                          double headroom) {
+  double sum = 0;
+  double sum_sq = 0;
+  for (size_t len : lengths) {
+    sum += static_cast<double>(len);
+    sum_sq += static_cast<double>(len) * static_cast<double>(len);
+  }
+  const double expected = sum > 0 ? sum_sq / sum : 1.0;
+  return static_cast<uint64_t>(
+      std::llround(std::max(1.0, expected * headroom)));
+}
+
+}  // namespace
 
 double EstimatePostingListLength(size_t n, double s, size_t v_prime) {
   RANKJOIN_CHECK(v_prime >= 1);
@@ -38,6 +58,34 @@ std::vector<size_t> MeasurePostingListLengths(
   return out;
 }
 
+std::vector<size_t> MeasurePostingListLengths(
+    std::span<const RankingView> views, int prefix_size,
+    const ItemOrder* order) {
+  std::unordered_map<ItemId, size_t> lengths;
+  std::vector<ItemId> prefix;  // reused per view when reordering
+  for (const RankingView& v : views) {
+    const int p = std::min(prefix_size, static_cast<int>(v.k));
+    if (order == nullptr) {
+      for (int i = 0; i < p; ++i) ++lengths[v.ItemAt(i)];
+      continue;
+    }
+    // Canonical prefix: the p items with the smallest global positions
+    // (rarest first) — a partial selection, not a full sort, since k is
+    // small (10..25) and p often smaller.
+    prefix.assign(v.items, v.items + v.k);
+    std::partial_sort(prefix.begin(), prefix.begin() + p, prefix.end(),
+                      [order](ItemId a, ItemId b) {
+                        return order->PositionOf(a) < order->PositionOf(b);
+                      });
+    for (int i = 0; i < p; ++i) ++lengths[prefix[static_cast<size_t>(i)]];
+  }
+  std::vector<size_t> out;
+  out.reserve(lengths.size());
+  for (const auto& [item, len] : lengths) out.push_back(len);
+  std::sort(out.begin(), out.end(), std::greater<size_t>());
+  return out;
+}
+
 uint64_t SuggestDelta(size_t n, double s, size_t v_prime, double headroom) {
   const double expected = EstimatePostingListLength(n, s, v_prime);
   const double delta = std::max(1.0, expected * headroom);
@@ -46,19 +94,15 @@ uint64_t SuggestDelta(size_t n, double s, size_t v_prime, double headroom) {
 
 uint64_t SuggestDeltaMeasured(const std::vector<OrderedRanking>& rankings,
                               int prefix_size, double headroom) {
-  const std::vector<size_t> lengths =
-      MeasurePostingListLengths(rankings, prefix_size);
-  double sum = 0;
-  double sum_sq = 0;
-  for (size_t len : lengths) {
-    sum += static_cast<double>(len);
-    sum_sq += static_cast<double>(len) * static_cast<double>(len);
-  }
-  // Length-weighted expected list length: what a random prefix token
-  // hits, the same statistic Eq. 4 models.
-  const double expected = sum > 0 ? sum_sq / sum : 1.0;
-  return static_cast<uint64_t>(
-      std::llround(std::max(1.0, expected * headroom)));
+  return DeltaFromLengths(MeasurePostingListLengths(rankings, prefix_size),
+                          headroom);
+}
+
+uint64_t SuggestDeltaMeasured(std::span<const RankingView> views,
+                              int prefix_size, double headroom,
+                              const ItemOrder* order) {
+  return DeltaFromLengths(
+      MeasurePostingListLengths(views, prefix_size, order), headroom);
 }
 
 }  // namespace rankjoin

@@ -3,11 +3,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "ranking/flat_rankings.h"
 #include "ranking/ranking.h"
 
 namespace rankjoin {
+
+class ItemOrder;
 
 /// Expected posting-list length under a Zipf item model (paper Eq. 4,
 /// from [18]): E[len] = sum_i n * f(i; s, v')^2, where n is the number
@@ -25,6 +29,16 @@ double EstimatePostingListLength(size_t n, double s, size_t v_prime);
 std::vector<size_t> MeasurePostingListLengths(
     const std::vector<OrderedRanking>& rankings, int prefix_size);
 
+/// Columnar-store variant: measures posting-list lengths straight off
+/// RankingView records without materializing OrderedRanking copies —
+/// what the kAuto planner samples. With `order == nullptr` the prefix is
+/// the first `prefix_size` items in original rank order; with an
+/// ItemOrder it is each view's `prefix_size` canonically-smallest
+/// (rarest) items, mirroring what frequency reordering would index.
+std::vector<size_t> MeasurePostingListLengths(
+    std::span<const RankingView> views, int prefix_size,
+    const ItemOrder* order = nullptr);
+
 /// Suggests a partitioning threshold delta: a multiple of the expected
 /// posting-list length, so only clearly oversized (skew-tail) lists are
 /// split. `headroom` defaults to 4x.
@@ -38,6 +52,12 @@ uint64_t SuggestDelta(size_t n, double s, size_t v_prime,
 /// reordering holds each ranking's rarest items (see EXPERIMENTS.md).
 uint64_t SuggestDeltaMeasured(const std::vector<OrderedRanking>& rankings,
                               int prefix_size, double headroom = 4.0);
+
+/// Columnar-store variant of the above (same statistic over the
+/// RankingView overload of MeasurePostingListLengths).
+uint64_t SuggestDeltaMeasured(std::span<const RankingView> views,
+                              int prefix_size, double headroom = 4.0,
+                              const ItemOrder* order = nullptr);
 
 }  // namespace rankjoin
 

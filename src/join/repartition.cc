@@ -75,15 +75,31 @@ minispark::Dataset<ScoredPair> JoinGroups(
 minispark::Dataset<ScoredPair> JoinGroupsWithRepartitioning(
     const minispark::Dataset<PostingGroup>& groups, uint64_t delta,
     int num_partitions, LocalJoinFn local_join, LocalRsJoinFn rs_join,
-    JoinStats* stats) {
+    JoinStats* stats, bool adaptive) {
   if (delta == 0) return JoinGroups(groups, std::move(local_join), stats);
-
-  const int wide = std::max(1, num_partitions * 2);
 
   // The grouped index feeds both the small and the large split below —
   // materialize it once instead of re-running its pending chain per
   // consumer.
   groups.Cache();
+
+  if (adaptive) {
+    // Adaptive CL -> CL-P upgrade: measure the materialized posting
+    // lists and only pay for the repartitioning machinery (three extra
+    // shuffles) when one actually exceeds delta.
+    uint64_t max_list = 0;
+    for (const auto& part : groups.partitions()) {
+      for (const PostingGroup& g : part) {
+        max_list = std::max<uint64_t>(max_list, g.second.size());
+      }
+    }
+    if (max_list <= delta) {
+      return JoinGroups(groups, std::move(local_join), stats);
+    }
+    groups.context()->counters().Add("repartition.skew_upgrades", 1);
+  }
+
+  const int wide = std::max(1, num_partitions * 2);
 
   // Split the inverted index into small and large lists (I_<=delta and
   // I_>delta in Algorithm 3).

@@ -41,10 +41,18 @@ minispark::Dataset<ScoredPair> JoinGroups(
 ///
 /// Lists of size <= delta take the plain JoinGroups path. With
 /// delta == 0 this degrades to JoinGroups exactly.
+///
+/// With `adaptive` set, the split machinery only engages after a
+/// driver-side measurement of the materialized posting lists finds one
+/// larger than delta — CL upgrades itself to CL-P mid-job when the data
+/// turns out skewed, and skips the extra shuffles entirely when it does
+/// not. Each engagement counts in the "repartition.skew_upgrades"
+/// counter. Results are identical either way (the non-adaptive path
+/// routes lists <= delta through the same JoinGroups kernel).
 minispark::Dataset<ScoredPair> JoinGroupsWithRepartitioning(
     const minispark::Dataset<PostingGroup>& groups, uint64_t delta,
     int num_partitions, LocalJoinFn local_join, LocalRsJoinFn rs_join,
-    JoinStats* stats);
+    JoinStats* stats, bool adaptive = false);
 
 }  // namespace rankjoin
 

@@ -86,6 +86,11 @@ struct JoinStats {
 struct JoinResult {
   std::vector<ResultPair> pairs;
   JoinStats stats;
+  /// Serialized JoinPlan of the cost-based planner (JoinPlan::ToJson)
+  /// when the run went through Algorithm::kAuto; empty for explicit
+  /// algorithm choices. Lives here as an opaque string so join/ does not
+  /// depend on the plan/ layer.
+  std::string plan_json;
 };
 
 /// Sorts pairs by (first, second); convenient canonical form for

@@ -212,7 +212,7 @@ std::vector<ScoredPair> DistributedSelfJoin(
   JoinStats phase_stats;
   minispark::Dataset<ScoredPair> raw_pairs = JoinGroupsWithRepartitioning(
       groups, spec.repartition_delta, spec.num_partitions, local_join,
-      rs_join, &phase_stats);
+      rs_join, &phase_stats, spec.adaptive_repartition);
   // Final phase of VJ: remove the duplicates produced by rankings that
   // share several prefix items.
   minispark::Dataset<ScoredPair> unique =
@@ -256,6 +256,7 @@ Result<JoinResult> RunVjJoin(minispark::Context* ctx,
   spec.prefix_mode = options.prefix_mode;
   spec.local_algorithm = options.local_algorithm;
   spec.repartition_delta = options.repartition_delta;
+  spec.adaptive_repartition = options.adaptive_repartition;
   spec.counter_scope = options.counter_scope;
   std::vector<ScoredPair> scored =
       internal::DistributedSelfJoin(ctx, all, spec, &result.stats);

@@ -36,6 +36,13 @@ Context::Options WithEnvOverrides(Context::Options options) {
       options.shuffle_memory_budget_bytes = static_cast<uint64_t>(parsed);
     }
   }
+  if (const char* split = std::getenv("RANKJOIN_SPLIT_PARTITION_BYTES")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(split, &end, 10);
+    if (end != split) {
+      options.split_partition_bytes = static_cast<uint64_t>(parsed);
+    }
+  }
   if (const char* level = std::getenv("RANKJOIN_TRACE_LEVEL")) {
     options.trace_level = ParseTraceLevel(level);
   }

@@ -77,6 +77,20 @@ class Context {
     /// Distinct); Repartition and SortByKey keep their requested
     /// partition count. 0 (default) = no coalescing.
     uint64_t target_partition_bytes = 0;
+    /// AQE-style runtime skew splitting, the mirror image of coalescing:
+    /// after a shuffle write, any single target bucket whose serialized
+    /// size exceeds this cap is read by ceil(bytes / cap) slice tasks
+    /// instead of one (see PartitionRanges::SplitOversized). Applies to
+    /// the hash-keyed wide operations (PartitionByKey, GroupByKey,
+    /// ReduceByKey, Distinct), where the reader refines the key hash so
+    /// every key stays whole within one slice; Join/CoGroup (two-sided
+    /// ranges), SortByKey (sorted partition order), Repartition
+    /// (placement-only) and pipelined exchanges are not split — the lint
+    /// check MS006 surfaces oversized un-split buckets there. 0
+    /// (default) = no splitting. The RANKJOIN_SPLIT_PARTITION_BYTES
+    /// environment variable overrides this value when set — CI uses it
+    /// to force the split path under the whole test suite.
+    uint64_t split_partition_bytes = 0;
     /// Directory for shuffle spill files. Empty (default) = the system
     /// temp directory. The context creates a unique subdirectory on
     /// first spill and removes it on destruction.
@@ -168,6 +182,9 @@ class Context {
   uint64_t target_partition_bytes() const {
     return options_.target_partition_bytes;
   }
+  uint64_t split_partition_bytes() const {
+    return options_.split_partition_bytes;
+  }
   TraceLevel trace_level() const { return options_.trace_level; }
   bool trace_enabled() const {
     return TraceCountersEnabled(options_.trace_level);
@@ -190,9 +207,18 @@ class Context {
         options_.shuffle_memory_budget_bytes;
     settings.broadcast_max_bytes = options_.lint_broadcast_max_bytes;
     settings.loop_repeat_threshold = options_.lint_loop_repeat_threshold;
+    settings.split_partition_bytes = options_.split_partition_bytes;
     settings.broadcasts = broadcasts_;
     return settings;
   }
+
+  /// Free-form driver annotation (e.g. the adaptive planner's decision
+  /// summary) prepended as a comment to Dataset::ExplainDot output.
+  /// Driver-thread only, like all plan-side entry points.
+  void set_plan_annotation(std::string annotation) {
+    plan_annotation_ = std::move(annotation);
+  }
+  const std::string& plan_annotation() const { return plan_annotation_; }
 
   /// Diagnostics accumulated by automatic Collect()-time lints (and
   /// explicit Dataset::Lint() calls at lint_level >= kWarn), deduped
@@ -364,6 +390,8 @@ class Context {
   uint64_t next_spill_file_ = 0;
   /// Broadcast registry (driver thread only) feeding MS003.
   std::vector<BroadcastRecord> broadcasts_;
+  /// Driver annotation rendered into ExplainDot (set_plan_annotation).
+  std::string plan_annotation_;
   /// Archived diagnostics (node pointers nulled) + dedup keys.
   std::vector<LintDiagnostic> lint_report_;
   std::unordered_set<std::string> lint_seen_;

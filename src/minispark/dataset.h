@@ -186,7 +186,22 @@ class Dataset {
     if (state_->ctx->trace_enabled()) {
       observed = state_->ctx->metrics().AggregatedOpMetrics();
     }
-    return PlanToDot(state_->plan.get(), materialized(), observed, notes);
+    std::string dot =
+        PlanToDot(state_->plan.get(), materialized(), observed, notes);
+    // Driver annotations (e.g. the adaptive planner's decision summary)
+    // ride along as a DOT comment header.
+    const std::string& annotation = state_->ctx->plan_annotation();
+    if (!annotation.empty()) {
+      std::string header;
+      header += "// ";
+      for (char c : annotation) {
+        header += c;
+        if (c == '\n') header += "// ";
+      }
+      if (header.back() != '\n') header += '\n';
+      dot = header + dot;
+    }
+    return dot;
   }
 
   /// Runs the plan linter (lint.h) over this dataset's whole lineage DAG
@@ -665,19 +680,43 @@ Dataset<T> Parallelize(Context* ctx, std::vector<T> data,
 
 namespace internal {
 
+/// Post-execution facts about one keyed shuffle, stamped onto the wide
+/// PlanNode so the plan linter (MS006) and ExplainDot can see skew and
+/// what the engine did about it.
+struct ShuffleByKeyInfo {
+  /// Serialized bytes of the largest target bucket (0 when pipelined —
+  /// bucket sizes are not collected in that mode).
+  uint64_t max_bucket_bytes = 0;
+  /// Extra read partitions added by runtime skew splitting.
+  int split_slices = 0;
+};
+
+/// Largest entry of a bucket-size vector (0 when empty).
+inline uint64_t MaxBucketBytes(const std::vector<uint64_t>& bucket_bytes) {
+  uint64_t max = 0;
+  for (uint64_t b : bucket_bytes) max = std::max(max, b);
+  return max;
+}
+
 /// Hash-shuffles key-value records into `n` buckets by key through the
 /// ShuffleService. The shuffle-write phase STREAMS the input — a pending
 /// narrow chain on `input` executes inside the write tasks and is never
 /// materialized — serializing buckets to spill files when the context's
 /// memory budget is exceeded. After the write, adjacent small buckets
-/// coalesce per Context::Options::target_partition_bytes, so the
-/// returned partition count may be LESS than `n`. Shuffle volume is
+/// coalesce per Context::Options::target_partition_bytes (so the
+/// returned partition count may be LESS than `n`) and oversized buckets
+/// split into slice read tasks per
+/// Context::Options::split_partition_bytes (so it may also be MORE):
+/// the reader refines the key hash with its next digit above the bucket
+/// modulus, keeping every key whole within one slice. Shuffle volume is
 /// accounted inside the read tasks. A write- or read-stage failure
 /// surfaces through `*out_status` (the partitions are then empty).
+/// `out_info`, when non-null, receives the skew facts for PlanNode
+/// stamping.
 template <typename K, typename V>
 std::shared_ptr<const std::vector<std::vector<std::pair<K, V>>>> ShuffleByKey(
     const Dataset<std::pair<K, V>>& input, int n, const std::string& name,
-    Status* out_status) {
+    Status* out_status, ShuffleByKeyInfo* out_info = nullptr) {
   Context* ctx = input.context();
   HashPartitioner partitioner(n);
   const auto make_router = [partitioner](int /*task*/) {
@@ -687,13 +726,29 @@ std::shared_ptr<const std::vector<std::vector<std::pair<K, V>>>> ShuffleByKey(
   };
   if (ctx->pipelined_stages()) {
     // Overlapped write/read; bucket sizes are unknown until the last
-    // mapper commits, so no adaptive coalescing in this mode.
+    // mapper commits, so no adaptive coalescing or splitting in this
+    // mode.
     return PipelinedExchange(input, n, name, make_router, out_status);
   }
   auto service = ShuffleWrite<std::pair<K, V>>(input, n, name, make_router);
-  const PartitionRanges ranges = PartitionRanges::Coalesce(
+  PartitionRanges ranges = PartitionRanges::Coalesce(
       service->bucket_bytes(), ctx->target_partition_bytes());
-  return ShuffleRead(ctx, service.get(), ranges, name, out_status);
+  ranges = PartitionRanges::SplitOversized(
+      std::move(ranges), service->bucket_bytes(),
+      ctx->split_partition_bytes());
+  if (out_info != nullptr) {
+    out_info->max_bucket_bytes = MaxBucketBytes(service->bucket_bytes());
+    out_info->split_slices = ranges.SplitAdded();
+  }
+  // The next base-n digit of the key hash above the bucket index:
+  // records of one key always share it, so a key lands whole in exactly
+  // one slice of its (split) bucket.
+  const auto refine = [n](const std::pair<K, V>& kv) {
+    return ShuffleHash(kv.first) / static_cast<uint64_t>(n);
+  };
+  return ShuffleRead(ctx, service.get(), ranges, name, out_status,
+                     typename ShuffleService<std::pair<K, V>>::RefineFn(
+                         refine));
 }
 
 }  // namespace internal
@@ -753,14 +808,17 @@ Dataset<std::pair<K, V>> PartitionByKey(const Dataset<std::pair<K, V>>& ds,
   Context* ctx = ds.context();
   if (n <= 0) n = ctx->default_partitions();
   Status error;
-  auto parts = internal::ShuffleByKey(ds, n, name, &error);
+  internal::ShuffleByKeyInfo info;
+  auto parts = internal::ShuffleByKey(ds, n, name, &error, &info);
   Dataset<std::pair<K, V>> out(ctx, std::move(parts));
   if (!error.ok()) out.SetError(std::move(error));
   out.SetPlanNode(
       MakePlanNode(PlanNode::Kind::kWide, "partitionBy", name,
                    {ds.plan_node()},
                    {.num_partitions = out.num_partitions(),
-                    .serde_ok = has_serde_v<std::pair<K, V>>}));
+                    .serde_ok = has_serde_v<std::pair<K, V>>,
+                    .max_bucket_bytes = info.max_bucket_bytes,
+                    .split_slices = info.split_slices}));
   return out;
 }
 
@@ -860,6 +918,7 @@ Dataset<std::pair<K, std::pair<V, W>>> Join(
   std::shared_ptr<const std::vector<std::vector<std::pair<K, V>>>> lparts;
   std::shared_ptr<const std::vector<std::vector<std::pair<K, W>>>> rparts;
   int num_out = n;
+  uint64_t max_bucket_bytes = 0;
   if (ctx->pipelined_stages()) {
     // Two pipelined exchanges, run one after the other; both use
     // identity ranges so bucket b of each side meets in probe task b,
@@ -877,6 +936,11 @@ Dataset<std::pair<K, std::pair<V, W>>> Join(
     for (size_t b = 0; b < combined.size(); ++b) {
       combined[b] += rsvc->bucket_bytes()[b];
     }
+    // No skew splitting here: the two sides share one range table, and a
+    // probe task needs its bucket's FULL left side to build the hash
+    // table. The PlanNode still records the largest combined bucket so
+    // MS006 can flag an oversized one.
+    max_bucket_bytes = internal::MaxBucketBytes(combined);
     const PartitionRanges ranges =
         PartitionRanges::Coalesce(combined, ctx->target_partition_bytes());
     lparts =
@@ -926,7 +990,8 @@ Dataset<std::pair<K, std::pair<V, W>>> Join(
                    {left.plan_node(), right.plan_node()},
                    {.num_partitions = num_out,
                     .serde_ok = has_serde_v<std::pair<K, V>> &&
-                                has_serde_v<std::pair<K, W>>}));
+                                has_serde_v<std::pair<K, W>>,
+                    .max_bucket_bytes = max_bucket_bytes}));
   return result;
 }
 
@@ -957,6 +1022,7 @@ Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
   std::shared_ptr<const std::vector<std::vector<std::pair<K, V>>>> lparts;
   std::shared_ptr<const std::vector<std::vector<std::pair<K, W>>>> rparts;
   int num_out = n;
+  uint64_t max_bucket_bytes = 0;
   if (ctx->pipelined_stages()) {
     // See Join: sequential pipelined exchanges over identity ranges.
     lparts = internal::PipelinedExchange(left, n, name + "/L", lrouter,
@@ -972,6 +1038,8 @@ Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
     for (size_t b = 0; b < combined.size(); ++b) {
       combined[b] += rsvc->bucket_bytes()[b];
     }
+    // Two-sided ranges are never split (see Join); record skew for MS006.
+    max_bucket_bytes = internal::MaxBucketBytes(combined);
     const PartitionRanges ranges =
         PartitionRanges::Coalesce(combined, ctx->target_partition_bytes());
     lparts =
@@ -1021,7 +1089,8 @@ Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
                    {left.plan_node(), right.plan_node()},
                    {.num_partitions = num_out,
                     .serde_ok = has_serde_v<std::pair<K, V>> &&
-                                has_serde_v<std::pair<K, W>>}));
+                                has_serde_v<std::pair<K, W>>,
+                    .max_bucket_bytes = max_bucket_bytes}));
   return result;
 }
 

@@ -249,6 +249,34 @@ std::vector<LintDiagnostic> LintPlan(const PlanNode* root,
     }
   }
 
+  // MS006 — oversized un-split shuffle bucket. Wide nodes record the
+  // largest bucket's serialized size once executed; one that exceeds
+  // the split threshold without any slice tasks means runtime skew
+  // splitting could not engage there (two-sided join ranges, sorted
+  // output, placement-only or pipelined exchanges) and a single read
+  // task straggles behind the whole stage.
+  if (settings.split_partition_bytes > 0) {
+    for (const PlanNode* node : topo) {
+      if (node->kind != PlanNode::Kind::kWide) continue;
+      if (node->max_bucket_bytes <= settings.split_partition_bytes) continue;
+      if (node->split_slices > 0) continue;
+      LintDiagnostic d;
+      d.code = "MS006";
+      d.severity = LintSeverity::kWarning;
+      d.node = node;
+      d.location = Loc(node);
+      d.message = "shuffle '" + Loc(node) + "' produced a bucket of " +
+                  std::to_string(node->max_bucket_bytes) +
+                  " bytes, above the split threshold of " +
+                  std::to_string(settings.split_partition_bytes) +
+                  " bytes, but no slice tasks were added — one read "
+                  "task processes the whole skewed bucket; raise "
+                  "num_partitions, pre-aggregate the heavy key, or use "
+                  "a splittable (hash-keyed) shuffle";
+      diags.push_back(std::move(d));
+    }
+  }
+
   return diags;
 }
 

@@ -58,6 +58,11 @@ struct LintSettings {
   /// nodes with the same (op, name) signature — the fingerprint of a
   /// barrier rebuilt inside a driver-side loop.
   int loop_repeat_threshold = 3;
+  /// MS006 flags executed wide nodes whose largest shuffle bucket
+  /// exceeded this many bytes without runtime skew splitting engaging
+  /// (Context::Options::split_partition_bytes feeds this; 0 disables
+  /// the check).
+  uint64_t split_partition_bytes = 0;
   /// Broadcasts registered so far (MS003 input).
   std::vector<BroadcastRecord> broadcasts;
 };
@@ -67,7 +72,7 @@ struct LintSettings {
 /// the cross-plan report); `location` is a stable human-readable
 /// rendering of the same spot.
 struct LintDiagnostic {
-  std::string code;        ///< stable id: "MS001" .. "MS005"
+  std::string code;        ///< stable id: "MS001" .. "MS006"
   LintSeverity severity = LintSeverity::kWarning;
   std::string message;
   const PlanNode* node = nullptr;
@@ -87,6 +92,10 @@ struct LintDiagnostic {
 ///                   while a spill budget is set (cannot spill).
 ///   MS005 (warning) >= settings.loop_repeat_threshold same-signature
 ///                   wide nodes on one lineage path (barrier in a loop).
+///   MS006 (warning) an executed shuffle whose largest bucket exceeded
+///                   settings.split_partition_bytes without runtime
+///                   skew splitting engaging (oversized un-split
+///                   posting-list bucket: one straggler task reads it).
 ///
 /// `root == nullptr` yields only the broadcast check (MS003).
 std::vector<LintDiagnostic> LintPlan(const PlanNode* root,

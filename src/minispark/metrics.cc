@@ -101,6 +101,12 @@ uint64_t JobMetrics::TotalCoalescedPartitions() const {
   return total;
 }
 
+uint64_t JobMetrics::TotalSplitPartitions() const {
+  uint64_t total = 0;
+  for (const auto& s : stages_) total += s.split_partitions;
+  return total;
+}
+
 uint64_t JobMetrics::TotalTaskRetries() const {
   uint64_t total = 0;
   for (const auto& s : stages_) total += s.task_retries;
@@ -154,6 +160,9 @@ std::string JobMetrics::ToString() const {
     if (s.coalesced_partitions > 0) {
       os << " coalesced=" << s.coalesced_partitions;
     }
+    if (s.split_partitions > 0) {
+      os << " split=" << s.split_partitions;
+    }
     if (s.task_retries > 0) os << " retries=" << s.task_retries;
     if (s.speculative_launches > 0) {
       os << " speculative=" << s.speculative_launches;
@@ -195,6 +204,7 @@ std::string JobMetrics::ToJson() const {
        << ",\"spilled_bytes\":" << s.spilled_bytes
        << ",\"spilled_runs\":" << s.spilled_runs
        << ",\"coalesced_partitions\":" << s.coalesced_partitions
+       << ",\"split_partitions\":" << s.split_partitions
        << ",\"task_retries\":" << s.task_retries
        << ",\"speculative_launches\":" << s.speculative_launches
        << ",\"recovered_spill_runs\":" << s.recovered_spill_runs
@@ -222,6 +232,7 @@ std::string JobMetrics::ToJson() const {
      << ",\"spilled_bytes\":" << TotalSpilledBytes()
      << ",\"spilled_runs\":" << TotalSpilledRuns()
      << ",\"coalesced_partitions\":" << TotalCoalescedPartitions()
+     << ",\"split_partitions\":" << TotalSplitPartitions()
      << ",\"task_retries\":" << TotalTaskRetries()
      << ",\"speculative_launches\":" << TotalSpeculativeLaunches()
      << ",\"recovered_spill_runs\":" << TotalRecoveredSpillRuns() << "}}\n";

@@ -45,13 +45,21 @@ class HashPartitioner {
   int num_partitions_;
 };
 
-/// A range-coalesced view of shuffle target buckets: output (read)
-/// partition `p` covers the CONTIGUOUS bucket range
-/// [begin(p), end(p)). Contiguity is what preserves the key->partition
-/// contract of the keyed wide operations — a key's bucket belongs to
-/// exactly one range, so all records of one key still land in one read
-/// partition — and, for range shuffles (sortByKey), keeps partition
-/// order equal to key-range order.
+/// A range-coalesced (and optionally slice-split) view of shuffle target
+/// buckets: output (read) partition `p` covers the CONTIGUOUS bucket
+/// range [begin(p), end(p)). Contiguity is what preserves the
+/// key->partition contract of the keyed wide operations — a key's bucket
+/// belongs to exactly one range, so all records of one key still land in
+/// one read partition — and, for range shuffles (sortByKey), keeps
+/// partition order equal to key-range order.
+///
+/// SplitOversized is the mirror image of Coalesce: where coalescing
+/// merges adjacent undersized buckets into one read partition, splitting
+/// fans a single oversized bucket out into `slices(p)` read partitions,
+/// each covering the same bucket but only slice index `slice(p)` of it.
+/// How bucket records are divided among slices is the shuffle reader's
+/// business (keyed shuffles refine the key hash so every key stays whole
+/// in one slice; placement-only shuffles stripe by mapper).
 class PartitionRanges {
  public:
   /// One range per bucket (no coalescing).
@@ -64,21 +72,46 @@ class PartitionRanges {
   static PartitionRanges Coalesce(const std::vector<uint64_t>& bucket_bytes,
                                   uint64_t target_bytes);
 
-  int NumPartitions() const { return static_cast<int>(starts_.size()) - 1; }
-  int num_buckets() const { return starts_.back(); }
+  /// Runtime skew splitting: every single-bucket range whose serialized
+  /// size exceeds `max_bytes` is replaced by ceil(bytes / max_bytes)
+  /// slice partitions (capped at `max_slices`), each reading one slice
+  /// of that bucket. Multi-bucket (coalesced) ranges are never split —
+  /// coalescing already proved them small. `max_bytes == 0` disables
+  /// splitting and returns `base` unchanged.
+  static PartitionRanges SplitOversized(
+      PartitionRanges base, const std::vector<uint64_t>& bucket_bytes,
+      uint64_t max_bytes, int max_slices = 64);
 
-  int begin(int p) const { return starts_[static_cast<size_t>(p)]; }
-  int end(int p) const { return starts_[static_cast<size_t>(p) + 1]; }
+  int NumPartitions() const { return static_cast<int>(begin_.size()); }
+  int num_buckets() const { return num_buckets_; }
 
-  /// Number of buckets merged away (num_buckets() - NumPartitions()).
-  int CoalescedAway() const { return num_buckets() - NumPartitions(); }
+  int begin(int p) const { return begin_[static_cast<size_t>(p)]; }
+  int end(int p) const { return end_[static_cast<size_t>(p)]; }
+
+  /// Slice index of partition `p` within its bucket, in [0, slices(p)).
+  int slice(int p) const { return slice_[static_cast<size_t>(p)]; }
+  /// Total slice count of partition p's bucket (1 = unsplit).
+  int slices(int p) const { return slices_[static_cast<size_t>(p)]; }
+
+  /// Number of buckets merged away by coalescing.
+  int CoalescedAway() const { return coalesced_away_; }
+  /// Number of extra read partitions added by skew splitting.
+  int SplitAdded() const { return split_added_; }
+  bool HasSplits() const { return split_added_ > 0; }
 
  private:
-  explicit PartitionRanges(std::vector<int> starts)
-      : starts_(std::move(starts)) {}
+  PartitionRanges() = default;
 
-  /// Monotone bucket indices: range p is [starts_[p], starts_[p+1]).
-  std::vector<int> starts_;
+  /// Per-output-partition bucket range [begin_[p], end_[p]) plus the
+  /// slice coordinates within that range (slice_/slices_; 0/1 unless the
+  /// partition came out of SplitOversized).
+  std::vector<int> begin_;
+  std::vector<int> end_;
+  std::vector<int> slice_;
+  std::vector<int> slices_;
+  int num_buckets_ = 0;
+  int coalesced_away_ = 0;
+  int split_added_ = 0;
 };
 
 }  // namespace rankjoin::minispark

@@ -48,6 +48,16 @@ struct PlanNode {
   /// spill to disk if a budget forces it. MS004 flags wide nodes where
   /// this is false while a spill budget is configured.
   bool serde_ok = true;
+  /// For executed wide nodes: serialized bytes of the largest shuffle
+  /// target bucket (0 when unknown / not yet run). Together with
+  /// split_slices this feeds MS006 — an oversized bucket that no slice
+  /// task split is a skew hazard the engine could not (or was not
+  /// configured to) mitigate.
+  uint64_t max_bucket_bytes = 0;
+  /// For executed wide nodes: extra read partitions added by runtime
+  /// skew splitting of this shuffle's buckets (PartitionRanges::
+  /// SplitAdded), 0 when splitting did not engage.
+  int split_slices = 0;
   std::vector<std::shared_ptr<const PlanNode>> parents;
 };
 
@@ -58,6 +68,8 @@ struct PlanNodeAttrs {
   int num_partitions = 0;
   bool lazy = false;
   bool serde_ok = true;
+  uint64_t max_bucket_bytes = 0;
+  int split_slices = 0;
 };
 
 /// Builds a node; convenience over aggregate init at call sites.

@@ -12,6 +12,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -157,6 +158,14 @@ class ShuffleService {
       int map_task, int begin, int end,
       const std::function<void(int, const T&)>& collect)>;
 
+  /// Slice-refinement hash for runtime skew splitting: maps a record to
+  /// a 64-bit value whose `% slices` decides which slice of a split
+  /// bucket the record belongs to. Keyed shuffles pass a function of the
+  /// key only (the next hash digit above the bucket modulus), so every
+  /// key stays whole inside one slice and the key->partition contract
+  /// survives the split.
+  using RefineFn = std::function<uint64_t(const T&)>;
+
   ShuffleService(Context* ctx, int num_map_tasks, int num_buckets)
       : ctx_(ctx),
         id_(ctx->NextShuffleId()),
@@ -190,6 +199,7 @@ class ShuffleService {
   void ResetMapTask(int map_index) {
     MapTask& mt = tasks_[static_cast<size_t>(map_index)];
     for (auto& bucket : mt.resident) std::vector<T>().swap(bucket);
+    mt.sliced.clear();
     for (auto& segs : mt.segments) segs.clear();
     std::fill(mt.bucket_bytes.begin(), mt.bucket_bytes.end(), 0);
     std::fill(mt.bucket_records.begin(), mt.bucket_records.end(), 0);
@@ -325,6 +335,87 @@ class ShuffleService {
     }
   }
 
+  /// --- Runtime skew splitting (PartitionRanges::SplitOversized) -----
+  ///
+  /// A split bucket is consumed by `slices` read tasks instead of one.
+  /// Because resident consumption is destructive (records are moved
+  /// out), concurrent slice tasks must never partition a shared bucket
+  /// on the fly: PresliceBuckets runs DRIVER-SIDE between FinishWrite
+  /// and the read stage and moves each mapper's resident records of
+  /// every split bucket into per-slice vectors (refine(record) % slices
+  /// picks the slice). Spilled segments are left in place; each slice
+  /// task re-reads and re-verifies them through its own file handle and
+  /// filters at decode time. Per slice the emission order stays
+  /// mapper-major, spilled runs (oldest first) before the resident
+  /// tail — so every key's records keep their exact unsplit relative
+  /// order and downstream grouping is content-identical.
+
+  /// Driver-side: pre-partitions the resident records of every split
+  /// bucket in `ranges` into per-slice storage. Call once, after
+  /// FinishWrite() and before the read stage, whenever
+  /// `ranges.HasSplits()`.
+  void PresliceBuckets(const PartitionRanges& ranges,
+                       const RefineFn& refine) {
+    for (int p = 0; p < ranges.NumPartitions(); ++p) {
+      // Each split bucket appears once per slice; preslice it on the
+      // first (slice 0) appearance only.
+      if (ranges.slices(p) <= 1 || ranges.slice(p) != 0) continue;
+      const int b = ranges.begin(p);
+      const uint64_t c = static_cast<uint64_t>(ranges.slices(p));
+      for (MapTask& mt : tasks_) {
+        std::vector<T>& bucket = mt.resident[static_cast<size_t>(b)];
+        std::vector<std::vector<T>>& slices = mt.sliced[b];
+        slices.assign(static_cast<size_t>(c), std::vector<T>());
+        for (T& t : bucket) {
+          slices[static_cast<size_t>(refine(t) % c)].push_back(
+              std::move(t));
+        }
+        std::vector<T>().swap(bucket);
+      }
+    }
+  }
+
+  /// Read side of one slice of a split bucket: streams every record of
+  /// `bucket` whose refine % slices == slice into `fn`, mapper-major.
+  /// Same integrity/recovery semantics as ReadRange; a corrupt spill run
+  /// regenerates the whole bucket from lineage and re-filters.
+  template <typename Fn>
+  void ReadBucketSlice(int bucket, int slice, int slices,
+                       const RefineFn& refine, Fn&& fn) {
+    for (size_t m = 0; m < tasks_.size(); ++m) {
+      ReadMapperBucketSlice(static_cast<int>(m), bucket, slice, slices,
+                            refine, fn);
+    }
+  }
+
+  /// One mapper's contribution to one slice of a split bucket.
+  template <typename Fn>
+  void ReadMapperBucketSlice(int map_index, int bucket, int slice,
+                             int slices, const RefineFn& refine, Fn&& fn) {
+    MapTask& mt = tasks_[static_cast<size_t>(map_index)];
+    const uint64_t c = static_cast<uint64_t>(slices);
+    if constexpr (has_serde_v<T>) {
+      if (!mt.segments[static_cast<size_t>(bucket)].empty()) {
+        if (!EmitSpilledSlice(mt, bucket, slice, c, refine, fn)) {
+          // Lineage recovery regenerates the WHOLE bucket (spilled and
+          // resident alike, original arrival order) — filter it down to
+          // this slice; the presliced resident store must not be
+          // emitted on top.
+          RecoverMapperRange(
+              map_index, mt, bucket, bucket + 1, [&](T&& record) {
+                if (refine(record) % c == static_cast<uint64_t>(slice)) {
+                  fn(std::move(record));
+                }
+              });
+        }
+        return;
+      }
+    }
+    auto it = mt.sliced.find(bucket);
+    if (it == mt.sliced.end()) return;
+    for (T& t : it->second[static_cast<size_t>(slice)]) fn(std::move(t));
+  }
+
   /// --- Pipelined mode (Context::Options::pipelined_stages) ----------
   ///
   /// In a pipelined exchange the write stage still runs its map tasks on
@@ -433,6 +524,11 @@ class ShuffleService {
   struct MapTask {
     /// Per-bucket resident records, in arrival order.
     std::vector<std::vector<T>> resident;
+    /// Resident records of SPLIT buckets, moved out of `resident` by the
+    /// driver-side PresliceBuckets: bucket -> per-slice vectors, each in
+    /// arrival order. Concurrent slice read tasks only ever touch their
+    /// own slice vector.
+    std::unordered_map<int, std::vector<std::vector<T>>> sliced;
     /// Per-bucket spilled segments, oldest first.
     std::vector<std::vector<SpillSegment>> segments;
     /// Per-bucket serialized size / record count (resident + spilled).
@@ -581,6 +677,72 @@ class ShuffleService {
         RANKJOIN_CHECK(p == e);
       }
       for (T& t : mt.resident[static_cast<size_t>(b)]) {
+        emitted = true;
+        fn(std::move(t));
+      }
+    }
+    return true;
+  }
+
+  /// Slice counterpart of EmitSpilledRange: validates and emits ONE
+  /// bucket's spilled segments filtered down to `slice` (refine % c),
+  /// followed by that slice's presliced resident records. Same
+  /// validate-then-emit discipline, buffer cap, and re-read escalation
+  /// as the range path. Returns false (having emitted nothing) when any
+  /// segment is unreadable or fails its CRC.
+  template <typename Fn>
+  bool EmitSpilledSlice(MapTask& mt, int bucket, int slice, uint64_t c,
+                        const RefineFn& refine, Fn&& fn) {
+    if (!mt.spill) return false;
+    SpillFile::Reader reader(mt.spill->path());
+    if (!reader.ok()) return false;
+    const uint64_t buffer_cap =
+        std::max<uint64_t>(budget_, uint64_t{1} << 20);
+    uint64_t buffered = 0;
+    const std::vector<SpillSegment>& segs =
+        mt.segments[static_cast<size_t>(bucket)];
+    std::vector<std::string> payloads;
+    payloads.reserve(segs.size());
+    for (const SpillSegment& seg : segs) {
+      std::string buf;
+      if (!reader.TryReadAt(seg.offset, seg.bytes, &buf)) return false;
+      if (Crc32(buf.data(), buf.size()) != seg.crc) return false;
+      if (buffered + seg.bytes <= buffer_cap) {
+        buffered += seg.bytes;
+        payloads.push_back(std::move(buf));
+      } else {
+        payloads.emplace_back();
+      }
+    }
+    bool emitted = false;
+    size_t next = 0;
+    for (const SpillSegment& seg : segs) {
+      std::string buf = std::move(payloads[next++]);
+      if (buf.empty() && seg.bytes > 0) {
+        const bool ok = reader.TryReadAt(seg.offset, seg.bytes, &buf) &&
+                        Crc32(buf.data(), buf.size()) == seg.crc;
+        if (!ok) {
+          if (!emitted) return false;
+          throw NonRetryableError(Status::IoError(
+              "spill segment of '" + mt.spill->path() +
+              "' validated but failed its re-read during emission"));
+        }
+      }
+      const char* p = buf.data();
+      const char* e = p + buf.size();
+      for (uint64_t i = 0; i < seg.records; ++i) {
+        T record;
+        Serde<T>::Read(&p, e, &record);
+        if (refine(record) % c == static_cast<uint64_t>(slice)) {
+          emitted = true;
+          fn(std::move(record));
+        }
+      }
+      RANKJOIN_CHECK(p == e);
+    }
+    auto it = mt.sliced.find(bucket);
+    if (it != mt.sliced.end()) {
+      for (T& t : it->second[static_cast<size_t>(slice)]) {
         emitted = true;
         fn(std::move(t));
       }
@@ -754,7 +916,8 @@ template <typename T, typename PostFn>
 std::shared_ptr<const std::vector<std::vector<T>>> ShuffleRead(
     Context* ctx, ShuffleService<T>* service, const PartitionRanges& ranges,
     const std::string& name, Status* out_status, PostFn post,
-    const char* post_op) {
+    const char* post_op,
+    const typename ShuffleService<T>::RefineFn& refine = nullptr) {
   const int num_out = ranges.NumPartitions();
   auto out =
       std::make_shared<std::vector<std::vector<T>>>(
@@ -763,6 +926,12 @@ std::shared_ptr<const std::vector<std::vector<T>>> ShuffleRead(
     if (out_status != nullptr) *out_status = service->write_status();
     return out;
   }
+  // Skew-split ranges need the slice-refinement hash; preslicing the
+  // resident records happens here on the driver, BEFORE the concurrent
+  // read tasks start (slice tasks must never carve up a shared bucket
+  // while sibling tasks are moving records out of it).
+  RANKJOIN_CHECK(!ranges.HasSplits() || refine != nullptr);
+  if (ranges.HasSplits()) service->PresliceBuckets(ranges, refine);
   std::vector<uint64_t> task_records(static_cast<size_t>(num_out), 0);
   std::vector<uint64_t> task_bytes(static_cast<size_t>(num_out), 0);
   TraceSink* sink = ctx->tracer().enabled() ? &ctx->tracer() : nullptr;
@@ -773,7 +942,8 @@ std::shared_ptr<const std::vector<std::vector<T>>> ShuffleRead(
         // body runs, so a retried attempt re-enters here with nothing
         // consumed — but keep the slate clean regardless.
         dest.clear();
-        dest.reserve(service->RecordsInRange(ranges.begin(p), ranges.end(p)));
+        dest.reserve(service->RecordsInRange(ranges.begin(p), ranges.end(p)) /
+                     static_cast<uint64_t>(ranges.slices(p)));
         uint64_t records = 0;
         uint64_t bytes = 0;
         const int64_t start_us = sink != nullptr ? sink->NowMicros() : 0;
@@ -790,14 +960,19 @@ std::shared_ptr<const std::vector<std::vector<T>>> ShuffleRead(
               " failed after consuming shuffle data (not retryable): " +
               what));
         };
+        const auto emit = [&](T&& record) {
+          consumed = true;
+          bytes += ShuffleRecordBytes(record);
+          dest.push_back(std::move(record));
+          ++records;
+        };
         try {
-          service->ReadRange(ranges.begin(p), ranges.end(p),
-                             [&](T&& record) {
-                               consumed = true;
-                               bytes += ShuffleRecordBytes(record);
-                               dest.push_back(std::move(record));
-                               ++records;
-                             });
+          if (ranges.slices(p) > 1) {
+            service->ReadBucketSlice(ranges.begin(p), ranges.slice(p),
+                                     ranges.slices(p), refine, emit);
+          } else {
+            service->ReadRange(ranges.begin(p), ranges.end(p), emit);
+          }
           if (sink != nullptr) {
             sink->Record({name + "/read-range", "shuffle-read",
                           CurrentTraceTid(), start_us,
@@ -836,6 +1011,7 @@ std::shared_ptr<const std::vector<std::vector<T>>> ShuffleRead(
   read_stage.materialized_bytes = read_stage.shuffle_bytes;
   read_stage.coalesced_partitions =
       static_cast<uint64_t>(ranges.CoalescedAway());
+  read_stage.split_partitions = static_cast<uint64_t>(ranges.SplitAdded());
   read_stage.recovered_spill_runs = service->recovered_runs();
   if (!read_stage.status.ok()) {
     if (out_status != nullptr) *out_status = read_stage.status;
@@ -848,9 +1024,10 @@ std::shared_ptr<const std::vector<std::vector<T>>> ShuffleRead(
 template <typename T>
 std::shared_ptr<const std::vector<std::vector<T>>> ShuffleRead(
     Context* ctx, ShuffleService<T>* service, const PartitionRanges& ranges,
-    const std::string& name, Status* out_status) {
+    const std::string& name, Status* out_status,
+    const typename ShuffleService<T>::RefineFn& refine = nullptr) {
   return ShuffleRead(ctx, service, ranges, name, out_status,
-                     [](int, std::vector<T>*) {}, nullptr);
+                     [](int, std::vector<T>*) {}, nullptr, refine);
 }
 
 /// Pipelined producer/consumer exchange: the overlapped equivalent of

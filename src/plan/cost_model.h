@@ -1,0 +1,153 @@
+#ifndef RANKJOIN_PLAN_COST_MODEL_H_
+#define RANKJOIN_PLAN_COST_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "ranking/flat_rankings.h"
+
+namespace rankjoin::plan {
+
+/// Knobs of the sample-driven planner. The defaults aim at a profile
+/// cheap enough to be negligible against any real join (a few hundred
+/// rankings, one O(sample^2) mini-join) while keeping the estimated pair
+/// densities inside a Hoeffding error bound.
+struct PlannerOptions {
+  /// Additive error bound on the estimated pair densities.
+  double epsilon = 0.05;
+  /// Confidence 1 - delta of the Hoeffding bound.
+  double confidence = 0.95;
+  /// Sample-size clamp: never fewer than min_sample rankings (when the
+  /// dataset has them) and never more than max_sample — the mini-join is
+  /// quadratic in the sample.
+  size_t min_sample = 200;
+  size_t max_sample = 1500;
+  /// Seed of the deterministic sample draw; same seed + same dataset =
+  /// same plan.
+  uint64_t seed = 42;
+  /// Executor slots the makespan terms divide parallel work by. <= 0
+  /// uses the context's worker count.
+  int num_workers = 0;
+  /// Fixed per-stage scheduling cost, in work units (one unit ~ one
+  /// verification). This is what makes a short pipeline beat a long one
+  /// on small data.
+  double stage_overhead = 2000.0;
+  /// Work units per shuffled byte.
+  double byte_weight = 0.01;
+  /// Headroom multiplier of the measured-delta suggestion
+  /// (SuggestDeltaMeasured). Tighter than the offline default (4x):
+  /// the planner's delta must actually cap the straggler it predicts,
+  /// and lists between 2x and 4x the expected length are already worth
+  /// splitting when the job is straggler-bound.
+  double delta_headroom = 2.0;
+};
+
+/// Hoeffding-style sample size: the number of independent draws after
+/// which an estimated proportion deviates from the truth by more than
+/// `epsilon` with probability at most 1 - confidence,
+/// m = ln(2 / (1 - confidence)) / (2 epsilon^2), clamped to
+/// [min(n, min_sample), min(n, max_sample)].
+size_t ErrorBoundedSampleSize(size_t n, const PlannerOptions& options);
+
+/// Sample-derived statistics the per-strategy cost estimates consume.
+/// All list statistics are in the SAMPLE domain; `scale` converts to the
+/// full dataset (posting-list lengths grow linearly with n, candidate
+/// counts quadratically).
+struct DatasetProfile {
+  size_t n = 0;         ///< full dataset size
+  int k = 0;
+  size_t sample_size = 0;
+  double scale = 1.0;   ///< n / sample_size
+
+  /// Prefix sizes (OverlapPrefix) at the three thresholds in play: the
+  /// join threshold theta, the clustering threshold theta_c, and the
+  /// enlarged centroid-join threshold theta + 2*theta_c.
+  int prefix_theta = 1;
+  int prefix_theta_c = 1;
+  int prefix_enlarged = 1;
+
+  /// Inverted-index statistics over the sample's frequency-reordered
+  /// prefixes (join/estimate.h), per prefix size above: sum of squared
+  /// posting-list lengths (the candidate-count proxy: a list of length L
+  /// contributes ~L^2/2 candidate pairs) and the largest list (the
+  /// straggler proxy: one read task owns it).
+  uint64_t sum_sq_theta = 0;
+  uint64_t max_list_theta = 0;
+  uint64_t sum_sq_theta_c = 0;
+  uint64_t max_list_theta_c = 0;
+  uint64_t sum_sq_enlarged = 0;
+  uint64_t max_list_enlarged = 0;
+  /// Length-weighted expected list length at the theta prefix (the
+  /// statistic SuggestDelta builds on) and max/expected skew ratio.
+  double expected_list_theta = 0.0;
+  double skew_ratio = 1.0;
+
+  /// Mini brute-force join densities over the sample: the fraction of
+  /// ranking pairs within theta (result density) and within theta_c
+  /// (cluster density). Error-bounded by the Hoeffding sample size.
+  double pair_density_theta = 0.0;
+  double pair_density_theta_c = 0.0;
+
+  /// Cluster structure extrapolated from the theta_c pair density (NOT
+  /// from clustering the sample — co-members of a cluster rarely appear
+  /// together in a small sample): avg_cluster_size = 1 + density*(n-1)
+  /// (a record's expected full-dataset theta_c neighbors) and
+  /// centroid_fraction = 1 / avg_cluster_size, the fraction of rankings
+  /// surviving as centroid-join inputs. centroid_fraction = 1 means
+  /// clustering compresses nothing.
+  double centroid_fraction = 1.0;
+  double avg_cluster_size = 1.0;
+
+  /// SuggestDeltaMeasured over the sample's enlarged-prefix lists,
+  /// scaled to the full dataset. The CL-P partitioning threshold the
+  /// planner proposes when the config does not pin one.
+  uint64_t suggested_delta = 0;
+};
+
+/// Profiles `store` for a join at (theta, theta_c): draws the seeded
+/// error-bounded sample, measures posting lists at the three prefixes,
+/// and runs the O(sample^2) mini-join. theta_c must already be a valid
+/// clustering threshold (<= theta); pass theta_c = 0 to profile for
+/// VJ-only planning (clustering statistics degenerate gracefully).
+DatasetProfile ProfileDataset(const FlatRankings& store, double theta,
+                              double theta_c, const PlannerOptions& options);
+
+/// One strategy's estimated execution cost, in abstract work units
+/// (1 unit ~ one pair verification). Comparable across strategies;
+/// intentionally NOT a wall-clock prediction.
+struct CostEstimate {
+  /// Simulated-makespan-style total: parallel work divided by workers,
+  /// plus straggler floors, shuffle volume, and per-stage overhead.
+  double makespan = 0.0;
+  /// Estimated candidate verifications over the full dataset.
+  double est_candidates = 0.0;
+  /// Estimated shuffled bytes over the full dataset.
+  double est_shuffle_bytes = 0.0;
+  /// Human-readable term breakdown for the plan rationale.
+  std::string detail;
+};
+
+/// Cost of the VJ pipeline: one prefix shuffle at the theta prefix, all
+/// candidate work at full dataset density, straggler = the largest
+/// posting list.
+CostEstimate EstimateVjCost(const DatasetProfile& p,
+                            const PlannerOptions& options);
+
+/// Cost of the CL pipeline (Ordering, Clustering, Joining, Expansion):
+/// a theta_c self-join over everything, then the centroid join over the
+/// compressed (centroid_fraction) dataset at the enlarged prefix, then
+/// expansion proportional to result pairs times cluster size.
+CostEstimate EstimateClCost(const DatasetProfile& p,
+                            const PlannerOptions& options);
+
+/// Cost of CL-P: CL with the joining-phase straggler capped at delta
+/// (Algorithm 3 splits every longer list into <= delta chunks) in
+/// exchange for the repartitioning machinery's extra shuffles over the
+/// oversized lists.
+CostEstimate EstimateClpCost(const DatasetProfile& p, uint64_t delta,
+                             const PlannerOptions& options);
+
+}  // namespace rankjoin::plan
+
+#endif  // RANKJOIN_PLAN_COST_MODEL_H_

@@ -1,5 +1,5 @@
 // Plan-linter tests (minispark/lint.h): one fixture per diagnostic
-// code MS001..MS005 (each triggers exactly once, and the fixed variant
+// code MS001..MS006 (each triggers exactly once, and the fixed variant
 // of the same plan is clean), level parsing and the RANKJOIN_LINT_LEVEL
 // env override, Collect()-time warn/error behavior including the
 // error-mode abort, lint-clean assertions for every production join
@@ -289,6 +289,39 @@ TEST(LintCheckTest, Ms005BarrierRebuiltInLoop) {
   EXPECT_EQ(Only(LintPlan(strict.plan_node().get(), settings), "MS005")
                 .size(),
             1u);
+}
+
+TEST(LintCheckTest, Ms006OversizedUnsplitShuffleBucket) {
+  // Splitting disabled (split_partition_bytes = 0): the skewed shuffle
+  // materializes one oversized bucket and records it on the plan node
+  // without slice tasks. Linting with a tiny threshold flags it. The
+  // env override is pinned: CI's adaptive job would otherwise enable
+  // splitting and silence the diagnostic.
+  ScopedEnv split_env("RANKJOIN_SPLIT_PARTITION_BYTES", nullptr);
+  Context ctx(LintCluster());
+  std::vector<Kv> skewed(64, Kv{1, 1});  // every record on one key
+  auto grouped = PartitionByKey(Parallelize(&ctx, skewed, 4), 8,
+                                "fixture/skewedShuffle");
+  EXPECT_EQ(grouped.Count(), 64u);
+  LintSettings settings = ctx.lint_settings();
+  settings.split_partition_bytes = 64;
+  std::vector<LintDiagnostic> diags =
+      Only(LintPlan(grouped.plan_node().get(), settings), "MS006");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, LintSeverity::kWarning);
+  EXPECT_NE(diags[0].location.find("fixture/skewedShuffle"),
+            std::string::npos);
+
+  // With runtime splitting enabled the same plan adds slice tasks and
+  // the check stays quiet.
+  Context::Options split_options = LintCluster();
+  split_options.split_partition_bytes = 64;
+  Context split_ctx(split_options);
+  auto split_grouped =
+      PartitionByKey(Parallelize(&split_ctx, skewed, 4), 8,
+                     "fixture/skewedShuffle");
+  EXPECT_EQ(split_grouped.Count(), 64u);
+  EXPECT_TRUE(Only(split_grouped.Lint(), "MS006").empty());
 }
 
 TEST(LintCollectTest, WarnModeRecordsAndDeduplicates) {
