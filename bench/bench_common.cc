@@ -1,6 +1,7 @@
 #include "bench/bench_common.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -115,13 +116,20 @@ RunOutcome RunOnce(const std::string& dataset, SimilarityJoinConfig config,
   outcome.pairs = result->pairs.size();
   outcome.stats = result->stats;
   outcome.plan_json = result->plan_json;
+  outcome.predicted_cost = result->predicted_cost > 0
+                               ? result->predicted_cost
+                               : options.predicted_cost;
   for (int workers : options.simulate_workers) {
     outcome.makespan[workers] = ctx.metrics().SimulatedMakespan(workers);
   }
   if (const std::string path = MetricsJsonPath(); !path.empty()) {
-    AppendMetricsJson(
-        ctx, std::string(AlgorithmName(config.algorithm)) + "/" + dataset,
-        path, outcome.plan_json);
+    MetricsRowInfo info;
+    info.label =
+        std::string(AlgorithmName(config.algorithm)) + "/" + dataset;
+    info.plan_json = outcome.plan_json;
+    info.predicted_cost = outcome.predicted_cost;
+    info.wall_seconds = outcome.seconds;
+    AppendMetricsJson(ctx, info, path);
   }
   return outcome;
 }
@@ -131,32 +139,96 @@ std::string MetricsJsonPath() {
   return path == nullptr ? std::string() : std::string(path);
 }
 
-void AppendMetricsJson(const minispark::Context& ctx,
-                       const std::string& label, const std::string& path,
-                       const std::string& plan_json) {
+JsonRow& JsonRow::Key(const std::string& key) {
+  if (!first_) body_ << ",";
+  first_ = false;
+  body_ << "\"" << minispark::internal::JsonEscape(key) << "\":";
+  return *this;
+}
+
+JsonRow& JsonRow::Str(const std::string& key, const std::string& value) {
+  Key(key).body_ << "\"" << minispark::internal::JsonEscape(value) << "\"";
+  return *this;
+}
+
+JsonRow& JsonRow::Num(const std::string& key, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  Key(key).body_ << buffer;
+  return *this;
+}
+
+JsonRow& JsonRow::Int(const std::string& key, uint64_t value) {
+  Key(key).body_ << value;
+  return *this;
+}
+
+JsonRow& JsonRow::Bool(const std::string& key, bool value) {
+  Key(key).body_ << (value ? "true" : "false");
+  return *this;
+}
+
+JsonRow& JsonRow::Raw(const std::string& key, const std::string& json) {
+  Key(key).body_ << json;
+  return *this;
+}
+
+std::string JsonRow::Finish() const {
+  std::string out = "{";
+  out += body_.str();
+  out += "}";
+  return out;
+}
+
+uint64_t MaxRssKb() { return minispark::ReadSelfUsage().max_rss_kb; }
+
+void AppendMetricsJson(minispark::Context& ctx, const MetricsRowInfo& info,
+                       const std::string& path) {
   std::string metrics = ctx.metrics().ToJson();
   metrics.erase(std::remove(metrics.begin(), metrics.end(), '\n'),
                 metrics.end());
-  std::ostringstream record;
-  record << "{\"label\":\"" << minispark::internal::JsonEscape(label)
-         << "\",\"counters\":{";
-  bool first = true;
-  for (const auto& [name, value] : ctx.counters().Snapshot()) {
-    if (!first) record << ",";
-    first = false;
-    record << "\"" << minispark::internal::JsonEscape(name)
-           << "\":" << value;
+  JsonRow row;
+  row.Str("label", info.label);
+  if (info.wall_seconds >= 0) row.Num("wall_seconds", info.wall_seconds);
+  if (info.predicted_cost > 0) row.Num("plan_cost", info.predicted_cost);
+  // The measured counterpart of plan_cost: same simulated-cluster model
+  // the planner targets, so refits compare like against like. plan_cost
+  // is abstract work units, this is seconds — siblings, not the same
+  // scale.
+  row.Num("measured_makespan_s",
+          ctx.metrics().SimulatedMakespan(kPaperExecutors));
+  row.Int("max_rss_kb", MaxRssKb());
+  {
+    std::ostringstream counters;
+    bool first = true;
+    for (const auto& [name, value] : ctx.counters().Snapshot()) {
+      if (!first) counters << ",";
+      first = false;
+      counters << "\"" << minispark::internal::JsonEscape(name)
+               << "\":" << value;
+    }
+    std::string object = "{";
+    object += counters.str();
+    object += "}";
+    row.Raw("counters", object);
   }
-  record << "}";
   // plan_json is already serialized JSON (JoinPlan::ToJson) — embedded
   // as an object, not re-escaped.
-  if (!plan_json.empty()) record << ",\"plan\":" << plan_json;
-  record << ",\"metrics\":" << metrics << "}\n";
+  if (!info.plan_json.empty()) row.Raw("plan", info.plan_json);
+  row.Raw("metrics", metrics);
   std::ofstream out(path, std::ios::app);
-  out << record.str();
+  out << row.Finish() << "\n";
   if (!out) {
-    std::fprintf(stderr, "warning: could not append metrics to %s\n",
-                 path.c_str());
+    // Degrade, don't fail: metrics are observability, the run's results
+    // still stand. One warning per process; the counter lets tests and
+    // dashboards see that rows were dropped.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr, "warning: could not append metrics to %s\n",
+                   path.c_str());
+    }
+    ctx.counters().Add("obs.sink.degraded", 1);
+    ctx.telemetry().MarkSinkDegraded();
   }
 }
 

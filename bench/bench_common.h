@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,10 @@ struct RunOutcome {
   /// Serialized JoinPlan (JoinResult::plan_json) when the run used
   /// Algorithm::kAuto; empty otherwise.
   std::string plan_json;
+  /// Planner-predicted cost of the executed strategy in abstract work
+  /// units (JoinResult::predicted_cost); 0 unless the run was
+  /// auto-planned or RunOptions::predicted_cost supplied one.
+  double predicted_cost = 0;
   /// Simulated cluster makespans for this run, per worker count
   /// requested in RunOptions::simulate_workers.
   std::map<int, double> makespan;
@@ -77,6 +82,12 @@ struct RunOptions {
   /// already exceeded this budget are skipped and reported DNF, like the
   /// paper's 10-hour cut-off. <= 0 disables.
   double budget_seconds = 0;
+  /// Planner-predicted cost (work units) to embed in the run's
+  /// metrics-JSON row — for callers that planned out-of-band
+  /// (search_sweet_spot runs each strategy explicitly against one
+  /// plan). Auto-planned runs override this with the JoinResult's own
+  /// predicted cost.
+  double predicted_cost = 0;
 };
 
 /// Runs one algorithm configuration and measures wall time plus the
@@ -93,16 +104,54 @@ RunOutcome RunOnce(const std::string& dataset, SimilarityJoinConfig config,
 /// unset.
 std::string MetricsJsonPath();
 
+/// Single-line JSON object builder — the one way every bench emits a
+/// machine-readable row (both the RANKJOIN_METRICS_JSON sink and
+/// fig08's stdout records), so there is exactly one schema idiom.
+/// Strings are escaped; Raw embeds pre-serialized JSON verbatim.
+class JsonRow {
+ public:
+  JsonRow& Str(const std::string& key, const std::string& value);
+  JsonRow& Num(const std::string& key, double value);
+  JsonRow& Int(const std::string& key, uint64_t value);
+  JsonRow& Bool(const std::string& key, bool value);
+  JsonRow& Raw(const std::string& key, const std::string& json);
+  /// The finished "{...}" object (no trailing newline).
+  std::string Finish() const;
+
+ private:
+  JsonRow& Key(const std::string& key);
+  std::ostringstream body_;
+  bool first_ = true;
+};
+
+/// Peak resident set of this process in KiB (getrusage).
+uint64_t MaxRssKb();
+
+/// Everything one metrics-JSON row carries besides the context.
+struct MetricsRowInfo {
+  std::string label;
+  /// Embedded as "plan" when non-empty (JoinPlan::ToJson).
+  std::string plan_json;
+  /// Planner-predicted cost in work units; emitted as "plan_cost" when
+  /// > 0, sibling to the always-present "measured_makespan_s" — the
+  /// predict-vs-actual pair the cost-model refit reads back.
+  double predicted_cost = 0;
+  /// Measured wall seconds of the run; emitted when >= 0.
+  double wall_seconds = -1;
+};
+
 /// Appends one JSON-lines record to `path`:
-///   {"label": ..., "counters": {...}, "plan": <JoinPlan::ToJson()>,
-///    "metrics": <JobMetrics::ToJson()>}
-/// The "plan" field appears only when `plan_json` is non-empty (kAuto
-/// runs). Newlines inside the metrics dump are stripped so each run
-/// stays one line (JSON-lines; `jq` per line). Errors are reported to
-/// stderr but non-fatal — metrics dumping never fails a benchmark.
-void AppendMetricsJson(const minispark::Context& ctx,
-                       const std::string& label, const std::string& path,
-                       const std::string& plan_json = std::string());
+///   {"label": ..., "wall_seconds": ..., "plan_cost": ...,
+///    "measured_makespan_s": <SimulatedMakespan(kPaperExecutors)>,
+///    "max_rss_kb": ..., "counters": {...},
+///    "plan": <JoinPlan::ToJson()>, "metrics": <JobMetrics::ToJson()>}
+/// Optional fields appear per MetricsRowInfo. Newlines inside the
+/// metrics dump are stripped so each run stays one line (JSON-lines;
+/// `jq` per line). An unwritable path degrades gracefully: one warning
+/// per process, counter obs.sink.degraded, and the run continues —
+/// metrics dumping never fails a benchmark.
+void AppendMetricsJson(minispark::Context& ctx, const MetricsRowInfo& info,
+                       const std::string& path);
 
 /// Tracks budget exhaustion across a sweep: once a (key) run blows the
 /// budget, later runs with the same key report DNF immediately.

@@ -18,8 +18,6 @@
 // (implies keeping it), so a measured run contains only map + join —
 // the configuration for store/pipelined A/B timing.
 
-#include <sys/resource.h>
-
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -63,26 +61,32 @@ void RunAtScale(const RankingDataset& dataset, Algorithm algorithm,
                  result.status().ToString().c_str());
     std::exit(1);
   }
-  struct rusage usage = {};
-  getrusage(RUSAGE_SELF, &usage);
-  std::printf(
-      "{\"mode\":\"scale-to\",\"algorithm\":\"%s\",\"rankings\":%zu,"
-      "\"k\":%d,\"theta\":%.3f,\"store\":\"%s\",\"pipelined\":%s,"
-      "\"shuffle_budget_bytes\":%llu,\"seconds\":%.3f,\"pairs\":%zu,"
-      "\"spilled_bytes\":%llu,\"spilled_runs\":%llu,"
-      "\"max_rss_kb\":%llu}\n",
-      AlgorithmName(algorithm), dataset.size(), dataset.k, theta,
-      RankingStoreName(config.store), Config().pipelined ? "true" : "false",
-      static_cast<unsigned long long>(budget_bytes), seconds,
-      result->pairs.size(),
-      static_cast<unsigned long long>(ctx.metrics().TotalSpilledBytes()),
-      static_cast<unsigned long long>(ctx.metrics().TotalSpilledRuns()),
-      static_cast<unsigned long long>(usage.ru_maxrss));
+  const minispark::Histogram tasks = ctx.metrics().TaskDurationHistogram();
+  JsonRow row;
+  row.Str("mode", "scale-to")
+      .Str("algorithm", AlgorithmName(algorithm))
+      .Int("rankings", dataset.size())
+      .Int("k", static_cast<uint64_t>(dataset.k))
+      .Num("theta", theta)
+      .Str("store", RankingStoreName(config.store))
+      .Bool("pipelined", Config().pipelined)
+      .Int("shuffle_budget_bytes", budget_bytes)
+      .Num("seconds", seconds)
+      .Int("pairs", result->pairs.size())
+      .Int("spilled_bytes", ctx.metrics().TotalSpilledBytes())
+      .Int("spilled_runs", ctx.metrics().TotalSpilledRuns())
+      .Int("max_rss_kb", MaxRssKb());
+  if (tasks.Count() > 0) {
+    row.Num("task_us_p50", tasks.Quantile(0.50))
+        .Num("task_us_p99", tasks.Quantile(0.99));
+  }
+  std::printf("%s\n", row.Finish().c_str());
   std::fflush(stdout);
   if (const std::string path = MetricsJsonPath(); !path.empty()) {
-    AppendMetricsJson(ctx,
-                      std::string("scale-to/") + AlgorithmName(algorithm),
-                      path);
+    MetricsRowInfo info;
+    info.label = std::string("scale-to/") + AlgorithmName(algorithm);
+    info.wall_seconds = seconds;
+    AppendMetricsJson(ctx, info, path);
   }
 }
 

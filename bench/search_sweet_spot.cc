@@ -122,6 +122,15 @@ int main(int argc, char** argv) {
       config.algorithm = strategies[s];
       config.theta_c = plan->theta_c;
       config.delta = plan->delta > 0 ? plan->delta : 500;
+      // Plan once, run each strategy explicitly — so each run's
+      // metrics-JSON row still carries the planner's cost for *that*
+      // strategy next to its measurement (out-of-band predicted_cost).
+      options.predicted_cost = 0;
+      for (const plan::StrategyCost& strategy : plan->strategies) {
+        if (strategy.algorithm == strategies[s]) {
+          options.predicted_cost = strategy.makespan;
+        }
+      }
       measured[s] = RunOnce(join_dataset, config, options).seconds;
     }
     double best_seconds = measured[0];

@@ -6,7 +6,8 @@
 //                [--theta-c 0.03] [--delta 500] [--partitions 64]
 //                [--workers 4] [--output pairs.txt] [--stats]
 //                [--metrics] [--trace-out trace.json] [--lint]
-//                [--store flat|legacy] [--mmap FILE] [--pipelined]
+//                [--stats-port N] [--store flat|legacy] [--mmap FILE]
+//                [--pipelined]
 //
 // Input format: one ranking per line, "id: i0 i1 ... ik-1" (see
 // data/io.h), or a binary columnar file via --mmap (zero-copy load;
@@ -43,7 +44,12 @@ void Usage(const char* argv0) {
       "  --metrics          print engine stage/operator metrics and the\n"
       "                     filter-effectiveness counters (needs\n"
       "                     RANKJOIN_TRACE_LEVEL=counters or timers)\n"
-      "  --trace-out FILE   write a Chrome-trace JSON of the run\n"
+      "  --trace-out FILE   write a Chrome-trace JSON of the run; an\n"
+      "                     unwritable path warns and continues (counter\n"
+      "                     obs.sink.degraded)\n"
+      "  --stats-port N     serve live /metrics (Prometheus) and /healthz\n"
+      "                     on 127.0.0.1:N while the join runs (0 picks an\n"
+      "                     ephemeral port; same as RANKJOIN_STATS_PORT)\n"
       "  --lint             lint every plan the run collects (MS001..MS006,\n"
       "                     see docs/MINISPARK.md) and print the report;\n"
       "                     RANKJOIN_LINT_LEVEL=error additionally rejects\n"
@@ -74,6 +80,7 @@ int main(int argc, char** argv) {
   bool print_metrics = false;
   bool lint = false;
   bool pipelined = false;
+  int stats_port = -1;
   std::string trace_out;
   std::string store_name = "flat";
   std::string mmap_path;
@@ -110,6 +117,8 @@ int main(int argc, char** argv) {
       print_metrics = true;
     } else if (!std::strcmp(argv[i], "--trace-out")) {
       trace_out = next("--trace-out");
+    } else if (!std::strcmp(argv[i], "--stats-port")) {
+      stats_port = std::atoi(next("--stats-port"));
     } else if (!std::strcmp(argv[i], "--lint")) {
       lint = true;
     } else if (!std::strcmp(argv[i], "--store")) {
@@ -157,7 +166,12 @@ int main(int argc, char** argv) {
     cluster.lint_level = minispark::LintLevel::kWarn;
   }
   if (pipelined) cluster.pipelined_stages = true;
+  if (stats_port >= 0) cluster.stats_port = stats_port;
   minispark::Context ctx(cluster);
+  if (ctx.stats_port() >= 0) {
+    std::printf("telemetry: http://127.0.0.1:%d/metrics and /healthz\n",
+                ctx.stats_port());
+  }
   SimilarityJoinConfig config;
   config.algorithm = *parsed;
   config.theta = theta;
@@ -198,10 +212,15 @@ int main(int argc, char** argv) {
   }
   if (!trace_out.empty()) {
     if (Status s = ctx.DumpTrace(trace_out); !s.ok()) {
-      std::fprintf(stderr, "%s\n", s.ToString().c_str());
-      return 1;
+      // Observability sinks degrade, they don't fail the run: the join
+      // finished and its results are still good.
+      std::fprintf(stderr, "warning: trace not written: %s\n",
+                   s.ToString().c_str());
+      ctx.counters().Add("obs.sink.degraded", 1);
+      ctx.telemetry().MarkSinkDegraded();
+    } else {
+      std::printf("trace written to %s\n", trace_out.c_str());
     }
-    std::printf("trace written to %s\n", trace_out.c_str());
   }
   if (!output.empty()) {
     if (Status s = WriteResultPairs(output, result->pairs); !s.ok()) {

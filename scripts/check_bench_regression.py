@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench metrics-JSON file against a committed baseline.
+
+Both files are JSON-lines as written by bench_common's AppendMetricsJson:
+one object per run with "label", "wall_seconds", "measured_makespan_s",
+"counters", optional "plan"/"plan_cost", and "metrics" (JobMetrics).
+
+Rows are matched by label plus occurrence index (theta sweeps emit the
+same label repeatedly; order within a label is deterministic), so a
+baseline and a candidate produced by the same bench matrix line up 1:1.
+
+Two classes of checks:
+
+  * Deterministic fields must match exactly: result counters (the join
+    counters snapshot, minus fault.* / obs.* which vary by injection and
+    sink health) and the planner's chosen algorithm when a plan is
+    embedded. A mismatch means behavior changed, not noise.
+  * Timing fields must stay within --tolerance of the baseline ratio.
+    wall_seconds is gated row by row (above the --min-seconds noise
+    floor); measured_makespan_s — a max-task statistic one slow task can
+    double — only in aggregate. The aggregate check sums each field over
+    all rows and applies the same tolerance. With --normalize, each candidate
+    time is first divided by the median candidate/baseline ratio across
+    all rows — cancels machine-speed differences while still catching a
+    single run regressing relative to its peers. Note --normalize also
+    cancels a *uniform* slowdown (that is the point), so it skips the
+    aggregate check; the CI self-test that injects a uniform 2x runs
+    without it.
+
+Modes:
+  check (default)      exit 1 on any violation
+  --refresh            overwrite BASELINE with CANDIDATE and exit 0
+  --inject-slowdown F  multiply candidate times by F before checking
+                       (CI uses 2.0 to prove the gate actually fails)
+
+Refreshing a committed baseline (after an intentional perf change):
+  RANKJOIN_METRICS_JSON=/tmp/fresh.json bench/<bench> ...
+  scripts/check_bench_regression.py bench/baselines/ci_small.json \
+      /tmp/fresh.json --refresh
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+TIME_FIELDS = ("wall_seconds", "measured_makespan_s")
+
+# Fields stable enough to gate row by row. measured_makespan_s is a
+# max-task statistic (sum of per-stage maxima), so one slow task can
+# double it — it is only checked in aggregate, where the noise
+# averages out.
+PER_ROW_FIELDS = ("wall_seconds",)
+
+# Counter prefixes excluded from the exact comparison: fault injection
+# and observability-sink health legitimately differ run to run.
+VOLATILE_COUNTER_PREFIXES = ("fault.", "obs.")
+
+
+def load_rows(path):
+    """Returns {(label, occurrence_index): row}."""
+    rows = {}
+    seen = {}
+    try:
+        with open(path, encoding="utf-8") as f:
+            for line_no, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as e:
+                    raise SystemExit(
+                        f"{path}:{line_no}: bad JSON: {e}") from e
+                label = row.get("label", "?")
+                index = seen.get(label, 0)
+                seen[label] = index + 1
+                rows[(label, index)] = row
+    except OSError as e:
+        raise SystemExit(f"cannot read {path}: {e}") from e
+    return rows
+
+
+def stable_counters(row):
+    return {
+        name: value
+        for name, value in row.get("counters", {}).items()
+        if not name.startswith(VOLATILE_COUNTER_PREFIXES)
+    }
+
+
+def check_exact(key, base, cand, failures):
+    label = f"{key[0]}#{key[1]}"
+    base_counters = stable_counters(base)
+    cand_counters = stable_counters(cand)
+    for name in sorted(set(base_counters) | set(cand_counters)):
+        b = base_counters.get(name)
+        c = cand_counters.get(name)
+        if b != c:
+            failures.append(
+                f"{label}: counter {name}: baseline {b} != candidate {c}")
+    base_algo = base.get("plan", {}).get("algorithm")
+    cand_algo = cand.get("plan", {}).get("algorithm")
+    if base_algo != cand_algo:
+        failures.append(
+            f"{label}: planner pick changed: "
+            f"{base_algo} -> {cand_algo}")
+
+
+def median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def check_times(keys, base_rows, cand_rows, tolerance, normalize,
+                slowdown, min_seconds, failures):
+    for field in TIME_FIELDS:
+        ratios = {}
+        base_total = 0.0
+        cand_total = 0.0
+        for key in keys:
+            b = base_rows[key].get(field)
+            c = cand_rows[key].get(field)
+            if b is None or c is None or b <= 0:
+                continue
+            base_total += b
+            cand_total += c * slowdown
+            if field in PER_ROW_FIELDS and b >= min_seconds:
+                ratios[key] = (c * slowdown) / b
+        scale = median(ratios.values()) if normalize and ratios else 1.0
+        if scale <= 0:
+            scale = 1.0
+        for key, ratio in sorted(ratios.items()):
+            adjusted = ratio / scale
+            if adjusted > 1.0 + tolerance:
+                failures.append(
+                    f"{key[0]}#{key[1]}: {field} regressed "
+                    f"{(adjusted - 1.0) * 100:.1f}% over baseline "
+                    f"(ratio {ratio:.3f}, normalized {adjusted:.3f}, "
+                    f"tolerance {tolerance * 100:.0f}%)")
+        # Aggregate: per-row noise averages out over the whole matrix,
+        # so the summed time is the stablest signal. Meaningless under
+        # --normalize (a uniform factor is exactly what it cancels).
+        if not normalize and base_total > 0:
+            total_ratio = cand_total / base_total
+            if total_ratio > 1.0 + tolerance:
+                failures.append(
+                    f"<aggregate>: total {field} regressed "
+                    f"{(total_ratio - 1.0) * 100:.1f}% over baseline "
+                    f"({cand_total:.3f}s vs {base_total:.3f}s, "
+                    f"tolerance {tolerance * 100:.0f}%)")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="committed baseline JSON-lines")
+    parser.add_argument("candidate", help="freshly produced JSON-lines")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.5,
+        help="allowed fractional slowdown per row (default 0.5)")
+    parser.add_argument(
+        "--min-seconds", type=float, default=0.05,
+        help="skip the per-row time check when the baseline value is "
+             "below this (noise floor, default 0.05); such rows still "
+             "count toward the aggregate check")
+    parser.add_argument(
+        "--normalize", action="store_true",
+        help="divide by the median candidate/baseline ratio first "
+             "(cancels machine-speed differences)")
+    parser.add_argument(
+        "--refresh", action="store_true",
+        help="overwrite BASELINE with CANDIDATE instead of checking")
+    parser.add_argument(
+        "--inject-slowdown", type=float, default=1.0, metavar="F",
+        help="multiply candidate times by F before checking (CI "
+             "self-test: 2.0 must fail)")
+    args = parser.parse_args()
+
+    if args.refresh:
+        shutil.copyfile(args.candidate, args.baseline)
+        print(f"baseline refreshed: {args.baseline}")
+        return 0
+
+    base_rows = load_rows(args.baseline)
+    cand_rows = load_rows(args.candidate)
+    failures = []
+
+    base_keys = set(base_rows)
+    cand_keys = set(cand_rows)
+    for key in sorted(base_keys - cand_keys):
+        failures.append(f"{key[0]}#{key[1]}: missing from candidate")
+    for key in sorted(cand_keys - base_keys):
+        failures.append(f"{key[0]}#{key[1]}: not in baseline "
+                        "(new bench row? --refresh the baseline)")
+
+    common = sorted(base_keys & cand_keys)
+    for key in common:
+        check_exact(key, base_rows[key], cand_rows[key], failures)
+    check_times(common, base_rows, cand_rows, args.tolerance,
+                args.normalize, args.inject_slowdown, args.min_seconds,
+                failures)
+
+    if failures:
+        print(f"FAIL: {len(failures)} regression(s) vs {args.baseline}")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"OK: {len(common)} row(s) within tolerance of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -93,6 +93,11 @@ Result<JoinResult> PlanAndExecute(minispark::Context* ctx,
   RANKJOIN_ASSIGN_OR_RETURN(JoinResult result,
                             ExecuteJoin(ctx, dataset, concrete));
   result.plan_json = plan.ToJson();
+  for (const plan::StrategyCost& strategy : plan.strategies) {
+    if (strategy.algorithm == plan.algorithm) {
+      result.predicted_cost = strategy.makespan;
+    }
+  }
   return result;
 }
 

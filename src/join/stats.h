@@ -91,6 +91,12 @@ struct JoinResult {
   /// algorithm choices. Lives here as an opaque string so join/ does not
   /// depend on the plan/ layer.
   std::string plan_json;
+  /// The planner's estimated cost of the strategy it chose, in the cost
+  /// model's abstract work units (~1 unit = one pair verification;
+  /// deliberately NOT seconds). 0 for explicit algorithm choices.
+  /// Paired with the measured makespan in bench metrics-JSON rows, this
+  /// is the predict-vs-actual record the cost-model refit consumes.
+  double predicted_cost = 0;
 };
 
 /// Sorts pairs by (first, second); convenient canonical form for

@@ -17,6 +17,7 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
+#include "minispark/stats_server.h"
 
 namespace rankjoin::minispark {
 namespace {
@@ -51,6 +52,13 @@ Context::Options WithEnvOverrides(Context::Options options) {
   }
   if (const char* spec = std::getenv("RANKJOIN_FAULT_SPEC")) {
     options.fault_spec = spec;
+  }
+  if (const char* port = std::getenv("RANKJOIN_STATS_PORT")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(port, &end, 10);
+    if (end != port && parsed >= 0 && parsed <= 65535) {
+      options.stats_port = static_cast<int>(parsed);
+    }
   }
   if (const char* pipelined = std::getenv("RANKJOIN_PIPELINED_STAGES")) {
     const std::string value(pipelined);
@@ -150,9 +158,14 @@ Context::Context(Options options)
         << spec.status().ToString();
     fault_injector_ = FaultInjector(*spec, &counters_);
   }
+  if (options_.stats_port >= 0) StartStatsExposition();
 }
 
 Context::~Context() {
+  // The exposition threads read telemetry_/counters_ and walk the spill
+  // directory; stop them before anything below starts tearing down.
+  if (stats_server_) stats_server_->Stop();
+  if (sampler_) sampler_->Stop();
   // Speculative losers may still be draining on the pool; wait for them
   // before removing the spill directory (the pool member itself is
   // declared last, so its own destructor joins the workers while every
@@ -162,6 +175,46 @@ Context::~Context() {
     std::error_code ec;  // best effort; never throw from a destructor
     std::filesystem::remove_all(spill_dir_path_, ec);
   }
+}
+
+int Context::stats_port() const {
+  return stats_server_ ? stats_server_->port() : -1;
+}
+
+void Context::StartStatsExposition() {
+  ResourceSampler::Sources sources;
+  sources.spill_dir_bytes = [this]() -> uint64_t {
+    std::string dir;
+    {
+      std::lock_guard<std::mutex> lock(spill_mutex_);
+      dir = spill_dir_path_;
+    }
+    return dir.empty() ? 0 : DirectoryBytes(dir);
+  };
+  sources.live_tasks = [this] { return telemetry_.live_tasks(); };
+  sampler_ = std::make_unique<ResourceSampler>(
+      std::move(sources), std::max(1, options_.stats_sample_ms));
+  sampler_->Start();
+  auto server = std::make_unique<StatsServer>();
+  // Handlers run on the server thread: they may only touch the hub, the
+  // counter registry, and the sampler (all thread-safe) — never the
+  // driver-owned JobMetrics.
+  server->Handle("/metrics", [this](std::string* content_type) {
+    *content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return RenderPrometheusText(telemetry_, counters_.Snapshot(),
+                                sampler_->SampleNow());
+  });
+  server->Handle("/healthz", [this](std::string* content_type) {
+    *content_type = "application/json";
+    return RenderHealthzJson(telemetry_, sampler_->SampleNow(),
+                             sampler_->SampleCount());
+  });
+  if (Status s = server->Start(options_.stats_port); !s.ok()) {
+    RANKJOIN_LOG(Warning) << "telemetry exposition disabled: "
+                          << s.ToString();
+    return;
+  }
+  stats_server_ = std::move(server);
 }
 
 Result<std::string> Context::NewSpillFilePath() {
@@ -227,6 +280,14 @@ bool Context::CurrentTaskCancelled() {
 
 void Context::RunTaskAttempts(const std::shared_ptr<StageExec>& ex, int index,
                               bool speculative) {
+  // Live-task gauge for the stats server; covers the whole attempt
+  // chain (injected delays and retries included — they occupy a pool
+  // slot just the same).
+  struct LiveTaskScope {
+    TelemetryHub& hub;
+    explicit LiveTaskScope(TelemetryHub& h) : hub(h) { hub.OnTaskStart(); }
+    ~LiveTaskScope() { hub.OnTaskFinish(); }
+  } live_task_scope(telemetry_);
   StageExec::TaskSlot& slot = ex->slots[static_cast<size_t>(index)];
   TraceSink* sink = tracer_.enabled() ? &tracer_ : nullptr;
   const bool traced = trace_enabled();
@@ -429,6 +490,9 @@ StageMetrics Context::RunStageImpl(const std::string& name, int num_tasks,
   for (int i = 0; i < num_tasks; ++i) ex->slots.emplace_back();
   TraceSink* sink = tracer_.enabled() ? &tracer_ : nullptr;
   const int64_t stage_start_us = sink != nullptr ? sink->NowMicros() : 0;
+  // Steady-clock reference for the queue-wait histogram (the trace
+  // sink's clock above only exists when tracing is on; this one always).
+  const int64_t stage_begin_us = SteadyNowMicros();
   for (int i = 0; i < num_tasks; ++i) {
     pool_.Submit([this, ex, i] { RunTaskAttempts(ex, i, false); });
   }
@@ -458,9 +522,21 @@ StageMetrics Context::RunStageImpl(const std::string& name, int num_tasks,
   stage.task_retries = ex->retries.load(std::memory_order_relaxed);
   stage.speculative_launches = ex->speculative_launches;
   for (int i = 0; i < num_tasks; ++i) {
-    stage.task_seconds[static_cast<size_t>(i)] =
-        ex->slots[static_cast<size_t>(i)].seconds;
+    const StageExec::TaskSlot& slot = ex->slots[static_cast<size_t>(i)];
+    stage.task_seconds[static_cast<size_t>(i)] = slot.seconds;
+    const uint64_t duration_us = static_cast<uint64_t>(slot.seconds * 1e6);
+    stage.task_duration_us.Record(duration_us);
+    telemetry_.task_duration_us().Record(duration_us);
+    // Queue wait = submission to the primary attempt entering user code
+    // (-1 = cancelled before it ever started; no sample then).
+    const int64_t started = slot.first_start_us.load(std::memory_order_relaxed);
+    if (started >= stage_begin_us) {
+      const uint64_t wait_us = static_cast<uint64_t>(started - stage_begin_us);
+      stage.queue_wait_us.Record(wait_us);
+      telemetry_.queue_wait_us().Record(wait_us);
+    }
   }
+  telemetry_.OnStageComplete();
   // Aggregate the winning attempts' op traces by op id; ids increase in
   // plan-construction order, so a straight chain reports in pipeline
   // order.

@@ -16,9 +16,12 @@
 #include "minispark/fault.h"
 #include "minispark/lint.h"
 #include "minispark/metrics.h"
+#include "minispark/telemetry.h"
 #include "minispark/trace.h"
 
 namespace rankjoin::minispark {
+
+class StatsServer;  // stats_server.h; only context.cc needs the definition
 
 /// Read-only value replicated to every task, mirroring Spark's broadcast
 /// variables (the paper broadcasts the global item-frequency order).
@@ -163,6 +166,20 @@ class Context {
     /// caps how far producers run ahead of consumers. 0 (default) = auto
     /// (max(4, num_workers)).
     int pipelined_queue_depth = 0;
+    /// Live telemetry exposition (telemetry.h / stats_server.h): when
+    /// >= 0, the context starts a background resource sampler and an
+    /// embedded HTTP server on 127.0.0.1:<stats_port> serving Prometheus
+    /// text-format /metrics and a /healthz JSON snapshot. 0 picks an
+    /// ephemeral port (Context::stats_port() reports it); -1 (default)
+    /// = off, zero threads, zero sockets. A bind failure warns and
+    /// continues without exposition — telemetry never fails a job. The
+    /// RANKJOIN_STATS_PORT environment variable overrides this value
+    /// when set.
+    int stats_port = -1;
+    /// Resource-sampler period in milliseconds (RSS, CPU, spill-dir
+    /// bytes, live tasks — into a bounded ring buffer). Only used when
+    /// stats_port >= 0.
+    int stats_sample_ms = 200;
   };
 
   explicit Context(Options options);
@@ -267,6 +284,17 @@ class Context {
   JobMetrics& metrics() { return metrics_; }
   const JobMetrics& metrics() const { return metrics_; }
 
+  /// Always-on runtime telemetry (histograms + gauges; telemetry.h).
+  /// Unlike metrics(), safe to read from any thread — the stats server
+  /// renders /metrics and /healthz exclusively from this hub (plus the
+  /// counter registry and resource sampler).
+  TelemetryHub& telemetry() { return telemetry_; }
+  const TelemetryHub& telemetry() const { return telemetry_; }
+
+  /// Bound port of the embedded stats server (Options::stats_port /
+  /// RANKJOIN_STATS_PORT), or -1 when exposition is off.
+  int stats_port() const;
+
   /// Named filter-effectiveness counters published by the algorithm
   /// layer (trace.h). Disabled (all writes ignored) unless trace_level
   /// is at least kCounters.
@@ -362,6 +390,10 @@ class Context {
   /// Shared state of one executing stage (defined in context.cc).
   struct StageExec;
 
+  /// Starts the resource sampler + stats server (Options::stats_port
+  /// >= 0). Bind failures warn and leave the server off.
+  void StartStatsExposition();
+
   /// Both RunStage entry points funnel here.
   StageMetrics RunStageImpl(const std::string& name, int num_tasks,
                             const IsolatedTaskFn& task, bool speculatable);
@@ -381,6 +413,12 @@ class Context {
   CounterRegistry counters_;
   TraceSink tracer_;
   FaultInjector fault_injector_;
+  /// Always-on telemetry hub; read concurrently by the stats server.
+  TelemetryHub telemetry_;
+  /// Set iff Options::stats_port >= 0; both stopped in ~Context before
+  /// the pool drains (their threads read telemetry_/counters_).
+  std::unique_ptr<ResourceSampler> sampler_;
+  std::unique_ptr<StatsServer> stats_server_;
   std::atomic<uint64_t> next_op_id_{0};
   std::atomic<uint64_t> next_shuffle_id_{0};
   std::atomic<bool> spill_degraded_{false};

@@ -125,6 +125,30 @@ uint64_t JobMetrics::TotalRecoveredSpillRuns() const {
   return total;
 }
 
+Histogram JobMetrics::TaskDurationHistogram() const {
+  Histogram merged;
+  for (const auto& s : stages_) merged.Merge(s.task_duration_us);
+  return merged;
+}
+
+Histogram JobMetrics::QueueWaitHistogram() const {
+  Histogram merged;
+  for (const auto& s : stages_) merged.Merge(s.queue_wait_us);
+  return merged;
+}
+
+Histogram JobMetrics::ShuffleBucketHistogram() const {
+  Histogram merged;
+  for (const auto& s : stages_) merged.Merge(s.shuffle_bucket_bytes);
+  return merged;
+}
+
+Histogram JobMetrics::SpillSegmentHistogram() const {
+  Histogram merged;
+  for (const auto& s : stages_) merged.Merge(s.spill_segment_bytes);
+  return merged;
+}
+
 std::unordered_map<uint64_t, OpMetrics> JobMetrics::AggregatedOpMetrics()
     const {
   std::unordered_map<uint64_t, OpMetrics> agg;
@@ -153,6 +177,11 @@ std::string JobMetrics::ToString() const {
        << " shuffle_records=" << s.shuffle_records
        << " max_partition=" << s.max_partition_size
        << " materialized=" << s.materialized_elements;
+    if (s.task_duration_us.Count() > 0) {
+      os << " task_us_p50/p95/p99=" << s.task_duration_us.Quantile(0.5)
+         << '/' << s.task_duration_us.Quantile(0.95) << '/'
+         << s.task_duration_us.Quantile(0.99);
+    }
     if (s.spilled_bytes > 0) {
       os << " spilled_bytes=" << s.spilled_bytes
          << " spilled_runs=" << s.spilled_runs;
@@ -208,6 +237,10 @@ std::string JobMetrics::ToJson() const {
        << ",\"task_retries\":" << s.task_retries
        << ",\"speculative_launches\":" << s.speculative_launches
        << ",\"recovered_spill_runs\":" << s.recovered_spill_runs
+       << ",\"task_duration_us\":" << s.task_duration_us.ToJson()
+       << ",\"queue_wait_us\":" << s.queue_wait_us.ToJson()
+       << ",\"shuffle_bucket_bytes\":" << s.shuffle_bucket_bytes.ToJson()
+       << ",\"spill_segment_bytes\":" << s.spill_segment_bytes.ToJson()
        << ",\"status\":\"" << JsonEscape(s.status.ToString())
        << "\",\"fused_ops\":\"" << JsonEscape(s.fused_ops) << "\"";
     os << ",\"op_metrics\":[";
@@ -235,7 +268,12 @@ std::string JobMetrics::ToJson() const {
      << ",\"split_partitions\":" << TotalSplitPartitions()
      << ",\"task_retries\":" << TotalTaskRetries()
      << ",\"speculative_launches\":" << TotalSpeculativeLaunches()
-     << ",\"recovered_spill_runs\":" << TotalRecoveredSpillRuns() << "}}\n";
+     << ",\"recovered_spill_runs\":" << TotalRecoveredSpillRuns()
+     << ",\"task_duration_us\":" << TaskDurationHistogram().ToJson()
+     << ",\"queue_wait_us\":" << QueueWaitHistogram().ToJson()
+     << ",\"shuffle_bucket_bytes\":" << ShuffleBucketHistogram().ToJson()
+     << ",\"spill_segment_bytes\":" << SpillSegmentHistogram().ToJson()
+     << "}}\n";
   return os.str();
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "minispark/telemetry.h"
 
 namespace rankjoin::minispark {
 
@@ -85,6 +86,14 @@ struct StageMetrics {
   /// Spill runs whose data was corrupt or missing at shuffle-read time
   /// and was regenerated from the retained lineage closure.
   uint64_t recovered_spill_runs = 0;
+  /// Latency / size distributions (telemetry.h), always on. One sample
+  /// per task / queued task / shuffle target bucket / spill segment;
+  /// mergeable across stages (JobMetrics::TaskDurationHistogram etc.)
+  /// and surfaced as p50/p95/p99 in ToString()/ToJson().
+  Histogram task_duration_us;
+  Histogram queue_wait_us;
+  Histogram shuffle_bucket_bytes;
+  Histogram spill_segment_bytes;
 
   /// Sum of all task times (total CPU demand of the stage).
   double TotalTaskSeconds() const;
@@ -128,6 +137,12 @@ class JobMetrics {
   uint64_t TotalTaskRetries() const;
   uint64_t TotalSpeculativeLaunches() const;
   uint64_t TotalRecoveredSpillRuns() const;
+  /// Job-level distributions: the per-stage histograms merged (exact —
+  /// merging log-bucket counts loses nothing; see Histogram::Merge).
+  Histogram TaskDurationHistogram() const;
+  Histogram QueueWaitHistogram() const;
+  Histogram ShuffleBucketHistogram() const;
+  Histogram SpillSegmentHistogram() const;
 
   /// Sums each traced operator's counts across all stages (an op that
   /// executed in several stages — e.g. a chain forked by Union — reports

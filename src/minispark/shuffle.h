@@ -256,6 +256,11 @@ class ShuffleService {
   /// the sizes adaptive coalescing merges on. Valid after FinishWrite().
   const std::vector<uint64_t>& bucket_bytes() const { return bucket_bytes_; }
 
+  /// Size distribution of every spill segment this shuffle wrote
+  /// (telemetry; recorded as segments land, so it is also valid during
+  /// a pipelined exchange).
+  const Histogram& spill_segment_hist() const { return spill_segment_hist_; }
+
   /// Total records destined for buckets [begin, end).
   uint64_t RecordsInRange(int begin, int end) const {
     uint64_t total = 0;
@@ -455,13 +460,22 @@ class ShuffleService {
   void PublishMapTask(int map_index) {
     MapTask& mt = tasks_[static_cast<size_t>(map_index)];
     if (mt.spill) mt.spill->FinishWrites();
-    std::unique_lock<std::mutex> lock(pipe_->mu);
-    pipe_->committed[static_cast<size_t>(map_index)] = 1;
-    pipe_->cv.notify_all();
-    while (!pipe_->aborted && map_index >= pipe_->low + pipe_->window) {
-      pipe_->cv.wait_for(lock, std::chrono::milliseconds(2));
-      if (Context::CurrentTaskCancelled()) break;
+    const auto publish_begin = std::chrono::steady_clock::now();
+    {
+      std::unique_lock<std::mutex> lock(pipe_->mu);
+      pipe_->committed[static_cast<size_t>(map_index)] = 1;
+      pipe_->cv.notify_all();
+      while (!pipe_->aborted && map_index >= pipe_->low + pipe_->window) {
+        pipe_->cv.wait_for(lock, std::chrono::milliseconds(2));
+        if (Context::CurrentTaskCancelled()) break;
+      }
     }
+    // Backpressure telemetry: how long this mapper sat blocked in the
+    // bounded publish window (0 when readers were keeping up).
+    ctx_->telemetry().pipeline_wait_us().Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - publish_begin)
+            .count()));
   }
 
   /// Blocks until mapper `map_index` commits; false if the exchange
@@ -592,6 +606,9 @@ class ShuffleService {
       mt->segments[static_cast<size_t>(b)].push_back(
           SpillSegment{offset, buf.size(), bucket.size(), crc});
       mt->spilled_bytes += buf.size();
+      spill_segment_hist_.Record(buf.size());
+      ctx_->telemetry().spill_segment_bytes().Record(buf.size());
+      ctx_->telemetry().AddSpilledBytes(buf.size());
       freed += buf.size();
       wrote_any = true;
       // swap, not clear(): actually give the memory back.
@@ -828,6 +845,9 @@ class ShuffleService {
   std::unique_ptr<PipelinedBoard> pipe_;
   /// Resident serialized bytes across ALL map tasks (the budget meter).
   std::atomic<uint64_t> resident_total_{0};
+  /// Spill segment sizes as written (tasks record concurrently;
+  /// Histogram is atomic inside).
+  Histogram spill_segment_hist_;
   /// Filled by FinishWrite().
   std::vector<uint64_t> bucket_bytes_;
   std::vector<uint64_t> bucket_records_;
@@ -894,6 +914,11 @@ std::shared_ptr<ShuffleService<T>> ShuffleWrite(const Dataset<T>& input,
       fused.empty() ? "shuffleWrite" : fused + "+shuffleWrite";
   write_stage.spilled_bytes = service->spilled_bytes();
   write_stage.spilled_runs = service->spilled_runs();
+  for (uint64_t bucket : service->bucket_bytes()) {
+    write_stage.shuffle_bucket_bytes.Record(bucket);
+    ctx->telemetry().shuffle_bucket_bytes().Record(bucket);
+  }
+  write_stage.spill_segment_bytes.Merge(service->spill_segment_hist());
   if (!write_stage.status.ok()) {
     service->set_write_status(write_stage.status);
     service->DiscardSpills();
@@ -1156,6 +1181,11 @@ std::shared_ptr<const std::vector<std::vector<T>>> PipelinedExchange(
                               : fused + "+shuffleWrite(pipelined)";
   write_stage.spilled_bytes = service->spilled_bytes();
   write_stage.spilled_runs = service->spilled_runs();
+  for (uint64_t bucket : service->bucket_bytes()) {
+    write_stage.shuffle_bucket_bytes.Record(bucket);
+    ctx->telemetry().shuffle_bucket_bytes().Record(bucket);
+  }
+  write_stage.spill_segment_bytes.Merge(service->spill_segment_hist());
   if (!write_stage.status.ok()) {
     service->set_write_status(write_stage.status);
     service->DiscardSpills();

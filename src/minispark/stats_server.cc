@@ -1,0 +1,169 @@
+#include "minispark/stats_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rankjoin::minispark {
+namespace {
+
+/// Per-connection read cap; a telemetry GET fits in a fraction of this.
+constexpr size_t kMaxRequestBytes = 8192;
+
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR)) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+StatsServer::~StatsServer() { Stop(); }
+
+void StatsServer::Handle(std::string path, Handler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+Status StatsServer::Start(int port) {
+  if (thread_.joinable()) {
+    return Status::InvalidArgument("stats server already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("stats server: socket: ") +
+                           std::strerror(errno));
+  }
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("stats server: bind 127.0.0.1:" +
+                           std::to_string(port) + ": " + error);
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("stats server: listen: " + error);
+  }
+  sockaddr_in bound = {};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("stats server: getsockname: " + error);
+  }
+  if (::pipe(wake_fds_) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    wake_fds_[0] = wake_fds_[1] = -1;
+    return Status::IoError("stats server: pipe: " + error);
+  }
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  port_.store(static_cast<int>(ntohs(bound.sin_port)),
+              std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void StatsServer::Stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  // Wake the accept loop right now — the byte makes poll() return
+  // without waiting out a connection.
+  const char byte = 0;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  port_.store(-1, std::memory_order_release);
+}
+
+void StatsServer::Serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfds[2] = {};
+    pfds[0].fd = listen_fd_;
+    pfds[0].events = POLLIN;
+    pfds[1].fd = wake_fds_[0];
+    pfds[1].events = POLLIN;
+    const int ready = ::poll(pfds, 2, -1);
+    if (ready <= 0) continue;  // EINTR
+    if (pfds[1].revents != 0) continue;  // woken by Stop(); loop exits
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void StatsServer::HandleConnection(int fd) {
+  // A scrape request is one short read away; bound the patience anyway.
+  timeval timeout = {};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  std::string request;
+  char buffer[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    request.append(buffer, static_cast<size_t>(n));
+  }
+  // Parse "GET <path> ..." from the request line.
+  std::string path;
+  if (request.rfind("GET ", 0) == 0) {
+    const size_t begin = 4;
+    const size_t end = request.find_first_of(" \r\n", begin);
+    if (end != std::string::npos) path = request.substr(begin, end - begin);
+    if (const size_t query = path.find('?'); query != std::string::npos) {
+      path.resize(query);
+    }
+  }
+  std::string response;
+  const auto it = handlers_.find(path);
+  if (it == handlers_.end()) {
+    const std::string body = "not found\n";
+    response = "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\n"
+               "Content-Length: " +
+               std::to_string(body.size()) +
+               "\r\nConnection: close\r\n\r\n" + body;
+  } else {
+    std::string content_type = "text/plain";
+    const std::string body = it->second(&content_type);
+    response = "HTTP/1.1 200 OK\r\nContent-Type: " + content_type +
+               "\r\nContent-Length: " + std::to_string(body.size()) +
+               "\r\nConnection: close\r\n\r\n" + body;
+  }
+  SendAll(fd, response.data(), response.size());
+}
+
+}  // namespace rankjoin::minispark

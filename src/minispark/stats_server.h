@@ -1,0 +1,69 @@
+#ifndef RANKJOIN_MINISPARK_STATS_SERVER_H_
+#define RANKJOIN_MINISPARK_STATS_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace rankjoin::minispark {
+
+/// Minimal embedded HTTP/1.1 server for the telemetry endpoints
+/// (/metrics in Prometheus text format, /healthz JSON — see
+/// telemetry.h). One accept thread, one connection at a time,
+/// Connection: close — deliberately tiny: it serves a scrape every few
+/// seconds, not traffic. Binds 127.0.0.1 only.
+///
+/// Usage: register handlers with Handle(), then Start(port). Handlers
+/// run on the server thread, so they must only touch thread-safe state
+/// (the TelemetryHub / CounterRegistry / ResourceSampler are; the
+/// driver-owned JobMetrics is NOT). Stop() (idempotent, also run by the
+/// destructor) unblocks the accept loop and joins the thread.
+class StatsServer {
+ public:
+  /// Returns the response body; may set *content_type (defaults to
+  /// text/plain).
+  using Handler = std::function<std::string(std::string* content_type)>;
+
+  StatsServer() = default;
+  ~StatsServer();
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Registers `handler` for GET `path` (exact match, query string
+  /// stripped). Call before Start(); not thread-safe afterwards.
+  void Handle(std::string path, Handler handler);
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral, see port()) and starts the
+  /// accept thread. Fails with IoError when the socket cannot be bound —
+  /// callers are expected to warn and continue without exposition.
+  Status Start(int port);
+
+  /// Stops the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+  /// The bound port while running, -1 otherwise.
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  std::map<std::string, Handler> handlers_;
+  int listen_fd_ = -1;
+  /// Self-pipe: Stop() writes a byte so the accept loop's poll returns
+  /// immediately — teardown must not cost a poll slice (benches create
+  /// many short-lived contexts).
+  int wake_fds_[2] = {-1, -1};
+  std::atomic<int> port_{-1};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace rankjoin::minispark
+
+#endif  // RANKJOIN_MINISPARK_STATS_SERVER_H_

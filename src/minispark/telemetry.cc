@@ -1,0 +1,409 @@
+#include "minispark/telemetry.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "minispark/trace.h"
+
+namespace rankjoin::minispark {
+namespace {
+
+/// Shortest-roundtrip-ish numeric formatting shared by the JSON and
+/// Prometheus renderers ("0.0015", not "0.00150000").
+std::string FormatNumber(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+int64_t MicrosSince(std::chrono::steady_clock::time_point epoch) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+}  // namespace
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value < 2) return static_cast<int>(value);
+  // Each power of two [2^e, 2^(e+1)) is split at 1.5 * 2^e: bucket
+  // 2e + {0,1}. Boundary ratio <= 1.5 everywhere.
+  const int e = std::bit_width(value) - 1;
+  const int half = static_cast<int>((value >> (e - 1)) & 1u);
+  const int index = 2 * e + half;
+  return index >= kNumBuckets ? kNumBuckets - 1 : index;
+}
+
+uint64_t Histogram::BucketLowerBound(int index) {
+  if (index <= 0) return 0;
+  if (index == 1) return 1;
+  const int e = index / 2;
+  const uint64_t base = (index % 2 == 0) ? 2ull : 3ull;
+  return base << (e - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(int index) {
+  if (index >= kNumBuckets - 1) return 1ull << 32;  // saturation bucket
+  return BucketLowerBound(index + 1);
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[static_cast<size_t>(BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c =
+        other.buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    if (c != 0) {
+      buckets_[static_cast<size_t>(i)].fetch_add(c,
+                                                 std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(other.Count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.Sum(), std::memory_order_relaxed);
+  const uint64_t omin = other.min_.load(std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (omin < seen &&
+         !min_.compare_exchange_weak(seen, omin, std::memory_order_relaxed)) {
+  }
+  const uint64_t omax = other.max_.load(std::memory_order_relaxed);
+  seen = max_.load(std::memory_order_relaxed);
+  while (omax > seen &&
+         !max_.compare_exchange_weak(seen, omax, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::CopyFrom(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[static_cast<size_t>(i)].store(
+        other.buckets_[static_cast<size_t>(i)].load(
+            std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+  count_.store(other.count_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  sum_.store(other.sum_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+  min_.store(other.min_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+  max_.store(other.max_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Min() const {
+  const uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+double Histogram::Mean() const {
+  const uint64_t count = Count();
+  return count == 0
+             ? 0.0
+             : static_cast<double>(Sum()) / static_cast<double>(count);
+}
+
+double Histogram::Quantile(double p) const {
+  const uint64_t count = Count();
+  if (count == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(p * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (cumulative + c >= rank) {
+      const double lb = static_cast<double>(BucketLowerBound(i));
+      const double ub = static_cast<double>(BucketUpperBound(i));
+      // Width-1 buckets (0 and 1) hold exactly one value — no
+      // interpolation, the answer is exact.
+      const double within =
+          ub - lb <= 1.0
+              ? 0.0
+              : static_cast<double>(rank - cumulative) /
+                    static_cast<double>(c);
+      double value = lb + (ub - lb) * within;
+      // The exact extremes are tracked separately; clamping pins the
+      // tails (and the saturation bucket) to the true range.
+      const double lo = static_cast<double>(Min());
+      const double hi = static_cast<double>(Max());
+      if (value < lo) value = lo;
+      if (value > hi) value = hi;
+      return value;
+    }
+    cumulative += c;
+  }
+  return static_cast<double>(Max());
+}
+
+std::string Histogram::ToJson() const {
+  std::ostringstream os;
+  os << "{\"count\":" << Count() << ",\"sum\":" << Sum()
+     << ",\"min\":" << Min() << ",\"max\":" << Max()
+     << ",\"p50\":" << FormatNumber(Quantile(0.5))
+     << ",\"p95\":" << FormatNumber(Quantile(0.95))
+     << ",\"p99\":" << FormatNumber(Quantile(0.99)) << "}";
+  return os.str();
+}
+
+ResourceUsage ReadSelfUsage() {
+  ResourceUsage usage;
+  struct rusage ru = {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    usage.max_rss_kb = static_cast<uint64_t>(ru.ru_maxrss);
+    usage.user_cpu_seconds = static_cast<double>(ru.ru_utime.tv_sec) +
+                             static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
+    usage.sys_cpu_seconds = static_cast<double>(ru.ru_stime.tv_sec) +
+                            static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
+  }
+  // Current RSS: /proc/self/statm field 2, in pages (Linux; reads 0
+  // elsewhere and the peak from getrusage still stands).
+  if (std::FILE* statm = std::fopen("/proc/self/statm", "r")) {
+    unsigned long long size = 0;
+    unsigned long long resident = 0;
+    if (std::fscanf(statm, "%llu %llu", &size, &resident) == 2) {
+      const long page = sysconf(_SC_PAGESIZE);
+      usage.rss_kb = static_cast<uint64_t>(resident) *
+                     static_cast<uint64_t>(page > 0 ? page : 4096) / 1024;
+    }
+    std::fclose(statm);
+  }
+  return usage;
+}
+
+uint64_t DirectoryBytes(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  uint64_t total = 0;
+  fs::recursive_directory_iterator it(
+      path, fs::directory_options::skip_permission_denied, ec);
+  if (ec) return 0;
+  for (fs::recursive_directory_iterator end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    std::error_code file_ec;
+    if (it->is_regular_file(file_ec) && !file_ec) {
+      const uintmax_t size = it->file_size(file_ec);
+      if (!file_ec) total += static_cast<uint64_t>(size);
+    }
+  }
+  return total;
+}
+
+ResourceSampler::ResourceSampler(Sources sources, int interval_ms,
+                                 size_t capacity)
+    : sources_(std::move(sources)),
+      interval_ms_(interval_ms > 0 ? interval_ms : 1),
+      capacity_(capacity > 0 ? capacity : 1),
+      epoch_(std::chrono::steady_clock::now()) {
+  ring_.reserve(capacity_);
+}
+
+ResourceSampler::~ResourceSampler() { Stop(); }
+
+void ResourceSampler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;  // already running
+  stop_requested_ = false;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void ResourceSampler::Stop() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_.joinable()) return;  // never started, or already stopped
+    stop_requested_ = true;
+    cv_.notify_all();
+    worker = std::move(thread_);
+  }
+  worker.join();
+  running_.store(false, std::memory_order_release);
+}
+
+ResourceSample ResourceSampler::SampleNow() {
+  ResourceSample sample = Take();
+  Push(sample);
+  return sample;
+}
+
+ResourceSample ResourceSampler::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) return {};
+  const size_t last =
+      next_ == 0 ? ring_.size() - 1 : (next_ - 1) % ring_.size();
+  return ring_[last];
+}
+
+std::vector<ResourceSample> ResourceSampler::History() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ResourceSample> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+void ResourceSampler::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    lock.unlock();
+    Push(Take());
+    lock.lock();
+    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                 [this] { return stop_requested_; });
+  }
+}
+
+ResourceSample ResourceSampler::Take() {
+  ResourceSample sample;
+  sample.at_us = MicrosSince(epoch_);
+  const ResourceUsage usage = ReadSelfUsage();
+  sample.rss_kb = usage.rss_kb;
+  sample.max_rss_kb = usage.max_rss_kb;
+  sample.user_cpu_seconds = usage.user_cpu_seconds;
+  sample.sys_cpu_seconds = usage.sys_cpu_seconds;
+  if (sources_.spill_dir_bytes) {
+    sample.spill_dir_bytes = sources_.spill_dir_bytes();
+  }
+  if (sources_.live_tasks) sample.live_tasks = sources_.live_tasks();
+  return sample;
+}
+
+void ResourceSampler::Push(const ResourceSample& sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(sample);
+    next_ = ring_.size() % capacity_;
+  } else {
+    ring_[next_] = sample;
+    next_ = (next_ + 1) % capacity_;
+  }
+  total_samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// One histogram as a Prometheus summary: quantile series + _sum +
+/// _count. `scale` converts the recorded unit to the exposed one
+/// (1e-6 for micros -> seconds).
+void AppendSummary(std::ostringstream& os, const char* name,
+                   const Histogram& histogram, double scale) {
+  os << "# TYPE " << name << " summary\n";
+  static constexpr struct {
+    double q;
+    const char* label;
+  } kQuantiles[] = {{0.5, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}};
+  for (const auto& quantile : kQuantiles) {
+    os << name << "{quantile=\"" << quantile.label << "\"} "
+       << FormatNumber(histogram.Quantile(quantile.q) * scale) << "\n";
+  }
+  os << name << "_sum "
+     << FormatNumber(static_cast<double>(histogram.Sum()) * scale) << "\n";
+  os << name << "_count " << histogram.Count() << "\n";
+}
+
+void AppendScalar(std::ostringstream& os, const char* name,
+                  const char* type, const std::string& value) {
+  os << "# TYPE " << name << " " << type << "\n"
+     << name << " " << value << "\n";
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(
+    const TelemetryHub& hub,
+    const std::vector<std::pair<std::string, uint64_t>>& counters,
+    const ResourceSample& now) {
+  std::ostringstream os;
+  AppendSummary(os, "rankjoin_task_duration_seconds",
+                hub.task_duration_us(), 1e-6);
+  AppendSummary(os, "rankjoin_task_queue_wait_seconds",
+                hub.queue_wait_us(), 1e-6);
+  AppendSummary(os, "rankjoin_pipeline_publish_wait_seconds",
+                hub.pipeline_wait_us(), 1e-6);
+  AppendSummary(os, "rankjoin_shuffle_bucket_bytes",
+                hub.shuffle_bucket_bytes(), 1.0);
+  AppendSummary(os, "rankjoin_spill_segment_bytes",
+                hub.spill_segment_bytes(), 1.0);
+  AppendScalar(os, "rankjoin_live_tasks", "gauge",
+               std::to_string(now.live_tasks));
+  AppendScalar(os, "rankjoin_rss_kilobytes", "gauge",
+               std::to_string(now.rss_kb));
+  AppendScalar(os, "rankjoin_max_rss_kilobytes", "gauge",
+               std::to_string(now.max_rss_kb));
+  AppendScalar(os, "rankjoin_spill_dir_bytes", "gauge",
+               std::to_string(now.spill_dir_bytes));
+  AppendScalar(os, "rankjoin_uptime_seconds", "gauge",
+               FormatNumber(static_cast<double>(now.at_us) * 1e-6));
+  AppendScalar(os, "rankjoin_stages_total", "counter",
+               std::to_string(hub.stages_total()));
+  AppendScalar(os, "rankjoin_spilled_bytes_total", "counter",
+               std::to_string(hub.spilled_bytes_total()));
+  AppendScalar(os, "rankjoin_sink_degraded_total", "counter",
+               std::to_string(hub.sink_degraded()));
+  AppendScalar(os, "rankjoin_cpu_user_seconds_total", "counter",
+               FormatNumber(now.user_cpu_seconds));
+  AppendScalar(os, "rankjoin_cpu_sys_seconds_total", "counter",
+               FormatNumber(now.sys_cpu_seconds));
+  if (!counters.empty()) {
+    os << "# TYPE rankjoin_ctx_counter counter\n";
+    for (const auto& [name, value] : counters) {
+      os << "rankjoin_ctx_counter{name=\"" << internal::JsonEscape(name)
+         << "\"} " << value << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string RenderHealthzJson(const TelemetryHub& hub,
+                              const ResourceSample& now,
+                              uint64_t sample_count) {
+  std::ostringstream os;
+  os << "{\"status\":\"ok\",\"uptime_seconds\":"
+     << FormatNumber(static_cast<double>(now.at_us) * 1e-6)
+     << ",\"live_tasks\":" << now.live_tasks
+     << ",\"stages_total\":" << hub.stages_total()
+     << ",\"spilled_bytes_total\":" << hub.spilled_bytes_total()
+     << ",\"sink_degraded\":" << hub.sink_degraded()
+     << ",\"rss_kb\":" << now.rss_kb << ",\"max_rss_kb\":" << now.max_rss_kb
+     << ",\"cpu_user_seconds\":" << FormatNumber(now.user_cpu_seconds)
+     << ",\"cpu_sys_seconds\":" << FormatNumber(now.sys_cpu_seconds)
+     << ",\"spill_dir_bytes\":" << now.spill_dir_bytes
+     << ",\"samples\":" << sample_count
+     << ",\"task_duration_us\":" << hub.task_duration_us().ToJson()
+     << ",\"queue_wait_us\":" << hub.queue_wait_us().ToJson() << "}";
+  return os.str();
+}
+
+}  // namespace rankjoin::minispark

@@ -1,0 +1,259 @@
+#ifndef RANKJOIN_MINISPARK_TELEMETRY_H_
+#define RANKJOIN_MINISPARK_TELEMETRY_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace rankjoin::minispark {
+
+/// Lock-cheap log-bucketed histogram (HDR-style). Fixed 64 buckets:
+/// bucket 0 holds exactly {0}, bucket 1 exactly {1}; above that each
+/// power of two is split in half, so consecutive bucket boundaries stay
+/// within a factor of 1.5 of each other and Quantile() is accurate to
+/// < 50% relative error (plus linear interpolation inside the bucket).
+/// Values >= 3 * 2^30 saturate into the last bucket; min/max/sum always
+/// record the exact value, so quantiles clamp to the true range.
+///
+/// Record() is a handful of relaxed atomic adds (plus a CAS loop for
+/// min/max) — safe from any number of tasks concurrently, cheap enough
+/// to stay always-on. Merge() adds another histogram bucket-by-bucket,
+/// which is exact and associative: merging per-partition histograms in
+/// any grouping yields the same result (tested).
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  Histogram() = default;
+  // Atomics are not copyable; copies take a relaxed snapshot (callers
+  // copy between stages/jobs, never mid-race for exact totals).
+  Histogram(const Histogram& other) { CopyFrom(other); }
+  Histogram& operator=(const Histogram& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
+  void Record(uint64_t value);
+  /// Adds `other`'s counts into this histogram (exact, associative).
+  void Merge(const Histogram& other);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Exact smallest / largest recorded value (0 when empty).
+  uint64_t Min() const;
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  double Mean() const;
+
+  /// Value at quantile p in [0, 1] (p50/p95/p99...): cumulative walk to
+  /// the bucket holding the p-th recorded value, linear interpolation
+  /// within it, clamped to [Min(), Max()]. 0 when empty.
+  double Quantile(double p) const;
+
+  /// {"count":..,"sum":..,"min":..,"max":..,"p50":..,"p95":..,"p99":..}
+  std::string ToJson() const;
+
+  /// Bucket mapping, exposed for tests and exposition.
+  static int BucketIndex(uint64_t value);
+  static uint64_t BucketLowerBound(int index);
+  static uint64_t BucketUpperBound(int index);
+
+ private:
+  void CopyFrom(const Histogram& other);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Always-on, process-cheap runtime telemetry of one Context: latency /
+/// size distributions plus a few gauges, all safe to read from any
+/// thread at any time (everything inside is atomic). This is what the
+/// stats server renders — unlike JobMetrics, which is driver-owned and
+/// must never be touched from the exposition thread.
+class TelemetryHub {
+ public:
+  TelemetryHub() : epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Wall-clock micros of every committed task attempt.
+  Histogram& task_duration_us() { return task_duration_us_; }
+  const Histogram& task_duration_us() const { return task_duration_us_; }
+  /// Micros between stage submission and a task's first attempt starting
+  /// user code — time spent queued behind other tasks in the pool.
+  Histogram& queue_wait_us() { return queue_wait_us_; }
+  const Histogram& queue_wait_us() const { return queue_wait_us_; }
+  /// Micros a pipelined mapper blocked inside the bounded publish
+  /// window (shuffle.h PublishMapTask) waiting for readers to catch up.
+  Histogram& pipeline_wait_us() { return pipeline_wait_us_; }
+  const Histogram& pipeline_wait_us() const { return pipeline_wait_us_; }
+  /// Serialized bytes per shuffle target bucket (one sample per bucket
+  /// per shuffle write) — the skew signal, as a distribution.
+  Histogram& shuffle_bucket_bytes() { return shuffle_bucket_bytes_; }
+  const Histogram& shuffle_bucket_bytes() const {
+    return shuffle_bucket_bytes_;
+  }
+  /// Bytes of every spill segment written to disk.
+  Histogram& spill_segment_bytes() { return spill_segment_bytes_; }
+  const Histogram& spill_segment_bytes() const {
+    return spill_segment_bytes_;
+  }
+
+  void OnTaskStart() { live_tasks_.fetch_add(1, std::memory_order_relaxed); }
+  void OnTaskFinish() { live_tasks_.fetch_sub(1, std::memory_order_relaxed); }
+  int64_t live_tasks() const {
+    return live_tasks_.load(std::memory_order_relaxed);
+  }
+
+  void OnStageComplete() {
+    stages_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t stages_total() const {
+    return stages_total_.load(std::memory_order_relaxed);
+  }
+
+  void AddSpilledBytes(uint64_t bytes) {
+    spilled_bytes_total_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  uint64_t spilled_bytes_total() const {
+    return spilled_bytes_total_.load(std::memory_order_relaxed);
+  }
+
+  /// An observability sink (metrics-JSON file, --trace-out path)
+  /// was unwritable and the run continued without it.
+  void MarkSinkDegraded() {
+    sink_degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t sink_degraded() const {
+    return sink_degraded_.load(std::memory_order_relaxed);
+  }
+
+  double UptimeSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+ private:
+  Histogram task_duration_us_;
+  Histogram queue_wait_us_;
+  Histogram pipeline_wait_us_;
+  Histogram shuffle_bucket_bytes_;
+  Histogram spill_segment_bytes_;
+  std::atomic<int64_t> live_tasks_{0};
+  std::atomic<uint64_t> stages_total_{0};
+  std::atomic<uint64_t> spilled_bytes_total_{0};
+  std::atomic<uint64_t> sink_degraded_{0};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Process resource usage at one instant (Linux: /proc/self/statm +
+/// getrusage; fields read 0 where the source is unavailable).
+struct ResourceUsage {
+  uint64_t rss_kb = 0;      ///< current resident set
+  uint64_t max_rss_kb = 0;  ///< peak resident set (ru_maxrss)
+  double user_cpu_seconds = 0;
+  double sys_cpu_seconds = 0;
+};
+
+/// Reads the current process's resource usage.
+ResourceUsage ReadSelfUsage();
+
+/// Total bytes of regular files under `path`, recursively; 0 when the
+/// directory does not exist. Errors are skipped (best effort).
+uint64_t DirectoryBytes(const std::string& path);
+
+/// One resource sample taken by the background sampler.
+struct ResourceSample {
+  int64_t at_us = 0;  ///< steady-clock micros since sampler start
+  uint64_t rss_kb = 0;
+  uint64_t max_rss_kb = 0;
+  double user_cpu_seconds = 0;
+  double sys_cpu_seconds = 0;
+  uint64_t spill_dir_bytes = 0;
+  int64_t live_tasks = 0;
+};
+
+/// Background thread sampling process resources every `interval_ms`
+/// into a bounded ring buffer (oldest samples overwritten). Start() and
+/// Stop() are idempotent; the destructor stops the thread.
+class ResourceSampler {
+ public:
+  /// Optional context-provided sources; either may be null.
+  struct Sources {
+    std::function<uint64_t()> spill_dir_bytes;
+    std::function<int64_t()> live_tasks;
+  };
+
+  explicit ResourceSampler(Sources sources, int interval_ms = 200,
+                           size_t capacity = 512);
+  ~ResourceSampler();
+
+  ResourceSampler(const ResourceSampler&) = delete;
+  ResourceSampler& operator=(const ResourceSampler&) = delete;
+
+  void Start();
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Takes one sample right now (also recorded into the ring); safe
+  /// from any thread — the stats server uses this so /metrics is always
+  /// fresh, not up to one interval stale.
+  ResourceSample SampleNow();
+
+  /// The most recent sample (zero-initialized when none taken yet).
+  ResourceSample Latest() const;
+  /// Ring contents, oldest first.
+  std::vector<ResourceSample> History() const;
+  /// Total samples taken since construction (monotonic, not capped).
+  uint64_t SampleCount() const {
+    return total_samples_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+  ResourceSample Take();
+  void Push(const ResourceSample& sample);
+
+  Sources sources_;
+  int interval_ms_;
+  size_t capacity_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;  // guards ring_, next_, thread lifecycle
+  std::condition_variable cv_;
+  std::vector<ResourceSample> ring_;
+  size_t next_ = 0;
+  bool stop_requested_ = false;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> total_samples_{0};
+};
+
+/// Renders the hub + counter snapshot + one resource sample as
+/// Prometheus text exposition format (version 0.0.4). Histograms are
+/// emitted as summary-type metrics with p50/p95/p99 quantile labels
+/// (durations converted to seconds); gauges and counters follow.
+/// Deterministic given its inputs (golden-tested).
+std::string RenderPrometheusText(
+    const TelemetryHub& hub,
+    const std::vector<std::pair<std::string, uint64_t>>& counters,
+    const ResourceSample& now);
+
+/// Renders the /healthz JSON snapshot: status, uptime, live tasks,
+/// stage/spill totals, resource usage, and the task-duration histogram.
+std::string RenderHealthzJson(const TelemetryHub& hub,
+                              const ResourceSample& now,
+                              uint64_t sample_count);
+
+}  // namespace rankjoin::minispark
+
+#endif  // RANKJOIN_MINISPARK_TELEMETRY_H_
