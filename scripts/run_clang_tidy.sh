@@ -1,18 +1,30 @@
 #!/usr/bin/env bash
-# Runs clang-tidy (check set in .clang-tidy) over every first-party
-# translation unit: src/, bench/, examples/, tests/. Configures a
+# Runs clang-tidy (check set in .clang-tidy) over first-party
+# translation units: src/, bench/, examples/, tests/. Configures a
 # dedicated build tree with a compile_commands.json first, so the tool
 # sees the same flags as the real build.
 #
 # Usage:
-#   scripts/run_clang_tidy.sh [extra clang-tidy args...]
+#   scripts/run_clang_tidy.sh [--changed] [extra clang-tidy args...]
+#
+#   --changed   only lint TUs that differ from the merge-base with
+#               origin/main (committed, staged, or working-tree edits).
+#               Fast pre-push loop; CI runs the full set.
 #
 # Environment:
-#   CLANG_TIDY  clang-tidy binary to use (default: clang-tidy)
-#   BUILD_DIR   build tree for compile_commands.json (default: build-tidy)
-#   JOBS        parallel clang-tidy processes (default: nproc)
+#   CLANG_TIDY      clang-tidy binary to use (default: clang-tidy)
+#   RUN_CLANG_TIDY  run-clang-tidy driver; auto-detected when present.
+#                   Set to "" to force the xargs fallback.
+#   BUILD_DIR       build tree for compile_commands.json (default: build-tidy)
+#   JOBS            parallel clang-tidy processes (default: nproc)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+CHANGED_ONLY=0
+if [[ "${1:-}" == "--changed" ]]; then
+  CHANGED_ONLY=1
+  shift
+fi
 
 TIDY="${CLANG_TIDY:-clang-tidy}"
 if ! command -v "${TIDY}" >/dev/null 2>&1; then
@@ -37,8 +49,42 @@ if [[ "${#sources[@]}" -eq 0 ]]; then
   exit 1
 fi
 
+if [[ "${CHANGED_ONLY}" -eq 1 ]]; then
+  # Changed = any diff against the merge-base with origin/main, plus
+  # uncommitted work. Falls back to HEAD when origin/main is absent
+  # (fresh clone without the remote), where merge-base would fail.
+  base="$(git merge-base HEAD origin/main 2>/dev/null || echo HEAD)"
+  mapfile -t changed < <(
+    { git diff --name-only "${base}" -- ; git diff --name-only ; \
+      git diff --name-only --cached ; } | sort -u
+  )
+  declare -A changed_set=()
+  for f in "${changed[@]}"; do changed_set["$f"]=1; done
+  filtered=()
+  for f in "${sources[@]}"; do
+    [[ -n "${changed_set[$f]:-}" ]] && filtered+=("$f")
+  done
+  if [[ "${#filtered[@]}" -eq 0 ]]; then
+    echo "clang-tidy: no first-party TUs changed vs ${base} — nothing to do"
+    exit 0
+  fi
+  sources=("${filtered[@]}")
+fi
+
 echo "clang-tidy (${TIDY}) over ${#sources[@]} translation units..."
-printf '%s\n' "${sources[@]}" |
-  xargs -P "${JOBS:-$(nproc)}" -n 8 \
-    "${TIDY}" -p "${BUILD_DIR}" --quiet "$@"
+
+# Prefer the run-clang-tidy driver when available: it dedupes identical
+# header diagnostics across TUs and interleaves output less confusingly
+# than raw xargs. The xargs fallback keeps the script dependency-free.
+RUNNER="${RUN_CLANG_TIDY-$(command -v run-clang-tidy || true)}"
+if [[ -n "${RUNNER}" ]] && command -v "${RUNNER}" >/dev/null 2>&1; then
+  "${RUNNER}" -clang-tidy-binary "${TIDY}" -p "${BUILD_DIR}" \
+    -j "${JOBS:-$(nproc)}" -quiet "$@" \
+    "$(printf '%s\n' "${sources[@]}" | sed 's/[][().*^$\\]/\\&/g' |
+       paste -sd'|')"
+else
+  printf '%s\n' "${sources[@]}" |
+    xargs -P "${JOBS:-$(nproc)}" -n 8 \
+      "${TIDY}" -p "${BUILD_DIR}" --quiet "$@"
+fi
 echo "clang-tidy: clean"

@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace rankjoin {
 namespace {
@@ -11,8 +12,9 @@ namespace {
 std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
 
 // Serializes writes so that concurrent tasks do not interleave lines.
-std::mutex& LogMutex() {
-  static std::mutex* mutex = new std::mutex;
+// Leaked so logging stays usable during static destruction.
+Mutex& LogMutex() {
+  static Mutex* mutex = new Mutex;
   return *mutex;
 }
 
@@ -35,7 +37,7 @@ void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  std::lock_guard<std::mutex> lock(LogMutex());
+  MutexLock lock(LogMutex());
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
                msg.c_str());
 }
@@ -60,7 +62,7 @@ FatalLogMessage::FatalLogMessage(const char* file, int line,
 
 FatalLogMessage::~FatalLogMessage() {
   {
-    std::lock_guard<std::mutex> lock(LogMutex());
+    MutexLock lock(LogMutex());
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
   }
   std::abort();

@@ -1,0 +1,189 @@
+#ifndef RANKJOIN_COMMON_SYNC_H_
+#define RANKJOIN_COMMON_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+/// Annotated synchronization primitives (Clang Thread Safety Analysis).
+///
+/// Every lock-holding component of the engine — the thread pool, the
+/// stage executor, the pipelined shuffle board, the trace/counter
+/// sinks, the resource sampler — declares its mutexes as rankjoin::Mutex
+/// and marks each protected member GUARDED_BY(that mutex). Under Clang
+/// (-Wthread-safety, promoted to an error by the thread-safety CI job
+/// and whenever the main build compiles with Clang) the documented lock
+/// protocol becomes machine-checked: an unguarded access to a guarded
+/// member, a helper called without its REQUIRES'd capability, or a
+/// scope that leaks a lock is a compile error instead of a latent race.
+/// Under GCC/MSVC the attribute macros expand to nothing and the
+/// wrappers compile down to the std primitives they hold — the default
+/// build is unchanged.
+///
+/// The documented lock hierarchy (DESIGN.md "Concurrency invariants"):
+/// pool -> context (StageExec::mu, spill_mutex_) -> shuffle
+/// (PipelinedBoard::mu, recover_mu_) -> telemetry (sampler mu_,
+/// CounterRegistry/TraceSink mutex_). A thread never acquires a mutex
+/// from an earlier layer while holding one from a later layer.
+///
+/// Analysis notes baked into the wrappers:
+///  - CondVar deliberately has no predicate-taking Wait: the analysis
+///    cannot see a capability inside a predicate lambda, so guarded
+///    state read there would (correctly) warn. Call sites spell the
+///    standard `while (!cond) cv.Wait(lock);` loop instead, where the
+///    guarded reads sit in a scope that demonstrably holds the lock.
+///  - MutexLock supports explicit Unlock()/Lock() cycling (Clang models
+///    releasable scoped capabilities) for the sample-outside-the-lock
+///    pattern in the resource sampler.
+///  - Mutex::AssertHeld() injects the capability into scopes that hold
+///    the lock through a pointer the annotation language cannot name
+///    from a declaration (e.g. `ex->mu` where StageExec is incomplete
+///    at the declaration site) — the runtime contract is unchanged, the
+///    call only informs the analysis.
+
+// Attribute macros, named after the canonical Clang mutex.h example.
+// THREAD_ANNOTATION_ATTRIBUTE__ expands to nothing on compilers without
+// the capability attributes, so the names are safe in any build.
+#if defined(__clang__) && (!defined(SWIG))
+#define THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+#define CAPABILITY(x) THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define SCOPED_CAPABILITY THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define GUARDED_BY(x) THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define PT_GUARDED_BY(x) THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  THREAD_ANNOTATION_ATTRIBUTE__(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace rankjoin {
+
+class CondVar;
+class MutexLock;
+
+/// std::mutex carrying the `mutex` capability. Prefer MutexLock over
+/// manual Lock()/Unlock(); the manual form exists for the rare scope
+/// whose unlock point is not lexical.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis this thread holds the mutex, for scopes that
+  /// provably hold it through an expression the annotation language
+  /// cannot name from the enclosing declaration. No runtime effect.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex (scoped capability). Also the handle CondVar
+/// waits on, and re-lockable: Unlock()/Lock() let a loop drop the mutex
+/// around a slow section, with the analysis tracking the held/released
+/// state across the calls.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  ~MutexLock() RELEASE() = default;  // unique_lock unlocks if held
+
+  void Unlock() RELEASE() { lock_.unlock(); }
+  void Lock() ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable waiting through a MutexLock. No predicate
+/// overloads on purpose — see the header comment; write
+/// `while (!cond) cv.Wait(lock);` so guarded reads stay visible to the
+/// analysis. The analysis treats the mutex as held across a Wait (the
+/// wake path re-acquires before returning), which is sound for guarded
+/// accesses on either side.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(MutexLock& lock,
+                         const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace rankjoin
+
+#endif  // RANKJOIN_COMMON_SYNC_H_

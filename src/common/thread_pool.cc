@@ -17,34 +17,33 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) all_done_.Wait(lock);
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && queue_.empty()) work_available_.Wait(lock);
       if (queue_.empty()) return;  // shutdown and drained
       task = std::move(queue_.front());
       queue_.pop();
@@ -62,9 +61,9 @@ void ThreadPool::WorkerLoop() {
                              "(dropped)";
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -1,13 +1,13 @@
 #ifndef RANKJOIN_COMMON_THREAD_POOL_H_
 #define RANKJOIN_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace rankjoin {
 
@@ -39,13 +39,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::queue<std::function<void()>> queue_;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mutex_);
   std::vector<std::thread> threads_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  size_t in_flight_ GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace rankjoin

@@ -147,8 +147,10 @@ std::vector<ScoredPair> JaccardSelfJoin(
         return out;
       },
       "jaccard/localJoin");
-  // Force the fused group+localJoin chain before reading the stat slots.
-  pairs.Cache();
+  // Force the fused group+localJoin chain before reading the stat
+  // slots. Force(), not Cache(): the chain has a single downstream
+  // consumer, so a cache pin would be wasted materialization (MS007).
+  pairs.Force();
   for (const JoinStats& s : slots) stats->MergeCounters(s);
   return minispark::Distinct(pairs, num_partitions, "jaccard/distinct")
       .Collect();
@@ -366,8 +368,9 @@ Result<JoinResult> RunJaccardClusterJoin(minispark::Context* ctx,
         return out;
       },
       "jaccardCl/centroidJoin");
-  // Force the centroid join before reading the stat slots.
-  rj_scored.Cache();
+  // Force the centroid join before reading the stat slots. Force(),
+  // not Cache(): single downstream consumer (MS007).
+  rj_scored.Force();
   for (const JoinStats& s : slots) result.stats.MergeCounters(s);
   std::vector<ScoredPair> rj_pairs =
       minispark::Distinct(rj_scored, num_partitions, "jaccardCl/distinct")
@@ -441,7 +444,8 @@ Result<JoinResult> RunJaccardClusterJoin(minispark::Context* ctx,
         return out;
       },
       "jaccardCl/intra");
-  intra.Cache();
+  // Force (not Cache) before reading the stat slots: single consumer.
+  intra.Force();
   for (const JoinStats& s : intra_slots) result.stats.MergeCounters(s);
 
   auto rm = rj_ds.Filter(
@@ -485,7 +489,8 @@ Result<JoinResult> RunJaccardClusterJoin(minispark::Context* ctx,
         return out;
       },
       "jaccardCl/membersCi");
-  rm_c1.Cache();
+  // Force (not Cache) before reading the stat slots: single consumer.
+  rm_c1.Force();
   for (const JoinStats& s : j1_slots) result.stats.MergeCounters(s);
 
   auto j2 = minispark::Join(rm_by_cj, clusters, num_partitions,
@@ -511,7 +516,8 @@ Result<JoinResult> RunJaccardClusterJoin(minispark::Context* ctx,
         return out;
       },
       "jaccardCl/membersCj");
-  rm_c2.Cache();
+  // Force (not Cache) before reading the stat slots: single consumer.
+  rm_c2.Force();
   for (const JoinStats& s : j2_slots) result.stats.MergeCounters(s);
 
   auto j1_by_cj = j1.Map(
@@ -546,7 +552,8 @@ Result<JoinResult> RunJaccardClusterJoin(minispark::Context* ctx,
         return out;
       },
       "jaccardCl/membersBoth");
-  rm_m.Cache();
+  // Force (not Cache) before reading the stat slots: single consumer.
+  rm_m.Force();
   for (const JoinStats& s : jmm_slots) result.stats.MergeCounters(s);
 
   auto all_pairs = minispark::Union(

@@ -203,7 +203,8 @@ std::vector<ResultPair> RunExpansion(minispark::Context* ctx,
           },
           "expand/intraCluster");
   // Stat slots are filled when the chain runs — force it first.
-  intra.Cache();
+  // Force(), not Cache(): single downstream consumer (MS007).
+  intra.Force();
   MergeSlots(intra_slots, &expansion_stats);
 
   // R_m: centroid pairs with at least one non-singleton side need to be
@@ -253,7 +254,8 @@ std::vector<ResultPair> RunExpansion(minispark::Context* ctx,
         return out;
       },
       "expand/membersCi");
-  rm_c1.Cache();
+  // Force (not Cache) before reading the stat slots: single consumer.
+  rm_c1.Force();
   MergeSlots(j1_slots, &expansion_stats);
 
   // Members of cj against ci (R_m,c, second direction — the "switched
@@ -283,7 +285,8 @@ std::vector<ResultPair> RunExpansion(minispark::Context* ctx,
         return out;
       },
       "expand/membersCj");
-  rm_c2.Cache();
+  // Force (not Cache) before reading the stat slots: single consumer.
+  rm_c2.Force();
   MergeSlots(j2_slots, &expansion_stats);
 
   // Members of ci against members of cj (R_m,m): re-key the first join
@@ -325,7 +328,8 @@ std::vector<ResultPair> RunExpansion(minispark::Context* ctx,
         return out;
       },
       "expand/membersBoth");
-  rm_m.Cache();
+  // Force (not Cache) before reading the stat slots: single consumer.
+  rm_m.Force();
   MergeSlots(jmm_slots, &expansion_stats);
 
   // Union everything and remove duplicates (Algorithm 2 line 9).

@@ -66,8 +66,10 @@ minispark::Dataset<ScoredPair> JoinGroups(
       "joinGroups");
   // Force the fused chain before harvesting the per-partition stat
   // slots: under lazy execution the local joins have not run until the
-  // dataset is materialized.
-  result.Cache();
+  // dataset is materialized. Force(), not Cache(): the result has a
+  // single downstream consumer, so a cache pin would be wasted
+  // materialization (MS007).
+  result.Force();
   MergeSlots(slots, stats);
   return result;
 }
@@ -170,7 +172,8 @@ minispark::Dataset<ScoredPair> JoinGroupsWithRepartitioning(
             return out;
           },
           "repartition/chunkSelfJoin");
-  chunk_self_results.Cache();
+  // Force (not Cache) before reading the stat slots: single consumer.
+  chunk_self_results.Force();
   MergeSlots(self_slots, stats);
 
   // Spark-style self-join of the sub-partitions on the item id; every
@@ -205,7 +208,8 @@ minispark::Dataset<ScoredPair> JoinGroupsWithRepartitioning(
             return out;
           },
           "repartition/chunkRsJoin");
-  chunk_rs_results.Cache();
+  // Force (not Cache) before reading the stat slots: single consumer.
+  chunk_rs_results.Force();
   MergeSlots(rs_slots, stats);
 
   return minispark::Union(

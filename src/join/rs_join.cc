@@ -164,8 +164,10 @@ Result<JoinResult> RunRsJoin(minispark::Context* ctx,
         return out;
       },
       "rsJoin/localJoin");
-  // Force the fused group+localJoin chain before reading the stat slots.
-  raw_pairs.Cache();
+  // Force the fused group+localJoin chain before reading the stat
+  // slots. Force(), not Cache(): the chain has a single downstream
+  // consumer, so a cache pin would be wasted materialization (MS007).
+  raw_pairs.Force();
   for (const JoinStats& stats : slots) result.stats.MergeCounters(stats);
 
   std::vector<ScoredPair> unique =

@@ -27,6 +27,14 @@ using ScoredPair = std::pair<ResultPair, uint32_t>;
 /// Work counters accumulated by the join algorithms. Counter semantics
 /// are shared across algorithms so that benchmark tables can compare
 /// pruning effectiveness directly.
+///
+/// Concurrency contract (see common/sync.h for the engine's annotated
+/// primitives): a JoinStats is single-owner plain data — each task
+/// accumulates into its own per-partition instance and the driver
+/// merges after the stage barrier, so there is deliberately no mutex
+/// here and nothing for GUARDED_BY to protect. Cross-thread publication
+/// happens only through PublishCounters into the (internally
+/// synchronized) CounterRegistry.
 struct JoinStats {
   /// Candidate pairs produced by the index / nested loop before any
   /// distance computation (after prefix grouping, before filters).

@@ -107,7 +107,9 @@ Result<JoinResult> RunVSmartJoin(minispark::Context* ctx,
       },
       "vsmart/emitPartials");
   // Force the partial-emission stage before reading the stat slots.
-  partials.Cache();
+  // Force(), not Cache(): the stage feeds only the reduce below, so a
+  // cache pin would be wasted materialization (MS007).
+  partials.Force();
   for (const JoinStats& s : slots) result.stats.MergeCounters(s);
 
   // Similarity phase, step 2: aggregate partials per pair and keep

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <exception>
@@ -122,7 +121,9 @@ struct Context::StageExec {
     /// Steady-clock micros when the primary attempt began user code
     /// (-1 while still queued). Feeds the straggler scan.
     std::atomic<int64_t> first_start_us{-1};
-    // -- guarded by StageExec::mu --
+    // -- guarded by StageExec::mu (the annotation language cannot name
+    // the enclosing object's mutex from a nested struct, so this stays
+    // a documented convention; every access site below holds mu) --
     bool resolved = false;
     double seconds = 0.0;
     TaskTrace trace;
@@ -131,16 +132,17 @@ struct Context::StageExec {
 
   std::string name;
   IsolatedTaskFn task;
-  /// deque: TaskSlot holds atomics and must never move.
+  /// deque: TaskSlot holds atomics and must never move. Slot atomics
+  /// are lock-free; the fields past the marker above are under mu.
   std::deque<TaskSlot> slots;
-  std::mutex mu;
-  std::condition_variable cv;
-  int resolved_count = 0;
+  Mutex mu;
+  CondVar cv;
+  int resolved_count GUARDED_BY(mu) = 0;
   /// First task failure that exhausted its retries; wins over later ones.
-  Status first_error;
+  Status first_error GUARDED_BY(mu);
   std::atomic<bool> cancelled{false};
   std::atomic<uint64_t> retries{0};
-  uint64_t speculative_launches = 0;  // driver-only, under mu
+  uint64_t speculative_launches GUARDED_BY(mu) = 0;  // driver-only
 };
 
 Context::Context(Options options)
@@ -171,6 +173,9 @@ Context::~Context() {
   // declared last, so its own destructor joins the workers while every
   // other member is still alive).
   pool_.Wait();
+  // Locked for the analysis' sake (and cheap): with the server, sampler
+  // and pool all quiesced above, nothing else can touch the spill state.
+  MutexLock lock(spill_mutex_);
   if (!spill_dir_path_.empty()) {
     std::error_code ec;  // best effort; never throw from a destructor
     std::filesystem::remove_all(spill_dir_path_, ec);
@@ -186,7 +191,7 @@ void Context::StartStatsExposition() {
   sources.spill_dir_bytes = [this]() -> uint64_t {
     std::string dir;
     {
-      std::lock_guard<std::mutex> lock(spill_mutex_);
+      MutexLock lock(spill_mutex_);
       dir = spill_dir_path_;
     }
     return dir.empty() ? 0 : DirectoryBytes(dir);
@@ -218,7 +223,7 @@ void Context::StartStatsExposition() {
 }
 
 Result<std::string> Context::NewSpillFilePath() {
-  std::lock_guard<std::mutex> lock(spill_mutex_);
+  MutexLock lock(spill_mutex_);
   if (spill_dir_path_.empty()) {
     namespace fs = std::filesystem;
     const fs::path base = options_.spill_dir.empty()
@@ -376,14 +381,14 @@ void Context::RunTaskAttempts(const std::shared_ptr<StageExec>& ex, int index,
         if (attempt > 0 || speculative) {
           counters_.Add("fault.task.recovered", 1);
         }
-        std::lock_guard<std::mutex> lock(ex->mu);
+        MutexLock lock(ex->mu);
         if (!slot.resolved) {
           slot.resolved = true;
           slot.seconds = seconds;
           slot.trace = std::move(trace);
           slot.traced = traced;
           ++ex->resolved_count;
-          ex->cv.notify_all();
+          ex->cv.NotifyAll();
         }
       }
       break;
@@ -410,7 +415,7 @@ void Context::RunTaskAttempts(const std::shared_ptr<StageExec>& ex, int index,
       holds_claim = slot.won.compare_exchange_strong(
           expected, true, std::memory_order_acq_rel);
       if (holds_claim) {
-        std::lock_guard<std::mutex> lock(ex->mu);
+        MutexLock lock(ex->mu);
         if (ex->first_error.ok()) ex->first_error = std::move(failure);
         ex->cancelled.store(true, std::memory_order_relaxed);
       }
@@ -433,11 +438,11 @@ void Context::RunTaskAttempts(const std::shared_ptr<StageExec>& ex, int index,
           expected, true, std::memory_order_acq_rel);
     }
     if (holds_claim) {
-      std::lock_guard<std::mutex> lock(ex->mu);
+      MutexLock lock(ex->mu);
       if (!slot.resolved) {
         slot.resolved = true;
         ++ex->resolved_count;
-        ex->cv.notify_all();
+        ex->cv.NotifyAll();
       }
     }
   }
@@ -445,7 +450,11 @@ void Context::RunTaskAttempts(const std::shared_ptr<StageExec>& ex, int index,
 
 void Context::MaybeLaunchSpeculative(const std::shared_ptr<StageExec>& ex,
                                      int num_tasks) {
-  // ex->mu held. Wait for a trustworthy median: at least half the tasks
+  // The sole caller (the stage barrier) holds ex->mu; the declaration
+  // cannot carry REQUIRES(ex->mu) because StageExec is incomplete in
+  // the header, so inject the capability here instead.
+  ex->mu.AssertHeld();
+  // Wait for a trustworthy median: at least half the tasks
   // must have finished (Spark's spark.speculation.quantile).
   if (2 * ex->resolved_count < num_tasks) return;
   std::vector<double> done;
@@ -500,13 +509,13 @@ StageMetrics Context::RunStageImpl(const std::string& name, int num_tasks,
                            options_.speculation_multiplier > 0.0 &&
                            num_tasks > 1;
   {
-    std::unique_lock<std::mutex> lock(ex->mu);
+    MutexLock lock(ex->mu);
     while (ex->resolved_count < num_tasks) {
       if (!speculation) {
-        ex->cv.wait(lock);
+        ex->cv.Wait(lock);
         continue;
       }
-      ex->cv.wait_for(lock, std::chrono::milliseconds(2));
+      ex->cv.WaitFor(lock, std::chrono::milliseconds(2));
       MaybeLaunchSpeculative(ex, num_tasks);
     }
   }
@@ -517,7 +526,7 @@ StageMetrics Context::RunStageImpl(const std::string& name, int num_tasks,
   // Barrier passed: every slot is resolved, and only resolved-slot
   // fields below are read (a still-draining speculative loser can no
   // longer win, so it never writes them).
-  std::lock_guard<std::mutex> lock(ex->mu);
+  MutexLock lock(ex->mu);
   stage.status = ex->first_error;
   stage.task_retries = ex->retries.load(std::memory_order_relaxed);
   stage.speculative_launches = ex->speculative_launches;

@@ -5,12 +5,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "minispark/approx_size.h"
 #include "minispark/fault.h"
@@ -404,7 +404,9 @@ class Context {
                        bool speculative);
 
   /// Driver-side straggler scan; launches speculative duplicates.
-  /// Expects ex->mu held.
+  /// Expects ex->mu held — StageExec is incomplete here so the
+  /// annotation language cannot name ex->mu in a REQUIRES; the
+  /// definition asserts the capability instead (sync.h, AssertHeld).
   void MaybeLaunchSpeculative(const std::shared_ptr<StageExec>& ex,
                               int num_tasks);
 
@@ -423,9 +425,9 @@ class Context {
   std::atomic<uint64_t> next_shuffle_id_{0};
   std::atomic<bool> spill_degraded_{false};
   /// Guards lazy creation of the spill directory and the file counter.
-  std::mutex spill_mutex_;
-  std::string spill_dir_path_;
-  uint64_t next_spill_file_ = 0;
+  Mutex spill_mutex_;
+  std::string spill_dir_path_ GUARDED_BY(spill_mutex_);
+  uint64_t next_spill_file_ GUARDED_BY(spill_mutex_) = 0;
   /// Broadcast registry (driver thread only) feeding MS003.
   std::vector<BroadcastRecord> broadcasts_;
   /// Driver annotation rendered into ExplainDot (set_plan_annotation).

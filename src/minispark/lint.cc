@@ -129,6 +129,38 @@ std::vector<LintDiagnostic> LintPlan(const PlanNode* root,
     }
   }
 
+  // MS007 — Cache() with exactly one consumer in the linted plan: the
+  // inverse of MS001. A pin that only ever feeds one downstream chain
+  // bought nothing — the chain would have streamed through it anyway —
+  // while paying a full materialization of the dataset. A cache at the
+  // DAG root (zero consumer edges) is NOT flagged: the linted plan IS
+  // the cached dataset, and its reuse (Collect() twice, later plans)
+  // happens outside this DAG. That blind spot is symmetric: a
+  // single-consumer cache whose dataset handle is also collected
+  // directly is a cross-plan reuse this per-plan walk cannot see, which
+  // is why MS007 is a warning while MS001 is an error.
+  for (const PlanNode* node : topo) {
+    if (node->kind != PlanNode::Kind::kCache) continue;
+    auto it = consumers.find(node);
+    if (it == consumers.end() || it->second != 1) continue;
+    // The pin itself is just named "cache"; the chain it pins carries
+    // the user-facing name, so point the diagnostic there.
+    const PlanNode* pinned =
+        node->parents.empty() ? node : node->parents.front().get();
+    LintDiagnostic d;
+    d.code = "MS007";
+    d.severity = LintSeverity::kWarning;
+    d.node = node;
+    d.location = Loc(pinned);
+    d.message = "cache over '" + Loc(pinned) +
+                "' has exactly one consumer in this plan; the "
+                "materialization buys no reuse here — drop the Cache() "
+                "(or use Force() if the chain must run eagerly), or "
+                "keep the pin only if the dataset is reused by a later "
+                "plan";
+    diags.push_back(std::move(d));
+  }
+
   // MS002 — back-to-back shuffles. A placement-only shuffle whose sole
   // consumer is another wide op did its data movement for nothing: the
   // second shuffle discards the first one's placement. A Cache() pin in

@@ -72,7 +72,7 @@ struct LintSettings {
 /// the cross-plan report); `location` is a stable human-readable
 /// rendering of the same spot.
 struct LintDiagnostic {
-  std::string code;        ///< stable id: "MS001" .. "MS006"
+  std::string code;        ///< stable id: "MS001" .. "MS007"
   LintSeverity severity = LintSeverity::kWarning;
   std::string message;
   const PlanNode* node = nullptr;
@@ -96,6 +96,10 @@ struct LintDiagnostic {
 ///                   settings.split_partition_bytes without runtime
 ///                   skew splitting engaging (oversized un-split
 ///                   posting-list bucket: one straggler task reads it).
+///   MS007 (warning) Cache() with exactly one consumer edge in this
+///                   plan — wasted materialization, the inverse of
+///                   MS001. A root cache (zero consumers here) is not
+///                   flagged: its reuse happens outside the linted DAG.
 ///
 /// `root == nullptr` yields only the broadcast check (MS003).
 std::vector<LintDiagnostic> LintPlan(const PlanNode* root,

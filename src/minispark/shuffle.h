@@ -4,12 +4,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <fstream>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -18,6 +16,7 @@
 
 #include "common/logging.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "minispark/approx_size.h"
 #include "minispark/context.h"
 #include "minispark/fault.h"
@@ -445,6 +444,9 @@ class ShuffleService {
   /// Arms pipelined mode; call before the write stage starts.
   void BeginPipelined(int num_readers, int window) {
     pipe_ = std::make_unique<PipelinedBoard>();
+    // No concurrency yet (the write stage has not been submitted), but
+    // the board's fields are guarded, so initialize them under the lock.
+    MutexLock lock(pipe_->mu);
     pipe_->committed.assign(tasks_.size(), 0);
     pipe_->consumed.assign(tasks_.size(), 0);
     pipe_->num_readers = num_readers;
@@ -462,11 +464,11 @@ class ShuffleService {
     if (mt.spill) mt.spill->FinishWrites();
     const auto publish_begin = std::chrono::steady_clock::now();
     {
-      std::unique_lock<std::mutex> lock(pipe_->mu);
+      MutexLock lock(pipe_->mu);
       pipe_->committed[static_cast<size_t>(map_index)] = 1;
-      pipe_->cv.notify_all();
+      pipe_->cv.NotifyAll();
       while (!pipe_->aborted && map_index >= pipe_->low + pipe_->window) {
-        pipe_->cv.wait_for(lock, std::chrono::milliseconds(2));
+        pipe_->cv.WaitFor(lock, std::chrono::milliseconds(2));
         if (Context::CurrentTaskCancelled()) break;
       }
     }
@@ -481,11 +483,11 @@ class ShuffleService {
   /// Blocks until mapper `map_index` commits; false if the exchange
   /// aborted first (the reader must stop — the mapper may never commit).
   bool AwaitMapperCommitted(int map_index) {
-    std::unique_lock<std::mutex> lock(pipe_->mu);
-    pipe_->cv.wait(lock, [&] {
-      return pipe_->aborted ||
-             pipe_->committed[static_cast<size_t>(map_index)] != 0;
-    });
+    MutexLock lock(pipe_->mu);
+    while (!pipe_->aborted &&
+           pipe_->committed[static_cast<size_t>(map_index)] == 0) {
+      pipe_->cv.Wait(lock);
+    }
     return !pipe_->aborted;
   }
 
@@ -495,7 +497,7 @@ class ShuffleService {
   /// lets out-of-core runs overlap: upstream buckets are released while
   /// the write stage is still producing later mappers.
   void FinishMapperConsumed(int map_index) {
-    std::lock_guard<std::mutex> lock(pipe_->mu);
+    MutexLock lock(pipe_->mu);
     if (++pipe_->consumed[static_cast<size_t>(map_index)] ==
         pipe_->num_readers) {
       MapTask& mt = tasks_[static_cast<size_t>(map_index)];
@@ -509,7 +511,7 @@ class ShuffleService {
                  pipe_->num_readers) {
         ++pipe_->low;
       }
-      pipe_->cv.notify_all();
+      pipe_->cv.NotifyAll();
     }
   }
 
@@ -519,16 +521,16 @@ class ShuffleService {
   /// otherwise block publishers on a window that can never advance, and
   /// vice versa. First status wins.
   void AbortPipelined(Status status) {
-    std::lock_guard<std::mutex> lock(pipe_->mu);
+    MutexLock lock(pipe_->mu);
     if (!pipe_->aborted) {
       pipe_->aborted = true;
       pipe_->abort_status = std::move(status);
     }
-    pipe_->cv.notify_all();
+    pipe_->cv.NotifyAll();
   }
 
   Status pipelined_abort_status() {
-    std::lock_guard<std::mutex> lock(pipe_->mu);
+    MutexLock lock(pipe_->mu);
     return pipe_->aborted ? pipe_->abort_status : Status::OK();
   }
 
@@ -796,7 +798,7 @@ class ShuffleService {
       // Serialized: two read tasks recovering the SAME map task would
       // re-execute its lineage concurrently, racing on any per-partition
       // user state the chain touches (e.g. the pipelines' stat slots).
-      std::lock_guard<std::mutex> lock(recover_mu_);
+      MutexLock lock(recover_mu_);
       // Mask the read task's trace while re-streaming lineage: recovery
       // replays records the write stage already tallied, so letting the
       // chain's OpCounts land here would double-count logical dataflow.
@@ -824,17 +826,17 @@ class ShuffleService {
   /// Producer/consumer state of a pipelined exchange (see the pipelined
   /// section above). Allocated by BeginPipelined; absent in barrier runs.
   struct PipelinedBoard {
-    std::mutex mu;
-    std::condition_variable cv;
+    Mutex mu;
+    CondVar cv;
     /// Per-mapper commit flags and per-mapper count of readers done.
-    std::vector<char> committed;
-    std::vector<int> consumed;
-    int num_readers = 0;
-    int window = 1;
+    std::vector<char> committed GUARDED_BY(mu);
+    std::vector<int> consumed GUARDED_BY(mu);
+    int num_readers GUARDED_BY(mu) = 0;
+    int window GUARDED_BY(mu) = 1;
     /// Lowest mapper not yet consumed by every reader.
-    int low = 0;
-    bool aborted = false;
-    Status abort_status;
+    int low GUARDED_BY(mu) = 0;
+    bool aborted GUARDED_BY(mu) = false;
+    Status abort_status GUARDED_BY(mu);
   };
 
   Context* ctx_;
@@ -855,8 +857,10 @@ class ShuffleService {
   uint64_t spilled_runs_ = 0;
   std::atomic<uint64_t> recovered_runs_{0};
   RecoverFn recover_;
-  /// Serializes lineage re-execution (see RecoverMapperRange).
-  std::mutex recover_mu_;
+  /// Serializes lineage re-execution (see RecoverMapperRange). Pure
+  /// critical-section mutex: it guards the side effects of re-running
+  /// lineage (per-partition user state), not any member of this class.
+  Mutex recover_mu_;
   Status write_status_;
 };
 

@@ -22,6 +22,12 @@ namespace rankjoin::minispark {
 /// (the TelemetryHub / CounterRegistry / ResourceSampler are; the
 /// driver-owned JobMetrics is NOT). Stop() (idempotent, also run by the
 /// destructor) unblocks the accept loop and joins the thread.
+///
+/// Deliberately mutex-free (see common/sync.h for the engine's
+/// annotated primitives): handlers_ and listen_fd_/wake_fds_ are
+/// written only before Start() / after join, the cross-thread signals
+/// (port_, stop_) are atomics, and the Stop() wakeup is a self-pipe
+/// write — there is no state a capability annotation could guard.
 class StatsServer {
  public:
   /// Returns the response body; may set *content_type (defaults to

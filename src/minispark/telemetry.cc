@@ -226,7 +226,7 @@ ResourceSampler::ResourceSampler(Sources sources, int interval_ms,
 ResourceSampler::~ResourceSampler() { Stop(); }
 
 void ResourceSampler::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (thread_.joinable()) return;  // already running
   stop_requested_ = false;
   running_.store(true, std::memory_order_release);
@@ -236,12 +236,14 @@ void ResourceSampler::Start() {
 void ResourceSampler::Stop() {
   std::thread worker;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!thread_.joinable()) return;  // never started, or already stopped
     stop_requested_ = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
     worker = std::move(thread_);
   }
+  // Join with mu_ released: the loop thread needs mu_ to observe
+  // stop_requested_ and exit.
   worker.join();
   running_.store(false, std::memory_order_release);
 }
@@ -253,7 +255,7 @@ ResourceSample ResourceSampler::SampleNow() {
 }
 
 ResourceSample ResourceSampler::Latest() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (ring_.empty()) return {};
   const size_t last =
       next_ == 0 ? ring_.size() - 1 : (next_ - 1) % ring_.size();
@@ -261,7 +263,7 @@ ResourceSample ResourceSampler::Latest() const {
 }
 
 std::vector<ResourceSample> ResourceSampler::History() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ResourceSample> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -275,13 +277,22 @@ std::vector<ResourceSample> ResourceSampler::History() const {
 }
 
 void ResourceSampler::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (!stop_requested_) {
-    lock.unlock();
+    // Sample with mu_ released — Take() calls back into the Context
+    // (spill_dir_bytes), which takes locks of its own; see Take()'s
+    // declaration comment.
+    lock.Unlock();
     Push(Take());
-    lock.lock();
-    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
-                 [this] { return stop_requested_; });
+    lock.Lock();
+    // Sleep out the interval, waking early when Stop() flips the flag.
+    // Spelled as a manual deadline loop (not a predicate wait) so the
+    // stop_requested_ reads stay visible to the thread-safety analysis.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(interval_ms_);
+    while (!stop_requested_ &&
+           cv_.WaitUntil(lock, deadline) != std::cv_status::timeout) {
+    }
   }
 }
 
@@ -301,7 +312,7 @@ ResourceSample ResourceSampler::Take() {
 }
 
 void ResourceSampler::Push(const ResourceSample& sample) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(sample);
     next_ = ring_.size() % capacity_;

@@ -4,14 +4,14 @@
 #include <array>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace rankjoin::minispark {
 
@@ -219,21 +219,25 @@ class ResourceSampler {
   }
 
  private:
-  void Loop();
-  ResourceSample Take();
-  void Push(const ResourceSample& sample);
+  void Loop() EXCLUDES(mu_);
+  /// Reads /proc + the callback sources; deliberately called with mu_
+  /// released (the spill_dir_bytes source walks a directory and takes
+  /// the Context's spill mutex — holding mu_ across it would nest
+  /// sampler -> context, against the lock hierarchy).
+  ResourceSample Take() EXCLUDES(mu_);
+  void Push(const ResourceSample& sample) EXCLUDES(mu_);
 
   Sources sources_;
   int interval_ms_;
   size_t capacity_;
   std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mu_;  // guards ring_, next_, thread lifecycle
-  std::condition_variable cv_;
-  std::vector<ResourceSample> ring_;
-  size_t next_ = 0;
-  bool stop_requested_ = false;
-  std::thread thread_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::vector<ResourceSample> ring_ GUARDED_BY(mu_);
+  size_t next_ GUARDED_BY(mu_) = 0;
+  bool stop_requested_ GUARDED_BY(mu_) = false;
+  std::thread thread_ GUARDED_BY(mu_);
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> total_samples_{0};
 };

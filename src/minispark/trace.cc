@@ -58,16 +58,18 @@ void CounterRegistry::Add(const std::string& name, uint64_t delta) {
   if (!enabled_) return;
   std::atomic<uint64_t>* counter = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto& slot = counters_[name];
     if (slot == nullptr) slot = std::make_unique<std::atomic<uint64_t>>(0);
     counter = slot.get();
   }
+  // The increment deliberately runs outside the map lock; Clear() keeps
+  // the atomic alive (retired_) so this pointer can never dangle.
   counter->fetch_add(delta, std::memory_order_relaxed);
 }
 
 uint64_t CounterRegistry::Value(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) return 0;
   return it->second->load(std::memory_order_relaxed);
@@ -75,7 +77,7 @@ uint64_t CounterRegistry::Value(const std::string& name) const {
 
 std::vector<std::pair<std::string, uint64_t>> CounterRegistry::Snapshot()
     const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::pair<std::string, uint64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -85,7 +87,18 @@ std::vector<std::pair<std::string, uint64_t>> CounterRegistry::Snapshot()
 }
 
 void CounterRegistry::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
+  // Move (not destroy) the atomics: an Add() racing with this clear may
+  // have escaped a counter pointer out of the lock and be about to
+  // fetch_add through it. Parking the allocations in retired_ keeps that
+  // store pointed at live memory; it simply no longer appears in
+  // snapshots. The graveyard is bounded by the number of Clear() calls
+  // times live counter names — Clear() is a between-runs operation, not
+  // a hot path.
+  retired_.reserve(retired_.size() + counters_.size());
+  for (auto& [name, counter] : counters_) {
+    retired_.push_back(std::move(counter));
+  }
   counters_.clear();
 }
 
@@ -99,12 +112,12 @@ int64_t TraceSink::NowMicros() const {
 }
 
 void TraceSink::Record(TraceSpan span) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   spans_.push_back(std::move(span));
 }
 
 size_t TraceSink::NumSpans() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return spans_.size();
 }
 
@@ -112,7 +125,7 @@ std::string TraceSink::ToChromeTraceJson(
     const std::vector<std::pair<std::string, uint64_t>>& counters) const {
   std::vector<TraceSpan> spans;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     spans = spans_;
   }
   // Stable presentation order: by start time, then track.

@@ -7,10 +7,11 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace rankjoin::minispark {
 
@@ -152,15 +153,27 @@ class CounterRegistry {
   /// All counters, sorted by name (deterministic).
   std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
 
+  /// Forgets all counters. Safe against concurrent Add(): increments
+  /// racing with the clear land in retired storage and are dropped from
+  /// future snapshots rather than touching freed memory.
   void Clear();
 
  private:
   bool enabled_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   /// std::map for sorted, pointer-stable iteration; the atomic lets
   /// concurrent Add()s on the same counter proceed without holding the
   /// map lock for the increment itself.
-  std::map<std::string, std::unique_ptr<std::atomic<uint64_t>>> counters_;
+  std::map<std::string, std::unique_ptr<std::atomic<uint64_t>>> counters_
+      GUARDED_BY(mutex_);
+  /// Counters displaced by Clear(). Add() increments its atomic OUTSIDE
+  /// the map lock (the escaped-pointer fast path above), so a counter
+  /// removed from the map may still be written by a racing Add — the
+  /// graveyard keeps those atomics alive until the registry itself dies,
+  /// turning a heap-use-after-free into a lost-to-the-snapshot (and
+  /// harmless) increment.
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> retired_
+      GUARDED_BY(mutex_);
 };
 
 /// One completed span recorded by the TraceSink.
@@ -206,8 +219,8 @@ class TraceSink {
  private:
   bool enabled_;
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mutex_;
-  std::vector<TraceSpan> spans_;
+  mutable Mutex mutex_;
+  std::vector<TraceSpan> spans_ GUARDED_BY(mutex_);
 };
 
 namespace internal {

@@ -168,6 +168,58 @@ TEST(LintCheckTest, Ms001NotRaisedForConsumersOfMaterializedChain) {
   EXPECT_TRUE(Union(evens, odds, "fixture/union").Lint().empty());
 }
 
+TEST(LintCheckTest, Ms007SingleConsumerCache) {
+  Context ctx(LintCluster());
+  auto ds = Parallelize(&ctx, MakeKv(64), 4);
+  auto shifted = ds.Map(
+      [](const Kv& kv) { return Kv(kv.first, kv.second + 1); },
+      "fixture/shift");
+  shifted.Cache();
+  // One consumer hangs off the pin: the materialization buys no reuse.
+  auto evens = shifted.Filter(
+      [](const Kv& kv) { return kv.second % 2 == 0; }, "fixture/evens");
+  std::vector<LintDiagnostic> diags = Only(evens.Lint(), "MS007");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, LintSeverity::kWarning);
+  EXPECT_NE(diags[0].node, nullptr);
+  EXPECT_NE(diags[0].location.find("fixture/shift"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("exactly one consumer"),
+            std::string::npos);
+}
+
+TEST(LintCheckTest, Ms007FixedByDroppingTheCache) {
+  Context ctx(LintCluster());
+  auto ds = Parallelize(&ctx, MakeKv(64), 4);
+  auto shifted = ds.Map(
+      [](const Kv& kv) { return Kv(kv.first, kv.second + 1); },
+      "fixture/shift");
+  // The MS007 fix when the chain must still run eagerly (e.g. to fill
+  // stat slots): Force() materializes without pinning a cache node, so
+  // the single-consumer plan below carries no wasted pin.
+  shifted.Force();
+  auto evens = shifted.Filter(
+      [](const Kv& kv) { return kv.second % 2 == 0; }, "fixture/evens");
+  EXPECT_TRUE(evens.Lint().empty());
+}
+
+TEST(LintCheckTest, Ms007NotRaisedForMultiConsumerOrRootCache) {
+  Context ctx(LintCluster());
+  // Two consumers: the pin earns its keep — this is the MS001 fix and
+  // must stay clean under MS007 too.
+  auto fixed = MultiConsumerPlan(&ctx, /*fixed=*/true);
+  EXPECT_TRUE(Only(fixed.Lint(), "MS007").empty());
+
+  // A cache at the DAG root has zero consumer edges in its own plan;
+  // its reuse (repeated Collect(), later plans) is invisible to the
+  // per-plan walk, so it is not flagged.
+  auto ds = Parallelize(&ctx, MakeKv(64), 4);
+  auto shifted = ds.Map(
+      [](const Kv& kv) { return Kv(kv.first, kv.second + 1); },
+      "fixture/shift");
+  shifted.Cache();
+  EXPECT_TRUE(shifted.Lint().empty());
+}
+
 TEST(LintCheckTest, Ms002RedundantBackToBackShuffles) {
   Context ctx(LintCluster());
   auto ds = Parallelize(&ctx, MakeKv(64), 4);

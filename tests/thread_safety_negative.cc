@@ -1,0 +1,45 @@
+// Compile-time negative test for the thread-safety analysis wired up in
+// common/sync.h. This TU is compiled twice by tests/CMakeLists.txt
+// under Clang (never linked into anything):
+//
+//   1. without RANKJOIN_EXPECT_THREAD_SAFETY_ERROR — must COMPILE,
+//      proving the file is otherwise valid C++ (so a failure in pass 2
+//      can only come from the analysis, not a stray syntax error);
+//   2. with the macro — must FAIL under -Werror=thread-safety, proving
+//      the analysis actually fires on a guarded-member access without
+//      the lock. If a toolchain change ever silently disabled the
+//      analysis, pass 2 would start succeeding and configure would
+//      abort.
+//
+// Under GCC the attributes are no-ops and the check is skipped (the
+// gated code would compile fine), so CMake only wires this for Clang.
+
+#include "src/common/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Increment() {
+    rankjoin::MutexLock lock(mu_);
+    ++value_;
+  }
+
+#ifdef RANKJOIN_EXPECT_THREAD_SAFETY_ERROR
+  // Violation: reads a GUARDED_BY member with no lock held. This is
+  // exactly the class of bug the analysis exists to reject.
+  int UnlockedRead() { return value_; }
+#endif
+
+ private:
+  rankjoin::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Increment();
+  return 0;
+}
