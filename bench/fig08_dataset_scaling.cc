@@ -13,10 +13,18 @@
 //                         [--budget-bytes 67108864] [--flat-file PATH]
 //                         [--keep-flat-file] [--reuse-flat]
 //                         [--store flat|legacy] [--pipelined]
+//                         [--checkpoint-dir DIR] [--resume]
+//                         [--pairs-out PREFIX]
 //
 // --reuse-flat skips generation when the columnar file already exists
 // (implies keeping it), so a measured run contains only map + join —
 // the configuration for store/pipelined A/B timing.
+//
+// --checkpoint-dir/--resume plumb the durable-execution layer through
+// (same as RANKJOIN_CHECKPOINT_DIR / RANKJOIN_RESUME); --pairs-out
+// writes each algorithm's result pairs to PREFIX.<algorithm>.txt so the
+// crash-resume CI job can byte-diff an interrupted-and-resumed run
+// against an uninterrupted one.
 
 #include <algorithm>
 #include <cstdio>
@@ -37,12 +45,22 @@ namespace {
 /// One out-of-core run at --scale-to size: mmap-born dataset, shuffle
 /// budget, pipelined stages per Config(). Prints a JSON-lines record.
 void RunAtScale(const RankingDataset& dataset, Algorithm algorithm,
-                double theta, uint64_t budget_bytes) {
+                double theta, uint64_t budget_bytes,
+                const std::string& checkpoint_dir, bool resume,
+                const std::string& pairs_out) {
   minispark::Context::Options cluster;
   cluster.num_workers = 4;
   cluster.default_partitions = 64;
   cluster.shuffle_memory_budget_bytes = budget_bytes;
   cluster.pipelined_stages = Config().pipelined;
+  if (!checkpoint_dir.empty()) {
+    // One subdirectory per algorithm: both runs of this binary get
+    // independent manifests (their plans differ, but keeping the
+    // stores separate also keeps the epochs independent).
+    cluster.checkpoint_dir =
+        checkpoint_dir + "/" + AlgorithmName(algorithm);
+    cluster.resume = resume;
+  }
   minispark::Context ctx(cluster);
 
   SimilarityJoinConfig config;
@@ -88,11 +106,20 @@ void RunAtScale(const RankingDataset& dataset, Algorithm algorithm,
     info.wall_seconds = seconds;
     AppendMetricsJson(ctx, info, path);
   }
+  if (!pairs_out.empty()) {
+    const std::string path =
+        pairs_out + "." + AlgorithmName(algorithm) + ".txt";
+    if (Status s = WriteResultPairs(path, result->pairs); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
 }
 
 int ScaleToMain(uint64_t scale_to, double theta, uint64_t budget_bytes,
-                std::string flat_file, bool keep_flat_file,
-                bool reuse_flat) {
+                std::string flat_file, bool keep_flat_file, bool reuse_flat,
+                const std::string& checkpoint_dir, bool resume,
+                const std::string& pairs_out) {
   // Build the scaled dataset once, spill it to the columnar file, and
   // drop the in-memory copy — the joins then run off the mmap, which is
   // the representation a paper-scale out-of-core run would use.
@@ -137,8 +164,10 @@ int ScaleToMain(uint64_t scale_to, double theta, uint64_t budget_bytes,
     std::fprintf(stderr, "%s\n", mapped.status().ToString().c_str());
     return 1;
   }
-  RunAtScale(*mapped, Algorithm::kVJ, theta, budget_bytes);
-  RunAtScale(*mapped, Algorithm::kCL, theta, budget_bytes);
+  RunAtScale(*mapped, Algorithm::kVJ, theta, budget_bytes, checkpoint_dir,
+             resume, pairs_out);
+  RunAtScale(*mapped, Algorithm::kCL, theta, budget_bytes, checkpoint_dir,
+             resume, pairs_out);
   if (!keep_flat_file) std::remove(flat_file.c_str());
   return 0;
 }
@@ -157,6 +186,9 @@ int main(int argc, char** argv) {
   std::string flat_file;
   bool keep_flat_file = false;
   bool reuse_flat = false;
+  std::string checkpoint_dir;
+  bool resume = false;
+  std::string pairs_out;
   for (size_t r = 0; r < rest.size(); ++r) {
     const int i = rest[r];
     auto next = [&](const char* flag) -> const char* {
@@ -179,6 +211,12 @@ int main(int argc, char** argv) {
       keep_flat_file = true;
     } else if (!std::strcmp(argv[i], "--reuse-flat")) {
       reuse_flat = true;
+    } else if (!std::strcmp(argv[i], "--checkpoint-dir")) {
+      checkpoint_dir = next("--checkpoint-dir");
+    } else if (!std::strcmp(argv[i], "--resume")) {
+      resume = true;
+    } else if (!std::strcmp(argv[i], "--pairs-out")) {
+      pairs_out = next("--pairs-out");
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -186,7 +224,8 @@ int main(int argc, char** argv) {
   }
   if (scale_to > 0) {
     return ScaleToMain(scale_to, theta, budget_bytes, flat_file,
-                       keep_flat_file, reuse_flat);
+                       keep_flat_file, reuse_flat, checkpoint_dir, resume,
+                       pairs_out);
   }
 
   const std::vector<std::string> datasets = {"DBLP", "DBLPx5", "DBLPx10"};

@@ -58,7 +58,14 @@ void Usage(const char* argv0) {
       "  --mmap FILE        load a binary columnar dataset (data/io.h\n"
       "                     RKJC format) by mmap instead of --input\n"
       "  --pipelined        overlap shuffle write/read stages (same as\n"
-      "                     RANKJOIN_PIPELINED_STAGES=1)\n",
+      "                     RANKJOIN_PIPELINED_STAGES=1)\n"
+      "  --checkpoint-dir D persist durable stage checkpoints under D\n"
+      "                     (same as RANKJOIN_CHECKPOINT_DIR)\n"
+      "  --resume           resume from the checkpoints in\n"
+      "                     --checkpoint-dir: stages whose saved results\n"
+      "                     verify are skipped (same as RANKJOIN_RESUME=1)\n"
+      "  --deadline-ms N    fail the job with DeadlineExceeded after N ms\n"
+      "                     (same as RANKJOIN_JOB_DEADLINE_MS)\n",
       argv0);
 }
 
@@ -80,6 +87,9 @@ int main(int argc, char** argv) {
   bool print_metrics = false;
   bool lint = false;
   bool pipelined = false;
+  bool resume = false;
+  std::string checkpoint_dir;
+  long long deadline_ms = 0;
   int stats_port = -1;
   std::string trace_out;
   std::string store_name = "flat";
@@ -127,6 +137,12 @@ int main(int argc, char** argv) {
       mmap_path = next("--mmap");
     } else if (!std::strcmp(argv[i], "--pipelined")) {
       pipelined = true;
+    } else if (!std::strcmp(argv[i], "--checkpoint-dir")) {
+      checkpoint_dir = next("--checkpoint-dir");
+    } else if (!std::strcmp(argv[i], "--resume")) {
+      resume = true;
+    } else if (!std::strcmp(argv[i], "--deadline-ms")) {
+      deadline_ms = std::strtoll(next("--deadline-ms"), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       Usage(argv[0]);
@@ -166,6 +182,9 @@ int main(int argc, char** argv) {
     cluster.lint_level = minispark::LintLevel::kWarn;
   }
   if (pipelined) cluster.pipelined_stages = true;
+  if (!checkpoint_dir.empty()) cluster.checkpoint_dir = checkpoint_dir;
+  if (resume) cluster.resume = true;
+  if (deadline_ms > 0) cluster.job_deadline_ms = deadline_ms;
   if (stats_port >= 0) cluster.stats_port = stats_port;
   minispark::Context ctx(cluster);
   if (ctx.stats_port() >= 0) {

@@ -57,8 +57,14 @@ PER_ROW_FIELDS = ("wall_seconds",)
 VOLATILE_COUNTER_PREFIXES = ("fault.", "obs.")
 
 
-def load_rows(path):
-    """Returns {(label, occurrence_index): row}."""
+def load_rows(path, role):
+    """Returns {(label, occurrence_index): row}.
+
+    Exits with a clear diagnostic (never a traceback) when the file is
+    missing or unreadable, or when a row lacks a usable wall_seconds —
+    a baseline missing its timing field would silently disable the
+    per-row gate, so it is an input error, not something to skip.
+    """
     rows = {}
     seen = {}
     try:
@@ -72,12 +78,25 @@ def load_rows(path):
                 except json.JSONDecodeError as e:
                     raise SystemExit(
                         f"{path}:{line_no}: bad JSON: {e}") from e
+                wall = row.get("wall_seconds")
+                if not isinstance(wall, (int, float)) or isinstance(
+                        wall, bool):
+                    raise SystemExit(
+                        f"{path}:{line_no}: row "
+                        f"{row.get('label', '?')!r} has no numeric "
+                        f"wall_seconds (got {wall!r}) — was this file "
+                        "written by bench_common's AppendMetricsJson?")
                 label = row.get("label", "?")
                 index = seen.get(label, 0)
                 seen[label] = index + 1
                 rows[(label, index)] = row
+    except FileNotFoundError:
+        hint = (" — run the bench with RANKJOIN_METRICS_JSON and pass "
+                "--refresh to create it" if role == "baseline" else "")
+        raise SystemExit(
+            f"{role} file does not exist: {path}{hint}") from None
     except OSError as e:
-        raise SystemExit(f"cannot read {path}: {e}") from e
+        raise SystemExit(f"cannot read {role} {path}: {e}") from e
     return rows
 
 
@@ -182,12 +201,19 @@ def main():
     args = parser.parse_args()
 
     if args.refresh:
-        shutil.copyfile(args.candidate, args.baseline)
+        # Validate before overwriting: a candidate with malformed rows
+        # must not become the committed baseline.
+        load_rows(args.candidate, "candidate")
+        try:
+            shutil.copyfile(args.candidate, args.baseline)
+        except OSError as e:
+            raise SystemExit(
+                f"cannot refresh baseline {args.baseline}: {e}") from e
         print(f"baseline refreshed: {args.baseline}")
         return 0
 
-    base_rows = load_rows(args.baseline)
-    cand_rows = load_rows(args.candidate)
+    base_rows = load_rows(args.baseline, "baseline")
+    cand_rows = load_rows(args.candidate, "candidate")
     failures = []
 
     base_keys = set(base_rows)

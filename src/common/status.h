@@ -18,6 +18,7 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -53,6 +54,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

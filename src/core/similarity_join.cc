@@ -3,6 +3,7 @@
 #include "join/brute_force.h"
 #include "join/vj_nl.h"
 #include "join/vsmart.h"
+#include "minispark/dataset.h"
 #include "plan/planner.h"
 
 namespace rankjoin {
@@ -107,10 +108,14 @@ Result<JoinResult> RunSimilarityJoin(minispark::Context* ctx,
                                      const RankingDataset& dataset,
                                      const SimilarityJoinConfig& config) {
   RANKJOIN_RETURN_NOT_OK(config.Validate(dataset.k));
-  if (config.algorithm == Algorithm::kAuto) {
-    return PlanAndExecute(ctx, dataset, config);
-  }
-  return ExecuteJoin(ctx, dataset, config);
+  // The pipelines are each StopAware already; wrapping the facade too
+  // covers the planner's sampling stages and any future dispatch path.
+  return minispark::StopAware([&]() -> Result<JoinResult> {
+    if (config.algorithm == Algorithm::kAuto) {
+      return PlanAndExecute(ctx, dataset, config);
+    }
+    return ExecuteJoin(ctx, dataset, config);
+  });
 }
 
 }  // namespace rankjoin

@@ -251,9 +251,21 @@ JoinResult JaccardBruteForceJoin(const RankingDataset& dataset,
   return result;
 }
 
+static Result<JoinResult> RunJaccardVjJoinImpl(
+    minispark::Context* ctx, const RankingDataset& dataset,
+    const JaccardJoinOptions& options);
+
 Result<JoinResult> RunJaccardVjJoin(minispark::Context* ctx,
                                     const RankingDataset& dataset,
                                     const JaccardJoinOptions& options) {
+  // A Cancel()/deadline stop anywhere inside unwinds here as a Status.
+  return minispark::StopAware(
+      [&] { return RunJaccardVjJoinImpl(ctx, dataset, options); });
+}
+
+static Result<JoinResult> RunJaccardVjJoinImpl(
+    minispark::Context* ctx, const RankingDataset& dataset,
+    const JaccardJoinOptions& options) {
   RANKJOIN_RETURN_NOT_OK(
       ValidateOptions(options, dataset.k, /*clustering=*/false));
   RANKJOIN_RETURN_NOT_OK(dataset.Validate());
@@ -285,9 +297,21 @@ Result<JoinResult> RunJaccardVjJoin(minispark::Context* ctx,
   return result;
 }
 
+static Result<JoinResult> RunJaccardClusterJoinImpl(
+    minispark::Context* ctx, const RankingDataset& dataset,
+    const JaccardJoinOptions& options);
+
 Result<JoinResult> RunJaccardClusterJoin(minispark::Context* ctx,
                                          const RankingDataset& dataset,
                                          const JaccardJoinOptions& options) {
+  // A Cancel()/deadline stop anywhere inside unwinds here as a Status.
+  return minispark::StopAware(
+      [&] { return RunJaccardClusterJoinImpl(ctx, dataset, options); });
+}
+
+static Result<JoinResult> RunJaccardClusterJoinImpl(
+    minispark::Context* ctx, const RankingDataset& dataset,
+    const JaccardJoinOptions& options) {
   RANKJOIN_RETURN_NOT_OK(
       ValidateOptions(options, dataset.k, /*clustering=*/true));
   RANKJOIN_RETURN_NOT_OK(dataset.Validate());

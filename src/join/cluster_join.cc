@@ -348,9 +348,21 @@ std::vector<ResultPair> RunExpansion(minispark::Context* ctx,
 
 }  // namespace
 
+static Result<JoinResult> RunClusterJoinImpl(minispark::Context* ctx,
+                                             const RankingDataset& dataset,
+                                             const ClOptions& options);
+
 Result<JoinResult> RunClusterJoin(minispark::Context* ctx,
                                   const RankingDataset& dataset,
                                   const ClOptions& options) {
+  // A Cancel()/deadline stop anywhere inside unwinds here as a Status.
+  return minispark::StopAware(
+      [&] { return RunClusterJoinImpl(ctx, dataset, options); });
+}
+
+static Result<JoinResult> RunClusterJoinImpl(minispark::Context* ctx,
+                                             const RankingDataset& dataset,
+                                             const ClOptions& options) {
   RANKJOIN_RETURN_NOT_OK(internal::ValidateClOptions(options, dataset.k));
   RANKJOIN_RETURN_NOT_OK(dataset.Validate());
   const int num_partitions = options.num_partitions > 0

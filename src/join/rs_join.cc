@@ -85,9 +85,23 @@ JoinResult BruteForceRsJoin(const RankingDataset& r, const RankingDataset& s,
   return result;
 }
 
+static Result<JoinResult> RunRsJoinImpl(minispark::Context* ctx,
+                                        const RankingDataset& r,
+                                        const RankingDataset& s,
+                                        const RsJoinOptions& options);
+
 Result<JoinResult> RunRsJoin(minispark::Context* ctx,
                              const RankingDataset& r, const RankingDataset& s,
                              const RsJoinOptions& options) {
+  // A Cancel()/deadline stop anywhere inside unwinds here as a Status.
+  return minispark::StopAware(
+      [&] { return RunRsJoinImpl(ctx, r, s, options); });
+}
+
+static Result<JoinResult> RunRsJoinImpl(minispark::Context* ctx,
+                                        const RankingDataset& r,
+                                        const RankingDataset& s,
+                                        const RsJoinOptions& options) {
   RANKJOIN_RETURN_NOT_OK(ValidateRs(r, s, options));
   const int num_partitions = options.num_partitions > 0
                                  ? options.num_partitions

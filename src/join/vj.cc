@@ -226,9 +226,21 @@ std::vector<ScoredPair> DistributedSelfJoin(
 
 }  // namespace internal
 
+static Result<JoinResult> RunVjJoinImpl(minispark::Context* ctx,
+                                        const RankingDataset& dataset,
+                                        const VjOptions& options);
+
 Result<JoinResult> RunVjJoin(minispark::Context* ctx,
                              const RankingDataset& dataset,
                              const VjOptions& options) {
+  // A Cancel()/deadline stop anywhere inside unwinds here as a Status.
+  return minispark::StopAware(
+      [&] { return RunVjJoinImpl(ctx, dataset, options); });
+}
+
+static Result<JoinResult> RunVjJoinImpl(minispark::Context* ctx,
+                                        const RankingDataset& dataset,
+                                        const VjOptions& options) {
   RANKJOIN_RETURN_NOT_OK(internal::ValidateVjOptions(options, dataset.k));
   RANKJOIN_RETURN_NOT_OK(dataset.Validate());
   const int num_partitions = options.num_partitions > 0

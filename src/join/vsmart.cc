@@ -20,9 +20,21 @@ constexpr uint32_t Phi(int k, int rank_a, int rank_b) {
 
 }  // namespace
 
+static Result<JoinResult> RunVSmartJoinImpl(minispark::Context* ctx,
+                                            const RankingDataset& dataset,
+                                            const VSmartOptions& options);
+
 Result<JoinResult> RunVSmartJoin(minispark::Context* ctx,
                                  const RankingDataset& dataset,
                                  const VSmartOptions& options) {
+  // A Cancel()/deadline stop anywhere inside unwinds here as a Status.
+  return minispark::StopAware(
+      [&] { return RunVSmartJoinImpl(ctx, dataset, options); });
+}
+
+static Result<JoinResult> RunVSmartJoinImpl(minispark::Context* ctx,
+                                            const RankingDataset& dataset,
+                                            const VSmartOptions& options) {
   if (dataset.k < 1) {
     return Status::InvalidArgument("dataset k must be >= 1");
   }

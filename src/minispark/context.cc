@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <deque>
 #include <exception>
@@ -66,6 +67,25 @@ Context::Options WithEnvOverrides(Context::Options options) {
     } else if (value == "0" || value == "off" || value == "false" ||
                value == "no") {
       options.pipelined_stages = false;
+    }
+  }
+  if (const char* dir = std::getenv("RANKJOIN_CHECKPOINT_DIR")) {
+    options.checkpoint_dir = dir;
+  }
+  if (const char* resume = std::getenv("RANKJOIN_RESUME")) {
+    const std::string value(resume);
+    if (value == "1" || value == "on" || value == "true" || value == "yes") {
+      options.resume = true;
+    } else if (value == "0" || value == "off" || value == "false" ||
+               value == "no") {
+      options.resume = false;
+    }
+  }
+  if (const char* deadline = std::getenv("RANKJOIN_JOB_DEADLINE_MS")) {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(deadline, &end, 10);
+    if (end != deadline && parsed >= 0) {
+      options.job_deadline_ms = static_cast<int64_t>(parsed);
     }
   }
   return options;
@@ -159,6 +179,16 @@ Context::Context(Options options)
         << "bad fault spec (Options::fault_spec / RANKJOIN_FAULT_SPEC): "
         << spec.status().ToString();
     fault_injector_ = FaultInjector(*spec, &counters_);
+  }
+  start_time_ = std::chrono::steady_clock::now();
+  if (options_.job_deadline_ms > 0) {
+    deadline_at_us_ = options_.job_deadline_ms * 1000;
+    telemetry_.SetDeadlineRemainingMs(options_.job_deadline_ms);
+  }
+  if (!options_.checkpoint_dir.empty()) {
+    checkpoint_manager_ = std::make_unique<CheckpointManager>(
+        options_.checkpoint_dir, options_.resume,
+        options_.disk_pressure_policy, &counters_);
   }
   if (options_.stats_port >= 0) StartStatsExposition();
 }
@@ -260,6 +290,64 @@ void Context::MarkSpillDegraded(const Status& cause) {
                         << "); shuffles degrade to resident-only buffering";
 }
 
+void Context::OnSpillDiskPressure(const Status& cause) {
+  counters_.Add("fault.disk.enospc", 1);
+  telemetry_.OnDiskPressure();
+  MarkSpillDegraded(cause);
+  // One disk failure disables every disk writer: a full disk will not
+  // get less full because the next write is a checkpoint.
+  if (checkpoint_manager_ != nullptr && checkpoint_manager_->enabled()) {
+    counters_.Add("fault.disk.checkpoint_degraded", 1);
+    checkpoint_manager_->Disable();
+  }
+}
+
+void Context::Cancel() {
+  int expected = 0;
+  if (stop_state_.compare_exchange_strong(expected, 1,
+                                          std::memory_order_relaxed)) {
+    RANKJOIN_LOG(Warning) << "job cancelled via Context::Cancel()";
+  }
+}
+
+bool Context::StopRequested() {
+  if (stop_state_.load(std::memory_order_relaxed) != 0) return true;
+  if (deadline_at_us_ == INT64_MAX) return false;
+  const int64_t elapsed_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count();
+  if (elapsed_us < deadline_at_us_) return false;
+  int expected = 0;
+  stop_state_.compare_exchange_strong(expected, 2,
+                                      std::memory_order_relaxed);
+  telemetry_.SetDeadlineRemainingMs(0);
+  return true;
+}
+
+Status Context::StopStatus() const {
+  switch (stop_state_.load(std::memory_order_relaxed)) {
+    case 1:
+      return Status::Cancelled("job cancelled via Context::Cancel()");
+    case 2:
+      return Status::DeadlineExceeded(
+          "job deadline of " + std::to_string(options_.job_deadline_ms) +
+          " ms exceeded");
+    default:
+      return Status::OK();
+  }
+}
+
+int64_t Context::DeadlineRemainingMs() const {
+  if (deadline_at_us_ == INT64_MAX) return -1;
+  const int64_t elapsed_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count();
+  const int64_t remaining_ms = (deadline_at_us_ - elapsed_us) / 1000;
+  return remaining_ms > 0 ? remaining_ms : 0;
+}
+
 StageMetrics Context::RunStage(const std::string& name, int num_tasks,
                                const TaskFn& task) {
   // Wrapping by reference is safe here: without speculation every
@@ -336,6 +424,10 @@ void Context::RunTaskAttempts(const std::shared_ptr<StageExec>& ex, int index,
     bool retryable = true;
     std::function<void()> commit;
     try {
+      // Cooperative stop: a cancelled or deadline-exceeded job fails
+      // the attempt with its structured Status before the body runs
+      // (never retried — the stop is permanent).
+      if (StopRequested()) throw NonRetryableError(StopStatus());
       // Injected throws fire at the very start of the attempt — before
       // the body consumes anything — so a retry always sees pristine
       // inputs even for destructive readers (shuffle merge-back).
@@ -489,6 +581,16 @@ StageMetrics Context::RunStageImpl(const std::string& name, int num_tasks,
                                    bool speculatable) {
   StageMetrics stage;
   stage.name = name;
+  // Deadline / cancellation gate: once the job is stopped, no further
+  // stage dispatches any work — the structured Status surfaces through
+  // the poisoned-dataset path exactly like a task failure would.
+  if (StopRequested()) {
+    stage.status = StopStatus();
+    return stage;
+  }
+  if (deadline_at_us_ != INT64_MAX) {
+    telemetry_.SetDeadlineRemainingMs(DeadlineRemainingMs());
+  }
   // An empty (or negative-count) stage is an explicit no-op: empty
   // metrics, no pool dispatch.
   if (num_tasks <= 0) return stage;
@@ -546,6 +648,18 @@ StageMetrics Context::RunStageImpl(const std::string& name, int num_tasks,
     }
   }
   telemetry_.OnStageComplete();
+  // Chaos crash site: after N completed stages the process dies hard
+  // (SIGKILL, no cleanup) — exactly what the crash-resume CI job needs
+  // to assert that a checkpointed run picks up where it was killed.
+  const int64_t completed =
+      stages_completed_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (fault_injector_.enabled() &&
+      fault_injector_.proc_kill_after() > 0 &&
+      completed == fault_injector_.proc_kill_after()) {
+    RANKJOIN_LOG(Warning) << "fault injection: SIGKILL after "
+                          << completed << " completed stages";
+    std::raise(SIGKILL);
+  }
   // Aggregate the winning attempts' op traces by op id; ids increase in
   // plan-construction order, so a straight chain reports in pipeline
   // order.

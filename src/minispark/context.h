@@ -2,6 +2,7 @@
 #define RANKJOIN_MINISPARK_CONTEXT_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -13,6 +14,7 @@
 #include "common/sync.h"
 #include "common/thread_pool.h"
 #include "minispark/approx_size.h"
+#include "minispark/checkpoint.h"
 #include "minispark/fault.h"
 #include "minispark/lint.h"
 #include "minispark/metrics.h"
@@ -180,6 +182,33 @@ class Context {
     /// bytes, live tasks — into a bounded ring buffer). Only used when
     /// stats_port >= 0.
     int stats_sample_ms = 200;
+    /// Durable execution (checkpoint.h): when non-empty, materialized
+    /// stage results whose record type is checkpoint-portable are
+    /// persisted under this directory (Serde + CRC-32, manifest with
+    /// atomic rename-commit), keyed by lineage-plan fingerprints. The
+    /// directory OUTLIVES the context — unlike spill_dir — so a later
+    /// process can resume from it. Empty (default) = no checkpointing.
+    /// The RANKJOIN_CHECKPOINT_DIR environment variable overrides this
+    /// value when set.
+    std::string checkpoint_dir = {};
+    /// When true (and checkpoint_dir is set), stages whose checkpoints
+    /// verify (manifest epoch + CRC) are SKIPPED: their results load
+    /// from disk and only downstream work re-executes. When false, a
+    /// fresh start bumps the manifest epoch, invalidating prior
+    /// entries. The RANKJOIN_RESUME environment variable ("0"/"1"/
+    /// "on"/"off") overrides this value when set.
+    bool resume = false;
+    /// Whole-job deadline in milliseconds from Context construction.
+    /// Once it passes, every subsequent stage submission — and every
+    /// in-flight fused chain at its next record-boundary probe —
+    /// returns Status kDeadlineExceeded (structured failure, never
+    /// abort). 0 (default) = no deadline. The RANKJOIN_JOB_DEADLINE_MS
+    /// environment variable overrides this value when set.
+    int64_t job_deadline_ms = 0;
+    /// What a spill/checkpoint write failure does to the job
+    /// (checkpoint.h): degrade (default) or fail with a Status.
+    DiskPressurePolicy disk_pressure_policy =
+        DiskPressurePolicy::kDropCheckpoints;
   };
 
   explicit Context(Options options);
@@ -280,6 +309,41 @@ class Context {
   /// Records that the spill path is unusable (`cause` says why). Logged
   /// once; subsequent shuffles keep their buckets resident.
   void MarkSpillDegraded(const Status& cause);
+
+  /// The checkpoint manager, or null when Options::checkpoint_dir is
+  /// empty. Key allocation and load/save are driver-thread only.
+  CheckpointManager* checkpoint_manager() {
+    return checkpoint_manager_.get();
+  }
+  DiskPressurePolicy disk_pressure_policy() const {
+    return options_.disk_pressure_policy;
+  }
+
+  /// Disk-pressure event on the SPILL path (real write failure or an
+  /// injected spill_enospc): bumps the fault.disk.* counters, degrades
+  /// spilling to resident-only, and drops checkpointing. Under the
+  /// kFail policy the caller fails the task instead — check
+  /// disk_pressure_policy() first. Safe from task threads.
+  void OnSpillDiskPressure(const Status& cause);
+
+  /// Cooperative job cancellation: every subsequent stage submission
+  /// and in-flight record-boundary probe fails with Status kCancelled.
+  /// Idempotent, safe from any thread (that is the point — a watchdog
+  /// thread cancels a runaway driver).
+  void Cancel();
+
+  /// True once Cancel() was called or the job deadline passed. Cheap
+  /// (one relaxed load on the common path); safe from any thread.
+  bool StopRequested();
+
+  /// The structured reason for StopRequested(): kCancelled or
+  /// kDeadlineExceeded (OK when no stop was requested).
+  Status StopStatus() const;
+
+  /// Milliseconds until the job deadline: negative when none is
+  /// configured, 0 once expired. Mirrored into telemetry for /metrics
+  /// and /healthz.
+  int64_t DeadlineRemainingMs() const;
 
   JobMetrics& metrics() { return metrics_; }
   const JobMetrics& metrics() const { return metrics_; }
@@ -424,6 +488,19 @@ class Context {
   std::atomic<uint64_t> next_op_id_{0};
   std::atomic<uint64_t> next_shuffle_id_{0};
   std::atomic<bool> spill_degraded_{false};
+  /// 0 = running, 1 = cancelled, 2 = deadline exceeded. Set once via
+  /// CAS (first cause wins); read on every stage submission and fused-
+  /// chain probe.
+  std::atomic<int> stop_state_{0};
+  /// Absolute steady-clock deadline in micros since construction
+  /// (INT64_MAX = none).
+  int64_t deadline_at_us_ = INT64_MAX;
+  std::chrono::steady_clock::time_point start_time_;
+  /// Set iff Options::checkpoint_dir non-empty.
+  std::unique_ptr<CheckpointManager> checkpoint_manager_;
+  /// Stages completed by RunStageImpl — the proc_kill_after chaos
+  /// site's trigger count.
+  std::atomic<int64_t> stages_completed_{0};
   /// Guards lazy creation of the spill directory and the file counter.
   Mutex spill_mutex_;
   std::string spill_dir_path_ GUARDED_BY(spill_mutex_);

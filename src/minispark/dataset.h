@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <string>
@@ -25,6 +26,39 @@
 #include "minispark/shuffle.h"
 
 namespace rankjoin::minispark {
+
+/// Thrown by the CHECK-semantics actions (Collect(), Count(), ...) when
+/// the dataset failed because the job was cooperatively stopped —
+/// Context::Cancel() or a job deadline. A stop is routine control flow,
+/// not a programming error, so it unwinds out of arbitrarily deep
+/// pipeline code instead of aborting; Result-returning entry points
+/// convert it back into its structured Status with StopAware() below.
+/// Every other poisoned-dataset cause keeps CHECK semantics.
+class JobStoppedError : public std::exception {
+ public:
+  explicit JobStoppedError(Status status) : status_(std::move(status)) {}
+  const Status& status() const { return status_; }
+  const char* what() const noexcept override { return "job stopped"; }
+
+ private:
+  Status status_;
+};
+
+/// Runs a pipeline body, converting a JobStoppedError unwind into the
+/// stop Status as an error value. Wrap the body of any Result-returning
+/// pipeline entry point whose internals use CHECK-semantics actions:
+///
+///   Result<JoinResult> RunFooJoin(...) {
+///     return minispark::StopAware([&]() -> Result<JoinResult> { ... });
+///   }
+template <typename Fn>
+auto StopAware(Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const JobStoppedError& stopped) {
+    return stopped.status();
+  }
+}
 
 /// Hasher adapter that routes through ShuffleHash so that pair keys and
 /// integer keys are both well-mixed (see partitioner.h).
@@ -571,12 +605,19 @@ class Dataset {
     return Chain<U>(std::move(gen), op, name, tag);
   }
 
-  /// Materialize() plus the aborting poisoned-dataset check shared by
-  /// the CHECK-semantics actions.
+  /// Materialize() plus the poisoned-dataset check shared by the
+  /// CHECK-semantics actions. Cooperative stops (Cancel(), deadline)
+  /// throw JobStoppedError so they unwind to a StopAware() entry point
+  /// as a structured Status; genuine failures abort.
   const Partitions& ForceChecked() const {
     const Partitions& parts = Materialize();
-    RANKJOIN_CHECK(state_->error.ok())
-        << "action on a failed dataset: " << state_->error.ToString()
+    const Status& error = state_->error;
+    if (error.code() == StatusCode::kCancelled ||
+        error.code() == StatusCode::kDeadlineExceeded) {
+      throw JobStoppedError(error);
+    }
+    RANKJOIN_CHECK(error.ok())
+        << "action on a failed dataset: " << error.ToString()
         << " (use TryCollect()/status() to handle execution failures)";
     return parts;
   }
@@ -589,6 +630,12 @@ class Dataset {
   /// publishes it, so retried and speculative attempts never touch the
   /// shared output. A stage failure (retries exhausted) poisons the
   /// handle instead of aborting; the memoized partitions are then empty.
+  ///
+  /// With a CheckpointManager attached and a checkpoint-portable T, the
+  /// materialized partitions are additionally persisted under the plan
+  /// fingerprint (computed BEFORE the non-lazy lineage swap below, so a
+  /// resumed driver computes the same one), and a resume run restores
+  /// them instead of executing the stage when the saved blob verifies.
   const Partitions& Materialize() const {
     State& s = *state_;
     if (s.materialized) return *s.materialized;
@@ -601,26 +648,90 @@ class Dataset {
       s.names.clear();
       return *s.materialized;
     }
-    Generator gen = s.gen;
-    StageMetrics stage = s.ctx->RunStageIsolated(
-        JoinStrings(s.names), s.num_partitions, [gen, out](int i) {
-          auto buf = std::make_shared<std::vector<T>>();
-          gen(i, Sink([buf](const T& t) { buf->push_back(t); }));
-          return [out, buf, i]() {
-            (*out)[static_cast<size_t>(i)] = std::move(*buf);
-          };
-        });
-    stage.fused_ops = JoinStrings(s.ops);
-    if (!stage.status.ok()) {
-      s.error = stage.status;
-      *out = Partitions(static_cast<size_t>(s.num_partitions));
+    bool restored = false;
+    [[maybe_unused]] CheckpointManager* ckpt = nullptr;
+    [[maybe_unused]] uint64_t ckpt_fp = 0;
+    [[maybe_unused]] uint64_t ckpt_occ = 0;
+    [[maybe_unused]] std::string ckpt_key;
+    if constexpr (checkpoint_portable_v<T>) {
+      ckpt = s.ctx->checkpoint_manager();
+      if (ckpt != nullptr) {
+        // Allocate the key for EVERY eligible stage, even while
+        // checkpointing is disabled: a resumed driver must replay the
+        // identical per-fingerprint key sequence.
+        ckpt_fp = PlanFingerprint(s.plan.get());
+        ckpt_key = ckpt->NextKey(ckpt_fp, &ckpt_occ);
+        std::string blob;
+        if (ckpt->resume() && ckpt->enabled() &&
+            ckpt->TryLoadBlob(ckpt_key, &blob)) {
+          Partitions parts;
+          if (DecodeCheckpointPartitions<T>(blob, &parts) &&
+              static_cast<int>(parts.size()) == s.num_partitions) {
+            *out = std::move(parts);
+            restored = true;
+            s.ctx->telemetry().OnCheckpointSkipped();
+            s.ctx->counters().Add("checkpoint.stages_skipped", 1);
+            RANKJOIN_LOG(Info) << "checkpoint: skipped stage '"
+                               << JoinStrings(s.names) << "' (" << ckpt_key
+                               << ")";
+          } else {
+            // Corrupt or mismatched blob: count it and fall through to
+            // a clean re-execution — never emit unverified data.
+            s.ctx->telemetry().OnCheckpointRestoreFailed();
+            s.ctx->counters().Add("checkpoint.restore_failed", 1);
+          }
+        }
+      }
     }
-    for (const auto& p : *out) {
-      stage.materialized_elements += p.size();
-      for (const T& t : p) stage.materialized_bytes += ApproxSize(t);
+    if (!restored) {
+      Generator gen = s.gen;
+      Context* ctx = s.ctx;
+      StageMetrics stage = s.ctx->RunStageIsolated(
+          JoinStrings(s.names), s.num_partitions, [gen, out, ctx](int i) {
+            auto buf = std::make_shared<std::vector<T>>();
+            // Deadline/cancel probe at record granularity: long fused
+            // chains notice a stop request between records.
+            uint64_t probe = 0;
+            gen(i, Sink([buf, &probe, ctx](const T& t) {
+                  buf->push_back(t);
+                  if (((++probe) & 1023u) == 0 && ctx->StopRequested()) {
+                    throw NonRetryableError(ctx->StopStatus());
+                  }
+                }));
+            return [out, buf, i]() {
+              (*out)[static_cast<size_t>(i)] = std::move(*buf);
+            };
+          });
+      stage.fused_ops = JoinStrings(s.ops);
+      if (!stage.status.ok()) {
+        s.error = stage.status;
+        *out = Partitions(static_cast<size_t>(s.num_partitions));
+      }
+      if constexpr (checkpoint_portable_v<T>) {
+        if (ckpt != nullptr && ckpt->enabled() && s.error.ok()) {
+          FaultInjector& injector = s.ctx->fault_injector();
+          const Status saved = ckpt->SaveBlob(
+              ckpt_key,
+              EncodeCheckpointPartitions<T>(
+                  *out, ckpt_fp, ckpt_occ,
+                  injector.enabled() ? &injector : nullptr));
+          if (!saved.ok()) {
+            // kFail disk-pressure policy: surface the IoError.
+            s.error = saved;
+            *out = Partitions(static_cast<size_t>(s.num_partitions));
+          } else if (ckpt->enabled()) {
+            // (enabled() may have flipped off if SaveBlob degraded.)
+            s.ctx->telemetry().OnCheckpointSaved();
+          }
+        }
+      }
+      for (const auto& p : *out) {
+        stage.materialized_elements += p.size();
+        for (const T& t : p) stage.materialized_bytes += ApproxSize(t);
+      }
+      stage.max_partition_size = MaxSize(*out);
+      s.ctx->AddStage(std::move(stage));
     }
-    stage.max_partition_size = MaxSize(*out);
-    s.ctx->AddStage(std::move(stage));
     s.materialized = std::move(out);
     // Release the generator (and the upstream plan it captures). The
     // lineage node stays — ExplainDot still renders the full history.
@@ -698,6 +809,87 @@ inline uint64_t MaxBucketBytes(const std::vector<uint64_t>& bucket_bytes) {
   return max;
 }
 
+/// Checkpoint plumbing shared by the wide operations. A wide op's
+/// RESULT node cannot key its checkpoint — the result partition count
+/// is only known after adaptive coalescing/splitting runs — so the key
+/// derives from the PARENT plan fingerprints mixed with the op kind,
+/// user name, and requested bucket count, all fixed before any stage
+/// executes. The restored partition count then defines the output
+/// dataset's partitioning, which matches the original run by
+/// construction (it IS the original run's result).
+struct WideCheckpointSlot {
+  CheckpointManager* mgr = nullptr;
+  std::string key;
+  uint64_t fingerprint = 0;
+  uint64_t occurrence = 0;
+};
+
+inline WideCheckpointSlot OpenWideCheckpoint(
+    Context* ctx, const char* op, const std::string& name, int n,
+    std::initializer_list<const PlanNode*> parents) {
+  WideCheckpointSlot slot;
+  slot.mgr = ctx->checkpoint_manager();
+  if (slot.mgr == nullptr) return slot;
+  uint64_t fp = FingerprintMixString(0x776964655f6f70ull /* "wide_op" */, op);
+  fp = FingerprintMixString(fp, name);
+  fp = FingerprintMix(fp, static_cast<uint64_t>(n));
+  for (const PlanNode* parent : parents) {
+    fp = FingerprintMix(fp, PlanFingerprint(parent));
+  }
+  slot.fingerprint = fp;
+  slot.key = slot.mgr->NextKey(fp, &slot.occurrence);
+  return slot;
+}
+
+/// Attempts to restore a wide op's output from its checkpoint. True
+/// (with *out filled) only when resuming and the saved blob verified —
+/// the caller then skips the shuffle/probe stages entirely.
+template <typename T>
+bool TryRestoreWide(Context* ctx, const WideCheckpointSlot& slot,
+                    const std::string& name,
+                    std::vector<std::vector<T>>* out) {
+  if (slot.mgr == nullptr || !slot.mgr->resume() || !slot.mgr->enabled()) {
+    return false;
+  }
+  std::string blob;
+  if (!slot.mgr->TryLoadBlob(slot.key, &blob)) return false;
+  std::vector<std::vector<T>> parts;
+  if (!DecodeCheckpointPartitions<T>(blob, &parts) || parts.empty()) {
+    ctx->telemetry().OnCheckpointRestoreFailed();
+    ctx->counters().Add("checkpoint.restore_failed", 1);
+    return false;
+  }
+  *out = std::move(parts);
+  ctx->telemetry().OnCheckpointSkipped();
+  ctx->counters().Add("checkpoint.stages_skipped", 1);
+  RANKJOIN_LOG(Info) << "checkpoint: skipped wide op '" << name << "' ("
+                     << slot.key << ")";
+  return true;
+}
+
+/// Persists a wide op's output after a successful run. On a write
+/// failure the disk-pressure policy applies inside SaveBlob; only the
+/// kFail policy surfaces an error, through *out_status (the caller's
+/// stage-status slot, which poisons the result dataset).
+template <typename T>
+void MaybeSaveWide(Context* ctx, const WideCheckpointSlot& slot,
+                   const std::vector<std::vector<T>>& parts,
+                   Status* out_status) {
+  if (slot.mgr == nullptr || !slot.mgr->enabled()) return;
+  if (out_status != nullptr && !out_status->ok()) return;
+  FaultInjector& injector = ctx->fault_injector();
+  const Status saved = slot.mgr->SaveBlob(
+      slot.key,
+      EncodeCheckpointPartitions<T>(parts, slot.fingerprint, slot.occurrence,
+                                    injector.enabled() ? &injector : nullptr));
+  if (!saved.ok()) {
+    if (out_status != nullptr) *out_status = saved;
+  } else if (slot.mgr->enabled()) {
+    // (enabled() may have flipped off if SaveBlob degraded itself.)
+    ctx->telemetry().OnCheckpointSaved();
+  }
+}
+
 /// Hash-shuffles key-value records into `n` buckets by key through the
 /// ShuffleService. The shuffle-write phase STREAMS the input — a pending
 /// narrow chain on `input` executes inside the write tasks and is never
@@ -718,6 +910,16 @@ std::shared_ptr<const std::vector<std::vector<std::pair<K, V>>>> ShuffleByKey(
     const Dataset<std::pair<K, V>>& input, int n, const std::string& name,
     Status* out_status, ShuffleByKeyInfo* out_info = nullptr) {
   Context* ctx = input.context();
+  using KV = std::pair<K, V>;
+  [[maybe_unused]] WideCheckpointSlot ckpt;
+  if constexpr (checkpoint_portable_v<KV>) {
+    ckpt = OpenWideCheckpoint(ctx, "shuffleByKey", name, n,
+                              {input.plan_node().get()});
+    auto restored = std::make_shared<std::vector<std::vector<KV>>>();
+    if (TryRestoreWide<KV>(ctx, ckpt, name, restored.get())) {
+      return restored;
+    }
+  }
   HashPartitioner partitioner(n);
   const auto make_router = [partitioner](int /*task*/) {
     return [partitioner](const std::pair<K, V>& kv) {
@@ -728,7 +930,11 @@ std::shared_ptr<const std::vector<std::vector<std::pair<K, V>>>> ShuffleByKey(
     // Overlapped write/read; bucket sizes are unknown until the last
     // mapper commits, so no adaptive coalescing or splitting in this
     // mode.
-    return PipelinedExchange(input, n, name, make_router, out_status);
+    auto parts = PipelinedExchange(input, n, name, make_router, out_status);
+    if constexpr (checkpoint_portable_v<KV>) {
+      MaybeSaveWide<KV>(ctx, ckpt, *parts, out_status);
+    }
+    return parts;
   }
   auto service = ShuffleWrite<std::pair<K, V>>(input, n, name, make_router);
   PartitionRanges ranges = PartitionRanges::Coalesce(
@@ -746,9 +952,13 @@ std::shared_ptr<const std::vector<std::vector<std::pair<K, V>>>> ShuffleByKey(
   const auto refine = [n](const std::pair<K, V>& kv) {
     return ShuffleHash(kv.first) / static_cast<uint64_t>(n);
   };
-  return ShuffleRead(ctx, service.get(), ranges, name, out_status,
-                     typename ShuffleService<std::pair<K, V>>::RefineFn(
-                         refine));
+  auto parts = ShuffleRead(ctx, service.get(), ranges, name, out_status,
+                           typename ShuffleService<std::pair<K, V>>::RefineFn(
+                               refine));
+  if constexpr (checkpoint_portable_v<KV>) {
+    MaybeSaveWide<KV>(ctx, ckpt, *parts, out_status);
+  }
+  return parts;
 }
 
 }  // namespace internal
@@ -757,6 +967,21 @@ template <typename T>
 Dataset<T> Dataset<T>::Repartition(int n, const std::string& name) const {
   RANKJOIN_CHECK(n >= 1);
   Context* ctx = state_->ctx;
+  [[maybe_unused]] internal::WideCheckpointSlot ckpt;
+  if constexpr (checkpoint_portable_v<T>) {
+    ckpt = internal::OpenWideCheckpoint(ctx, "repartition", name, n,
+                                        {state_->plan.get()});
+    auto restored = std::make_shared<Partitions>();
+    if (internal::TryRestoreWide<T>(ctx, ckpt, name, restored.get()) &&
+        static_cast<int>(restored->size()) == n) {
+      Dataset<T> out(ctx, std::move(restored));
+      out.SetPlanNode(MakePlanNode(PlanNode::Kind::kWide, "repartition",
+                                   name, {state_->plan},
+                                   {.num_partitions = n,
+                                    .serde_ok = has_serde_v<T>}));
+      return out;
+    }
+  }
   // Force first: the deterministic assignment is global-element-index
   // mod n, and a write task's starting global index is the prefix sum of
   // the partition sizes before it — unknown while the chain is pending.
@@ -784,6 +1009,9 @@ Dataset<T> Dataset<T>::Repartition(int n, const std::string& name) const {
     auto service = internal::ShuffleWrite<T>(*this, n, name, make_router);
     parts = internal::ShuffleRead(
         ctx, service.get(), PartitionRanges::Identity(n), name, &error);
+  }
+  if constexpr (checkpoint_portable_v<T>) {
+    internal::MaybeSaveWide<T>(ctx, ckpt, *parts, &error);
   }
   Dataset<T> out(ctx, std::move(parts));
   if (!error.ok()) out.SetError(std::move(error));
@@ -903,6 +1131,27 @@ Dataset<std::pair<K, std::pair<V, W>>> Join(
   Context* ctx = left.context();
   RANKJOIN_CHECK(ctx == right.context());
   if (n <= 0) n = ctx->default_partitions();
+  using CkptOut = std::pair<K, std::pair<V, W>>;
+  [[maybe_unused]] internal::WideCheckpointSlot ckpt;
+  if constexpr (checkpoint_portable_v<CkptOut>) {
+    ckpt = internal::OpenWideCheckpoint(
+        ctx, "join", name, n,
+        {left.plan_node().get(), right.plan_node().get()});
+    auto restored =
+        std::make_shared<typename Dataset<CkptOut>::Partitions>();
+    if (internal::TryRestoreWide<CkptOut>(ctx, ckpt, name,
+                                          restored.get())) {
+      const int restored_n = static_cast<int>(restored->size());
+      Dataset<CkptOut> result(ctx, std::move(restored));
+      result.SetPlanNode(
+          MakePlanNode(PlanNode::Kind::kWide, "join", name,
+                       {left.plan_node(), right.plan_node()},
+                       {.num_partitions = restored_n,
+                        .serde_ok = has_serde_v<std::pair<K, V>> &&
+                                    has_serde_v<std::pair<K, W>>}));
+      return result;
+    }
+  }
   HashPartitioner partitioner(n);
   const auto lrouter = [partitioner](int /*task*/) {
     return [partitioner](const std::pair<K, V>& kv) {
@@ -983,6 +1232,9 @@ Dataset<std::pair<K, std::pair<V, W>>> Join(
     }
     ctx->AddStage(std::move(stage));
   }
+  if constexpr (checkpoint_portable_v<Out>) {
+    internal::MaybeSaveWide<Out>(ctx, ckpt, *out, &error);
+  }
   Dataset<Out> result(ctx, std::move(out));
   if (!error.ok()) result.SetError(std::move(error));
   result.SetPlanNode(
@@ -1007,6 +1259,27 @@ Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
   Context* ctx = left.context();
   RANKJOIN_CHECK(ctx == right.context());
   if (n <= 0) n = ctx->default_partitions();
+  using CkptOut = std::pair<K, std::pair<std::vector<V>, std::vector<W>>>;
+  [[maybe_unused]] internal::WideCheckpointSlot ckpt;
+  if constexpr (checkpoint_portable_v<CkptOut>) {
+    ckpt = internal::OpenWideCheckpoint(
+        ctx, "cogroup", name, n,
+        {left.plan_node().get(), right.plan_node().get()});
+    auto restored =
+        std::make_shared<typename Dataset<CkptOut>::Partitions>();
+    if (internal::TryRestoreWide<CkptOut>(ctx, ckpt, name,
+                                          restored.get())) {
+      const int restored_n = static_cast<int>(restored->size());
+      Dataset<CkptOut> result(ctx, std::move(restored));
+      result.SetPlanNode(
+          MakePlanNode(PlanNode::Kind::kWide, "cogroup", name,
+                       {left.plan_node(), right.plan_node()},
+                       {.num_partitions = restored_n,
+                        .serde_ok = has_serde_v<std::pair<K, V>> &&
+                                    has_serde_v<std::pair<K, W>>}));
+      return result;
+    }
+  }
   HashPartitioner partitioner(n);
   const auto lrouter = [partitioner](int /*task*/) {
     return [partitioner](const std::pair<K, V>& kv) {
@@ -1081,6 +1354,9 @@ Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
           std::max<uint64_t>(stage.max_partition_size, p.size());
     }
     ctx->AddStage(std::move(stage));
+  }
+  if constexpr (checkpoint_portable_v<Out>) {
+    internal::MaybeSaveWide<Out>(ctx, ckpt, *out, &error);
   }
   Dataset<Out> result(ctx, std::move(out));
   if (!error.ok()) result.SetError(std::move(error));

@@ -113,6 +113,23 @@ Dataset<std::pair<K, V>> SortByKey(const Dataset<std::pair<K, V>>& ds,
   Context* ctx = ds.context();
   if (n <= 0) n = ctx->default_partitions();
 
+  using KV = std::pair<K, V>;
+  [[maybe_unused]] internal::WideCheckpointSlot ckpt;
+  if constexpr (checkpoint_portable_v<KV>) {
+    ckpt = internal::OpenWideCheckpoint(ctx, "sortByKey", name, n,
+                                        {ds.plan_node().get()});
+    auto restored = std::make_shared<typename Dataset<KV>::Partitions>();
+    if (internal::TryRestoreWide<KV>(ctx, ckpt, name, restored.get()) &&
+        static_cast<int>(restored->size()) == n) {
+      Dataset<KV> out(ctx, std::move(restored));
+      out.SetPlanNode(
+          MakePlanNode(PlanNode::Kind::kWide, "sortByKey", name,
+                       {ds.plan_node()},
+                       {.num_partitions = n, .serde_ok = has_serde_v<KV>}));
+      return out;
+    }
+  }
+
   // The sampler needs the materialized input; force it through the
   // non-aborting hook so a poisoned source propagates instead of dying
   // inside Count().
@@ -186,6 +203,9 @@ Dataset<std::pair<K, V>> SortByKey(const Dataset<std::pair<K, V>>& ds,
     parts = internal::ShuffleRead(ctx, service.get(),
                                   PartitionRanges::Identity(n), name, &error,
                                   sort_local, "sortLocal");
+  }
+  if constexpr (checkpoint_portable_v<KV>) {
+    internal::MaybeSaveWide<KV>(ctx, ckpt, *parts, &error);
   }
   Dataset<std::pair<K, V>> out(ctx, std::move(parts));
   if (!error.ok()) out.SetError(std::move(error));

@@ -78,6 +78,8 @@ Status ParseProbability(const std::string& text, double* out) {
 constexpr uint64_t kSiteTaskThrow = 0x7461736b5f746872ull;
 constexpr uint64_t kSiteTaskDelay = 0x7461736b5f646c79ull;
 constexpr uint64_t kSiteSpillCorrupt = 0x7370696c6c5f6372ull;
+constexpr uint64_t kSiteSpillEnospc = 0x7370696c6c5f6e6full;
+constexpr uint64_t kSiteCkptCorrupt = 0x636b70745f637272ull;
 
 }  // namespace
 
@@ -103,7 +105,11 @@ Result<FaultSpec> ParseFaultSpec(const std::string& text) {
       p = &spec.task_delay_p;
     } else if (head == "spill_corrupt") {
       p = &spec.spill_corrupt_p;
-    } else {
+    } else if (head == "spill_enospc") {
+      p = &spec.spill_enospc_p;
+    } else if (head == "checkpoint_corrupt") {
+      p = &spec.checkpoint_corrupt_p;
+    } else if (head != "proc_kill_after") {
       return Status::InvalidArgument("fault spec: unknown fault '" + head +
                                      "'");
     }
@@ -115,12 +121,16 @@ Result<FaultSpec> ParseFaultSpec(const std::string& text) {
       }
       const std::string key = kv.substr(0, eq);
       const std::string value = kv.substr(eq + 1);
-      if (key == "p") {
+      if (key == "p" && p != nullptr) {
         RANKJOIN_RETURN_NOT_OK(ParseProbability(value, p));
       } else if (key == "ms" && head == "task_delay") {
         uint64_t ms = 0;
         RANKJOIN_RETURN_NOT_OK(ParseUint(value, &ms));
         spec.task_delay_ms = static_cast<int64_t>(ms);
+      } else if (key == "n" && head == "proc_kill_after") {
+        uint64_t n = 0;
+        RANKJOIN_RETURN_NOT_OK(ParseUint(value, &n));
+        spec.proc_kill_after = static_cast<int64_t>(n);
       } else {
         return Status::InvalidArgument("fault spec: unknown key '" + key +
                                        "' for '" + head + "'");
@@ -172,6 +182,30 @@ bool FaultInjector::SpillCorrupt(uint64_t shuffle_id, int map_task,
                          static_cast<uint64_t>(bucket)) < spec_.spill_corrupt_p;
   if (fire && counters_ != nullptr) {
     counters_->Add("fault.spill_corrupt.injected", 1);
+  }
+  return fire;
+}
+
+bool FaultInjector::SpillEnospc(uint64_t shuffle_id, int map_task,
+                                uint64_t run, int bucket) {
+  if (spec_.spill_enospc_p <= 0.0) return false;
+  const bool fire = Draw(kSiteSpillEnospc, shuffle_id,
+                         static_cast<uint64_t>(map_task), run,
+                         static_cast<uint64_t>(bucket)) < spec_.spill_enospc_p;
+  if (fire && counters_ != nullptr) {
+    counters_->Add("fault.spill_enospc.injected", 1);
+  }
+  return fire;
+}
+
+bool FaultInjector::CheckpointCorrupt(uint64_t fingerprint,
+                                      uint64_t occurrence, int partition) {
+  if (spec_.checkpoint_corrupt_p <= 0.0) return false;
+  const bool fire =
+      Draw(kSiteCkptCorrupt, fingerprint, occurrence,
+           static_cast<uint64_t>(partition), 0) < spec_.checkpoint_corrupt_p;
+  if (fire && counters_ != nullptr) {
+    counters_->Add("fault.checkpoint_corrupt.injected", 1);
   }
   return fire;
 }

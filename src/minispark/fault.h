@@ -27,6 +27,17 @@ namespace rankjoin::minispark {
 ///                         its checksum is taken with probability P, so
 ///                         the shuffle read detects it and recovers from
 ///                         lineage.
+/// - `spill_enospc:p=P`    every spill-file append fails as if the disk
+///                         were full with probability P, exercising the
+///                         disk-pressure degradation policy.
+/// - `checkpoint_corrupt:p=P`
+///                         every checkpoint partition payload is
+///                         bit-flipped after its checksum is taken with
+///                         probability P, so resume detects it and
+///                         re-executes the stage.
+/// - `proc_kill_after:n=N` the process raises SIGKILL after N stages
+///                         complete (crash simulation for resume tests;
+///                         0 = disabled).
 /// - `seed=N`              base seed of the schedule (default 42).
 ///
 /// All probabilities default to 0 (that fault disabled).
@@ -35,11 +46,16 @@ struct FaultSpec {
   double task_delay_p = 0.0;
   int64_t task_delay_ms = 0;
   double spill_corrupt_p = 0.0;
+  double spill_enospc_p = 0.0;
+  double checkpoint_corrupt_p = 0.0;
+  int64_t proc_kill_after = 0;
   uint64_t seed = 42;
 
   /// True when at least one fault kind can fire.
   bool Any() const {
     return task_throw_p > 0.0 || spill_corrupt_p > 0.0 ||
+           spill_enospc_p > 0.0 || checkpoint_corrupt_p > 0.0 ||
+           proc_kill_after > 0 ||
            (task_delay_p > 0.0 && task_delay_ms > 0);
   }
 };
@@ -109,6 +125,20 @@ class FaultInjector {
   /// id, the map task, the run index within that task, and the bucket.
   bool SpillCorrupt(uint64_t shuffle_id, int map_task, uint64_t run,
                     int bucket);
+
+  /// Should this spill-file append fail as if the disk were full?
+  /// Coordinates: shuffle id, map task, run index, bucket.
+  bool SpillEnospc(uint64_t shuffle_id, int map_task, uint64_t run,
+                   int bucket);
+
+  /// Should this checkpoint partition payload be corrupted after
+  /// checksumming? Coordinates: the stage's plan fingerprint, its
+  /// occurrence index within the job, and the partition.
+  bool CheckpointCorrupt(uint64_t fingerprint, uint64_t occurrence,
+                         int partition);
+
+  /// Stages to let complete before raising SIGKILL (0 = never).
+  int64_t proc_kill_after() const { return spec_.proc_kill_after; }
 
  private:
   /// Uniform [0,1) draw from the hashed coordinates.

@@ -67,6 +67,59 @@ NoNotes() {
 
 }  // namespace
 
+namespace {
+
+/// splitmix64 finalizer (same mixer as the fault injector's draws).
+uint64_t FpMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a: std::hash<std::string> is not stable across standard
+/// libraries, and the fingerprint must be.
+uint64_t FpFnv1a(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t FingerprintNode(
+    const PlanNode* node,
+    std::unordered_map<const PlanNode*, uint64_t>* memo) {
+  if (node == nullptr) return 0x706c616e5f6e696cull;  // "plan_nil"
+  if (auto it = memo->find(node); it != memo->end()) return it->second;
+  uint64_t h = FpMix64(0x706c616e5f667072ull);  // "plan_fpr"
+  h = FpMix64(h ^ static_cast<uint64_t>(node->kind));
+  h = FpMix64(h ^ FpFnv1a(node->op));
+  h = FpMix64(h ^ FpFnv1a(node->name));
+  h = FpMix64(h ^ static_cast<uint64_t>(node->num_partitions));
+  for (const auto& parent : node->parents) {
+    h = FpMix64(h ^ FingerprintNode(parent.get(), memo));
+  }
+  (*memo)[node] = h;
+  return h;
+}
+
+}  // namespace
+
+uint64_t PlanFingerprint(const PlanNode* root) {
+  std::unordered_map<const PlanNode*, uint64_t> memo;
+  return FingerprintNode(root, &memo);
+}
+
+uint64_t FingerprintMix(uint64_t h, uint64_t token) {
+  return FpMix64(h ^ token);
+}
+
+uint64_t FingerprintMixString(uint64_t h, const std::string& s) {
+  return FpMix64(h ^ FpFnv1a(s));
+}
+
 std::string PlanToDot(const PlanNode* root, bool root_materialized) {
   return PlanToDot(root, root_materialized, NoObservations(), NoNotes());
 }

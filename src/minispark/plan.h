@@ -78,6 +78,25 @@ std::shared_ptr<const PlanNode> MakePlanNode(
     std::vector<std::shared_ptr<const PlanNode>> parents,
     PlanNodeAttrs attrs = {});
 
+/// Stable structural fingerprint of the lineage DAG rooted at `root`:
+/// a pure hash over each node's kind, op, name, and partition count plus
+/// the fingerprints of its parents, in parent order. Deliberately
+/// EXCLUDES runtime-dependent fields (op_id, lazy, max_bucket_bytes,
+/// split_slices) so the same logical job produces the same fingerprint
+/// across processes — that stability is what keys the checkpoint
+/// manifest for crash resume (see docs/MINISPARK.md, "Checkpoint &
+/// resume"). A null root hashes to a fixed non-zero constant.
+uint64_t PlanFingerprint(const PlanNode* root);
+
+/// Mixes one more token (a value or a string) into a fingerprint with
+/// the same stable mixer PlanFingerprint uses. Wide operations derive
+/// their checkpoint keys this way: the RESULT node's fingerprint is not
+/// available before the stages run (its partition count depends on
+/// adaptive coalescing), so the key mixes the PARENT fingerprints with
+/// the op kind, user name, and requested bucket count instead.
+uint64_t FingerprintMix(uint64_t h, uint64_t token);
+uint64_t FingerprintMixString(uint64_t h, const std::string& s);
+
 /// Renders the lineage DAG rooted at `root` as Graphviz DOT: narrow ops
 /// as plain boxes, wide ops (stage boundaries) as doubled boxes, sources
 /// as ellipses, Cache() pins as folders. `root_materialized` marks the

@@ -1,26 +1,39 @@
 #include "minispark/shuffle.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <filesystem>
 
 namespace rankjoin::minispark {
 
-SpillFile::SpillFile(std::string path)
-    : path_(std::move(path)),
-      out_(path_, std::ios::binary | std::ios::trunc),
-      ok_(out_.is_open()) {}
+SpillFile::SpillFile(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+               0600);
+  ok_ = fd_ >= 0;
+}
 
 SpillFile::~SpillFile() {
-  if (out_.is_open()) out_.close();
+  if (fd_ >= 0) ::close(fd_);
   std::error_code ec;  // best effort; never throw from a destructor
   std::filesystem::remove(path_, ec);
 }
 
 bool SpillFile::Append(const char* data, size_t bytes, uint64_t* offset) {
   if (!ok_) return false;
-  out_.write(data, static_cast<std::streamsize>(bytes));
-  if (!out_.good()) {
-    ok_ = false;
-    return false;
+  size_t written = 0;
+  while (written < bytes) {
+    const ssize_t n = ::write(fd_, data + written, bytes - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok_ = false;  // write error (ENOSPC, EIO, ...): poison the file
+      return false;
+    }
+    if (n == 0) {
+      ok_ = false;  // short write that cannot progress: disk full
+      return false;
+    }
+    written += static_cast<size_t>(n);
   }
   *offset = bytes_written_;
   bytes_written_ += bytes;
@@ -28,26 +41,40 @@ bool SpillFile::Append(const char* data, size_t bytes, uint64_t* offset) {
 }
 
 void SpillFile::FinishWrites() {
-  if (out_.is_open()) {
-    out_.flush();
-    // A failed flush poisons the file; readers will see short reads or
-    // CRC mismatches and fall back to lineage recovery.
-    if (!out_.good()) ok_ = false;
-    out_.close();
+  if (fd_ >= 0) {
+    // Spill files are scratch data that never outlives the process, so
+    // no fsync here — durability is the checkpoint layer's contract,
+    // not the spill layer's.
+    if (::close(fd_) != 0) ok_ = false;
+    fd_ = -1;
   }
 }
 
-SpillFile::Reader::Reader(const std::string& path)
-    : in_(path, std::ios::binary) {}
+SpillFile::Reader::Reader(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+}
+
+SpillFile::Reader::~Reader() {
+  if (fd_ >= 0) ::close(fd_);
+}
 
 bool SpillFile::Reader::TryReadAt(uint64_t offset, uint64_t bytes,
                                   std::string* buf) {
-  if (!in_.is_open()) return false;
+  if (fd_ < 0) return false;
   buf->resize(bytes);
-  in_.clear();
-  in_.seekg(static_cast<std::streamoff>(offset));
-  in_.read(buf->data(), static_cast<std::streamsize>(bytes));
-  return in_.good() && in_.gcount() == static_cast<std::streamsize>(bytes);
+  size_t done = 0;
+  while (done < bytes) {
+    const ssize_t n =
+        ::pread(fd_, buf->data() + done, bytes - done,
+                static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // short read: file truncated or torn
+    done += static_cast<size_t>(n);
+  }
+  return true;
 }
 
 }  // namespace rankjoin::minispark

@@ -67,6 +67,10 @@ struct SpillSegment {
 /// I/O failures do not abort: the file poisons itself (ok() turns
 /// false), the owning ShuffleService degrades to resident-only
 /// buffering, and reads fall back to lineage recovery.
+///
+/// Both the write handle and every Reader open with O_CLOEXEC: spill
+/// fds must never leak into a forked child (the chaos harness forks
+/// subprocesses around SIGKILL tests).
 class SpillFile {
  public:
   explicit SpillFile(std::string path);
@@ -80,34 +84,40 @@ class SpillFile {
 
   /// Appends `bytes` bytes; on success stores the offset they start at
   /// in `*offset` and returns true. Returns false (poisoning the file)
-  /// on a write error.
+  /// on a write error — including a short write, the userspace face of
+  /// ENOSPC.
   bool Append(const char* data, size_t bytes, uint64_t* offset);
 
-  /// Flushes and closes the write handle; call before any Reader opens.
+  /// Closes the write handle; call before any Reader opens.
   void FinishWrites();
 
   const std::string& path() const { return path_; }
   uint64_t bytes_written() const { return bytes_written_; }
 
-  /// A private read handle onto the file.
+  /// A private read handle onto the file. Reads use pread, so Readers
+  /// never contend on a shared file position.
   class Reader {
    public:
     explicit Reader(const std::string& path);
+    ~Reader();
+
+    Reader(const Reader&) = delete;
+    Reader& operator=(const Reader&) = delete;
 
     /// False when the file could not be opened (e.g. gone).
-    bool ok() const { return in_.is_open(); }
+    bool ok() const { return fd_ >= 0; }
 
     /// Reads [offset, offset + bytes) into `*buf` (replacing it).
     /// Returns false on a short or failed read.
     bool TryReadAt(uint64_t offset, uint64_t bytes, std::string* buf);
 
    private:
-    std::ifstream in_;
+    int fd_ = -1;
   };
 
  private:
   std::string path_;
-  std::ofstream out_;
+  int fd_ = -1;
   uint64_t bytes_written_ = 0;
   bool ok_ = false;
 };
@@ -586,6 +596,10 @@ class ShuffleService {
     std::string buf;
     uint64_t freed = 0;
     bool wrote_any = false;
+    // Set when the disk-pressure policy is kFail: thrown AFTER the
+    // budget accounting below so the meters stay coherent even on the
+    // failure path.
+    Status fail_status;
     for (int b = 0; b < num_buckets_; ++b) {
       std::vector<T>& bucket = mt->resident[static_cast<size_t>(b)];
       if (bucket.empty()) continue;
@@ -600,9 +614,23 @@ class ShuffleService {
         buf[buf.size() / 2] ^= 0x5A;
       }
       uint64_t offset = 0;
-      if (!mt->spill->Append(buf.data(), buf.size(), &offset)) {
-        ctx_->MarkSpillDegraded(
-            Status::IoError("spill write failed: " + mt->spill->path()));
+      // The spill_enospc chaos site fires where a full disk would: at
+      // the write itself, before any bytes land.
+      const bool injected_enospc =
+          injector.enabled() && injector.SpillEnospc(id_, map_index, run, b);
+      if (injected_enospc ||
+          !mt->spill->Append(buf.data(), buf.size(), &offset)) {
+        const Status cause = Status::IoError(
+            std::string("spill write failed") +
+            (injected_enospc ? " (injected ENOSPC): " : ": ") +
+            mt->spill->path());
+        if (ctx_->disk_pressure_policy() == DiskPressurePolicy::kFail) {
+          fail_status = cause;
+        } else {
+          // kDropCheckpoints / kResidentOnly: degrade — spills stay
+          // resident, checkpointing stops — and keep running.
+          ctx_->OnSpillDiskPressure(cause);
+        }
         break;  // already-written segments stay valid; rest stays resident
       }
       mt->segments[static_cast<size_t>(b)].push_back(
@@ -622,6 +650,15 @@ class ShuffleService {
     if (sink != nullptr) {
       sink->Record({"spill run", "spill", CurrentTraceTid(), start_us,
                     sink->NowMicros() - start_us, -1, 0});
+    }
+    if (!fail_status.ok()) {
+      // kFail policy: the job surfaces a structured IoError instead of
+      // silently degrading. Non-retryable — a full disk does not heal
+      // between attempts, and a deterministic injection would re-fire.
+      ctx_->counters().Add("fault.disk.enospc", 1);
+      ctx_->counters().Add("fault.disk.failed", 1);
+      ctx_->telemetry().OnDiskPressure();
+      throw NonRetryableError(std::move(fail_status));
     }
   }
 
@@ -909,7 +946,14 @@ std::shared_ptr<ShuffleService<T>> ShuffleWrite(const Dataset<T>& input,
                       // a fresh router).
                       service->ResetMapTask(i);
                       auto route = make_router(i);
+                      // Deadline/cancel probe at record granularity: a
+                      // long fused chain must notice a stop request
+                      // without waiting for the stage barrier.
+                      uint64_t probe = 0;
                       input.StreamPartition(i, [&](const T& t) {
+                        if (((++probe) & 1023u) == 0 && ctx->StopRequested()) {
+                          throw NonRetryableError(ctx->StopStatus());
+                        }
                         service->Add(i, route(t), t);
                       });
                     });
@@ -993,7 +1037,12 @@ std::shared_ptr<const std::vector<std::vector<T>>> ShuffleRead(
           consumed = true;
           bytes += ShuffleRecordBytes(record);
           dest.push_back(std::move(record));
-          ++records;
+          // Deadline/cancel probe; NonRetryableError passes through the
+          // catch blocks below unchanged, so the structured stop Status
+          // (kDeadlineExceeded / kCancelled) survives to the driver.
+          if (((++records) & 1023u) == 0 && ctx->StopRequested()) {
+            throw NonRetryableError(ctx->StopStatus());
+          }
         };
         try {
           if (ranges.slices(p) > 1) {
@@ -1124,7 +1173,11 @@ std::shared_ptr<const std::vector<std::vector<T>>> PipelinedExchange(
           service->ReadMapperRange(m, p, p + 1, [&](T&& record) {
             bytes += ShuffleRecordBytes(record);
             dest.push_back(std::move(record));
-            ++records;
+            // Deadline/cancel probe: a stopped job aborts the exchange
+            // (the catch below) instead of draining every mapper.
+            if (((++records) & 1023u) == 0 && ctx->StopRequested()) {
+              throw NonRetryableError(ctx->StopStatus());
+            }
           });
           service->FinishMapperConsumed(m);
         }
@@ -1166,7 +1219,12 @@ std::shared_ptr<const std::vector<std::vector<T>>> PipelinedExchange(
         // router); only a fully successful attempt publishes.
         service->ResetMapTask(i);
         auto route = make_router(i);
+        uint64_t probe = 0;
         input.StreamPartition(i, [&](const T& t) {
+          // Deadline/cancel probe (see the barrier write stage above).
+          if (((++probe) & 1023u) == 0 && ctx->StopRequested()) {
+            throw NonRetryableError(ctx->StopStatus());
+          }
           service->Add(i, route(t), t);
         });
         service->PublishMapTask(i);

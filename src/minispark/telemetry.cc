@@ -383,6 +383,16 @@ std::string RenderPrometheusText(
                std::to_string(hub.spilled_bytes_total()));
   AppendScalar(os, "rankjoin_sink_degraded_total", "counter",
                std::to_string(hub.sink_degraded()));
+  AppendScalar(os, "rankjoin_checkpoint_stages_saved_total", "counter",
+               std::to_string(hub.checkpoint_stages_saved()));
+  AppendScalar(os, "rankjoin_checkpoint_stages_skipped_total", "counter",
+               std::to_string(hub.checkpoint_stages_skipped()));
+  AppendScalar(os, "rankjoin_checkpoint_restore_failed_total", "counter",
+               std::to_string(hub.checkpoint_restore_failed()));
+  AppendScalar(os, "rankjoin_disk_pressure_events_total", "counter",
+               std::to_string(hub.disk_pressure_events()));
+  AppendScalar(os, "rankjoin_deadline_remaining_ms", "gauge",
+               std::to_string(hub.deadline_remaining_ms()));
   AppendScalar(os, "rankjoin_cpu_user_seconds_total", "counter",
                FormatNumber(now.user_cpu_seconds));
   AppendScalar(os, "rankjoin_cpu_sys_seconds_total", "counter",
@@ -407,6 +417,11 @@ std::string RenderHealthzJson(const TelemetryHub& hub,
      << ",\"stages_total\":" << hub.stages_total()
      << ",\"spilled_bytes_total\":" << hub.spilled_bytes_total()
      << ",\"sink_degraded\":" << hub.sink_degraded()
+     << ",\"checkpoint_stages_saved\":" << hub.checkpoint_stages_saved()
+     << ",\"checkpoint_stages_skipped\":" << hub.checkpoint_stages_skipped()
+     << ",\"checkpoint_restore_failed\":" << hub.checkpoint_restore_failed()
+     << ",\"disk_pressure_events\":" << hub.disk_pressure_events()
+     << ",\"deadline_remaining_ms\":" << hub.deadline_remaining_ms()
      << ",\"rss_kb\":" << now.rss_kb << ",\"max_rss_kb\":" << now.max_rss_kb
      << ",\"cpu_user_seconds\":" << FormatNumber(now.user_cpu_seconds)
      << ",\"cpu_sys_seconds\":" << FormatNumber(now.sys_cpu_seconds)

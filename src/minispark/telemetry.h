@@ -136,6 +136,45 @@ class TelemetryHub {
     return sink_degraded_.load(std::memory_order_relaxed);
   }
 
+  /// Checkpointing: stages persisted / skipped on resume / restore
+  /// attempts that failed verification and fell back to re-execution.
+  void OnCheckpointSaved() {
+    checkpoint_stages_saved_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t checkpoint_stages_saved() const {
+    return checkpoint_stages_saved_.load(std::memory_order_relaxed);
+  }
+  void OnCheckpointSkipped() {
+    checkpoint_stages_skipped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t checkpoint_stages_skipped() const {
+    return checkpoint_stages_skipped_.load(std::memory_order_relaxed);
+  }
+  void OnCheckpointRestoreFailed() {
+    checkpoint_restore_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t checkpoint_restore_failed() const {
+    return checkpoint_restore_failed_.load(std::memory_order_relaxed);
+  }
+
+  /// Disk-pressure events: write failures (real or injected) on spill or
+  /// checkpoint paths that triggered the degradation policy.
+  void OnDiskPressure() {
+    disk_pressure_events_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t disk_pressure_events() const {
+    return disk_pressure_events_.load(std::memory_order_relaxed);
+  }
+
+  /// Job deadline, milliseconds remaining: negative = none configured,
+  /// 0 = expired. Set by the Context; exported on /metrics + /healthz.
+  void SetDeadlineRemainingMs(int64_t ms) {
+    deadline_remaining_ms_.store(ms, std::memory_order_relaxed);
+  }
+  int64_t deadline_remaining_ms() const {
+    return deadline_remaining_ms_.load(std::memory_order_relaxed);
+  }
+
   double UptimeSeconds() const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          epoch_)
@@ -152,6 +191,11 @@ class TelemetryHub {
   std::atomic<uint64_t> stages_total_{0};
   std::atomic<uint64_t> spilled_bytes_total_{0};
   std::atomic<uint64_t> sink_degraded_{0};
+  std::atomic<uint64_t> checkpoint_stages_saved_{0};
+  std::atomic<uint64_t> checkpoint_stages_skipped_{0};
+  std::atomic<uint64_t> checkpoint_restore_failed_{0};
+  std::atomic<uint64_t> disk_pressure_events_{0};
+  std::atomic<int64_t> deadline_remaining_ms_{-1};
   std::chrono::steady_clock::time_point epoch_;
 };
 

@@ -65,6 +65,9 @@ struct PinnedEnv {
   ScopedEnv trace{"RANKJOIN_TRACE_LEVEL", nullptr};
   ScopedEnv lint{"RANKJOIN_LINT_LEVEL", nullptr};
   ScopedEnv pipelined{"RANKJOIN_PIPELINED_STAGES", nullptr};
+  ScopedEnv ckpt_dir{"RANKJOIN_CHECKPOINT_DIR", nullptr};
+  ScopedEnv resume{"RANKJOIN_RESUME", nullptr};
+  ScopedEnv deadline{"RANKJOIN_JOB_DEADLINE_MS", nullptr};
 };
 
 /// Runs `job` under a barrier context and a pipelined context (both with

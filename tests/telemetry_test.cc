@@ -176,6 +176,12 @@ TEST(PrometheusTest, GoldenRendering) {
   hub.OnStageComplete();
   hub.AddSpilledBytes(4096);
   hub.MarkSinkDegraded();
+  hub.OnCheckpointSaved();
+  hub.OnCheckpointSaved();
+  hub.OnCheckpointSkipped();
+  hub.OnCheckpointRestoreFailed();
+  hub.OnDiskPressure();
+  hub.SetDeadlineRemainingMs(750);
   ResourceSample now;
   now.at_us = 2500000;
   now.rss_kb = 1024;
@@ -207,6 +213,11 @@ TEST(PrometheusTest, GoldenRendering) {
   EXPECT_TRUE(has_line("rankjoin_stages_total 1"));
   EXPECT_TRUE(has_line("rankjoin_spilled_bytes_total 4096"));
   EXPECT_TRUE(has_line("rankjoin_sink_degraded_total 1"));
+  EXPECT_TRUE(has_line("rankjoin_checkpoint_stages_saved_total 2"));
+  EXPECT_TRUE(has_line("rankjoin_checkpoint_stages_skipped_total 1"));
+  EXPECT_TRUE(has_line("rankjoin_checkpoint_restore_failed_total 1"));
+  EXPECT_TRUE(has_line("rankjoin_disk_pressure_events_total 1"));
+  EXPECT_TRUE(has_line("rankjoin_deadline_remaining_ms 750"));
   EXPECT_TRUE(has_line("rankjoin_cpu_user_seconds_total 1.5"));
   EXPECT_TRUE(has_line("rankjoin_cpu_sys_seconds_total 0.25"));
   EXPECT_TRUE(has_line(
